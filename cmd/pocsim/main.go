@@ -1,0 +1,133 @@
+// Command pocsim runs an end-to-end POC deployment: auction, fabric
+// activation, member attachment, a configurable number of billing
+// epochs with diurnal traffic, optional link failures, and a final
+// terms-of-service audit. It is the operational counterpart of the
+// experiment-oriented pocbench.
+//
+// Usage:
+//
+//	pocsim [-scale 0.35] [-constraint 2] [-epochs 4] [-fail] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	poc "github.com/public-option/poc"
+	"github.com/public-option/poc/internal/provision"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.35, "instance scale in (0,1]")
+	constraint := flag.Int("constraint", 1, "auction constraint (1, 2 or 3)")
+	epochs := flag.Int("epochs", 4, "billing epochs to simulate (6h each)")
+	fail := flag.Bool("fail", false, "fail the busiest link halfway through")
+	verbose := flag.Bool("v", false, "print per-member billing detail")
+	flag.Parse()
+
+	if *constraint < 1 || *constraint > 3 {
+		log.Fatalf("constraint %d out of range", *constraint)
+	}
+
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %s\n", s.Network.Summary())
+
+	op, err := s.NewPOC(provision.Constraint(*constraint))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range s.Bids {
+		if err := op.SubmitBid(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := op.AddVirtualLinks(s.Virtual); err != nil {
+		log.Fatal(err)
+	}
+	res, err := op.RunAuction()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction:  %d links leased under constraint #%d, C(SL)=%.0f, BP surplus %.0f\n",
+		len(res.Selected), *constraint, res.TotalCost, res.Surplus())
+	if err := op.Activate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach an LMP at every fourth router and two CSPs at hubs.
+	n := len(s.Network.Routers)
+	var lmps []string
+	for r := 0; r < n; r += 4 {
+		name := fmt.Sprintf("lmp-%02d", r)
+		if _, err := op.AttachLMP(name, r, poc.PeeringPolicy{}); err != nil {
+			log.Fatal(err)
+		}
+		lmps = append(lmps, name)
+	}
+	csps := []string{"megaflix", "cloudco"}
+	if _, err := op.AttachCSP("megaflix", n/2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := op.AttachCSP("cloudco", n/3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("members:  %d LMPs, %d CSPs attached\n", len(lmps), len(csps))
+
+	// CSP fan-out flows to every LMP.
+	admitted, rejected := 0, 0
+	for _, csp := range csps {
+		for _, lmp := range lmps {
+			if _, err := op.StartFlow(csp, lmp, 2, poc.BestEffort); err != nil {
+				rejected++
+				continue
+			}
+			admitted++
+		}
+	}
+	fmt.Printf("flows:    %d admitted, %d rejected\n", admitted, rejected)
+
+	for e := 0; e < *epochs; e++ {
+		if *fail && e == *epochs/2 {
+			busiest, bu := -1, 0.0
+			for id, u := range op.Fabric().Utilization() {
+				if u > bu {
+					busiest, bu = id, u
+				}
+			}
+			if busiest >= 0 {
+				moved := op.Fabric().FailLink(busiest)
+				fmt.Printf("epoch %d: FAILED link %d (%.0f%% utilized), %d flows rerouted\n",
+					e, busiest, 100*bu, len(moved))
+			}
+		}
+		rep, err := op.BillEpoch(6 * 3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d:  cost %11.2f  revenue %11.2f  net %9.2f  price %.5f/GB\n",
+			e, rep.LeaseCost+rep.VirtualCost, rep.Revenue, rep.POCNet, rep.PricePerGB)
+		if *verbose {
+			var names []string
+			for name := range rep.MemberCharge {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("          %-10s %9.0f GB → %10.2f\n", name, rep.UsageGB[name], rep.MemberCharge[name])
+			}
+		}
+	}
+
+	if vs := op.EnforceTerms(); len(vs) > 0 {
+		fmt.Printf("audit:    %d violations\n", len(vs))
+	} else {
+		fmt.Println("audit:    all attached LMPs compliant")
+	}
+	fmt.Printf("ledger:   conservation %.6f (must be 0)\n", op.Ledger().Conservation())
+}

@@ -1,0 +1,140 @@
+// Command market runs a multi-epoch POC economy: after the auction,
+// LMPs and CSPs attach, traffic ebbs and flows over a simulated day,
+// a backbone link fails and the fabric reroutes, and the nonprofit
+// POC settles every epoch at break-even prices. The run demonstrates
+// the §3.2 payment structure end to end: every entity pays for
+// exactly what it receives and the ledger conserves money.
+//
+// Run with:
+//
+//	go run ./examples/market
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	poc "github.com/public-option/poc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: 0.35})
+	if err != nil {
+		log.Fatal(err)
+	}
+	op, err := s.NewPOC(poc.Constraint1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range s.Bids {
+		if err := op.SubmitBid(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := op.AddVirtualLinks(s.Virtual); err != nil {
+		log.Fatal(err)
+	}
+	res, err := op.RunAuction()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := op.Activate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POC active on %d leased links (monthly lease bill %.0f)\n\n",
+		len(res.Selected), sum(res.Payments))
+
+	// Attach a small ecosystem.
+	n := len(s.Network.Routers)
+	members := []struct {
+		name   string
+		csp    bool
+		router int
+	}{
+		{"lmp-east", false, 0},
+		{"lmp-central", false, n / 3},
+		{"lmp-west", false, n - 1},
+		{"megaflix", true, n / 2},
+		{"cloudco", true, 2 * n / 3},
+	}
+	for _, m := range members {
+		var err error
+		if m.csp {
+			_, err = op.AttachCSP(m.name, m.router)
+		} else {
+			_, err = op.AttachLMP(m.name, m.router, poc.PeeringPolicy{})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A diurnal day in four 6-hour epochs: demand varies, one epoch
+	// has a backbone failure.
+	demand := []float64{2, 4, 6, 3} // Gbps per flow, per epoch
+	var flows []poc.Flow
+	for _, pair := range [][2]string{
+		{"megaflix", "lmp-east"}, {"megaflix", "lmp-central"}, {"megaflix", "lmp-west"},
+		{"cloudco", "lmp-east"}, {"cloudco", "lmp-west"}, {"lmp-east", "lmp-west"},
+	} {
+		fl, err := op.StartFlow(pair[0], pair[1], demand[0], poc.BestEffort)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flows = append(flows, *fl)
+	}
+
+	totalPOCNet := 0.0
+	for epoch := 0; epoch < 4; epoch++ {
+		if epoch == 2 {
+			// Fail the busiest leased link mid-day.
+			busiest, bu := -1, 0.0
+			for id, u := range op.Fabric().Utilization() {
+				if u > bu {
+					busiest, bu = id, u
+				}
+			}
+			if busiest >= 0 {
+				moved := op.Fabric().FailLink(busiest)
+				fmt.Printf("epoch %d: link %d failed (%.0f%% utilized): %d flows rerouted\n",
+					epoch, busiest, 100*bu, len(moved))
+			}
+		}
+		rep, err := op.BillEpoch(6 * 3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalPOCNet += rep.POCNet
+		fmt.Printf("epoch %d: cost %9.2f  revenue %9.2f  POC net %8.2f  price %.5f/GB\n",
+			epoch, rep.LeaseCost+rep.VirtualCost, rep.Revenue, rep.POCNet, rep.PricePerGB)
+	}
+
+	l := op.Ledger()
+	fmt.Printf("\nledger conservation: %.6f (must be 0)\n", l.Conservation())
+	fmt.Printf("POC cumulative net: %.2f (nonprofit: small non-negative reserve)\n", totalPOCNet)
+	fmt.Println("\nflow state after the failure:")
+	for _, fl := range op.Fabric().Flows() {
+		src, _ := op.Fabric().Endpoint(fl.Src)
+		dst, _ := op.Fabric().Endpoint(fl.Dst)
+		state := "ok"
+		if fl.Allocated == 0 {
+			state = "OUTAGE"
+		} else if math.Abs(fl.Allocated-fl.Demand) > 1e-9 {
+			state = "degraded"
+		}
+		fmt.Printf("  %-10s → %-12s %5.1f/%.1f Gbps  %s\n",
+			src.Name, dst.Name, fl.Allocated, fl.Demand, state)
+	}
+	_ = flows
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,3 @@
+module github.com/public-option/poc
+
+go 1.22

@@ -1,0 +1,472 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/public-option/poc/internal/provision"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// Instance is one auction: a POC network, the BPs' bids, the external
+// ISPs' virtual links, the traffic matrix to provision for, and the
+// acceptability constraint.
+type Instance struct {
+	Network *topo.POCNetwork
+	Bids    []Bid
+	Virtual []VirtualLink
+	TM      *traffic.Matrix
+	// Constraint selects the acceptability family A(OL): every
+	// candidate link set must satisfy it for the TM.
+	Constraint provision.Constraint
+	// RouteOpts tunes the feasibility router.
+	RouteOpts provision.Options
+	// MaxChecks selects the winner-determination variant:
+	//
+	//	 0 (default): constructive seed + idle-drop + shave to
+	//	    incremental 1-minimality (see provision.Shaver);
+	//	>0: additionally run price-ordered batch refinement with this
+	//	    many feasibility checks before the shave;
+	//	<0: constructive seed + idle-drop only (ablation baseline).
+	//
+	// Every variant is deterministic, which is what lets the POC
+	// publish the algorithm ("an open algorithm so that it cannot be
+	// accused of favoritism").
+	MaxChecks int
+	// WarmBias in (0,1] scales the routing metric of links already in
+	// SL during the counterfactual winner determinations, so SL_-a
+	// reuses the main solution's structure. Smaller values track SL
+	// more aggressively: too small overestimates the Clarke pivots
+	// (the counterfactual ignores cheap alternatives outside SL), too
+	// large re-introduces heuristic noise (negative pivots). Zero
+	// means the default of 0.75.
+	WarmBias float64
+}
+
+// Result reports the auction outcome.
+type Result struct {
+	// Selected is SL: the chosen link set (logical link IDs).
+	Selected map[int]bool
+	// TotalCost is C(SL): declared BP costs plus virtual-link
+	// contract prices for the selected set.
+	TotalCost float64
+	// BPCost[a] is C_a(SL_a), BP a's declared cost for its selected
+	// links.
+	BPCost []float64
+	// Payments[a] is the Clarke-pivot payment P_a.
+	Payments []float64
+	// Alternative[a] is C(SL_-a), the cheapest acceptable cost when
+	// BP a withdraws. For BPs with no selected links it equals
+	// TotalCost (withdrawing them changes nothing).
+	Alternative []float64
+	// VirtualCost is the contract cost of selected virtual links.
+	VirtualCost float64
+	// Checks counts feasibility checks spent across all winner
+	// determinations (SL and every SL_-a).
+	Checks int
+}
+
+// PoB returns the payment-over-bid margin for BP a:
+// (P_a − C_a(SL_a)) / C_a(SL_a). This is the quantity Figure 2 plots.
+// It returns 0 for BPs with no selected links.
+func (r *Result) PoB(a int) float64 {
+	if r.BPCost[a] <= 0 {
+		return 0
+	}
+	return (r.Payments[a] - r.BPCost[a]) / r.BPCost[a]
+}
+
+// Surplus returns the total payment premium over declared costs,
+// Σ_a (P_a − C_a) — what strategy-proofness costs the POC.
+func (r *Result) Surplus() float64 {
+	s := 0.0
+	for a := range r.Payments {
+		s += r.Payments[a] - r.BPCost[a]
+	}
+	return s
+}
+
+// Run executes the auction: winner determination for SL, then one
+// counterfactual winner determination per participating BP to price
+// the Clarke pivots.
+func (in *Instance) Run() (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if in.RouteOpts.LinkCost == nil {
+		// Route by declared lease price so that the routing — and
+		// therefore the seed of the winner determination — prefers the
+		// cheap links, which is what argmin C(L) wants.
+		price := in.priceOfLink()
+		in.RouteOpts.LinkCost = func(l topo.LogicalLink) float64 {
+			if p, ok := price[l.ID]; ok && !math.IsInf(p, 1) {
+				return p
+			}
+			return l.DistanceKm
+		}
+	}
+	sel, err := in.selectLinks(-1, nil)
+	if err != nil {
+		return nil, fmt.Errorf("auction: winner determination: %w", err)
+	}
+	res := &Result{
+		Selected:    sel.set,
+		TotalCost:   sel.cost,
+		BPCost:      make([]float64, len(in.Bids)),
+		Payments:    make([]float64, len(in.Bids)),
+		Alternative: make([]float64, len(in.Bids)),
+		Checks:      sel.checks,
+	}
+	perBP := in.linksByBP(sel.set)
+	for a, bid := range in.Bids {
+		res.BPCost[a] = bid.Cost(perBP[a])
+		if len(perBP[a]) == 0 {
+			// Exact shortcut: withdrawing a BP with no selected links
+			// leaves SL optimal, so C(SL_-a) = C(SL) and P_a = 0.
+			res.Alternative[a] = sel.cost
+			continue
+		}
+		// Counterfactual winner determination, warm-started from SL:
+		// the routing metric prefers links already in SL, so SL_-a
+		// reuses the main solution's structure and deviates only
+		// where BP a's links are missing. This keeps C(SL_-a)
+		// comparable to C(SL) — under exact optimization the pivot
+		// C(SL_-a) − C(SL) is non-negative, and the warm start makes
+		// the heuristic respect that in all but pathological cases.
+		alt, err := in.selectLinks(a, sel.set)
+		if err != nil {
+			return nil, fmt.Errorf("auction: A(OL−L_%d) empty: %w", a, err)
+		}
+		res.Checks += alt.checks
+		res.Alternative[a] = alt.cost
+		// Clarke pivot. The heuristic winner determination can in
+		// principle find alt.cost below sel.cost (it solves a smaller
+		// instance); clamp at the theoretical lower bound P_a >= C_a.
+		pay := res.BPCost[a] + (alt.cost - sel.cost)
+		if pay < res.BPCost[a] {
+			pay = res.BPCost[a]
+		}
+		res.Payments[a] = pay
+	}
+	for _, v := range in.Virtual {
+		if sel.set[v.LinkID] {
+			res.VirtualCost += v.ContractPrice
+		}
+	}
+	return res, nil
+}
+
+func (in *Instance) validate() error {
+	if in.Network == nil {
+		return fmt.Errorf("auction: nil network")
+	}
+	if in.TM == nil {
+		return fmt.Errorf("auction: nil traffic matrix")
+	}
+	if in.TM.Size() != len(in.Network.Routers) {
+		return fmt.Errorf("auction: traffic matrix size %d != %d routers",
+			in.TM.Size(), len(in.Network.Routers))
+	}
+	if in.Constraint < provision.Constraint1 || in.Constraint > provision.Constraint3 {
+		return fmt.Errorf("auction: invalid constraint %d", int(in.Constraint))
+	}
+	seen := map[int]bool{}
+	for _, b := range in.Bids {
+		if err := b.Validate(in.Network); err != nil {
+			return err
+		}
+		for _, id := range b.Links {
+			if seen[id] {
+				return fmt.Errorf("auction: link %d offered twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	for _, v := range in.Virtual {
+		if v.LinkID < 0 || v.LinkID >= len(in.Network.Links) {
+			return fmt.Errorf("auction: virtual link %d out of range", v.LinkID)
+		}
+		if seen[v.LinkID] {
+			return fmt.Errorf("auction: link %d offered twice", v.LinkID)
+		}
+		seen[v.LinkID] = true
+		if v.ContractPrice < 0 {
+			return fmt.Errorf("auction: negative contract price for link %d", v.LinkID)
+		}
+	}
+	return nil
+}
+
+// linksByBP partitions a selected set into per-BP sorted link lists
+// following the bids (not link ownership, so withheld links never
+// count).
+func (in *Instance) linksByBP(set map[int]bool) [][]int {
+	out := make([][]int, len(in.Bids))
+	for a, b := range in.Bids {
+		for _, id := range b.Links {
+			if set[id] {
+				out[a] = append(out[a], id)
+			}
+		}
+		sort.Ints(out[a])
+	}
+	return out
+}
+
+// costOf evaluates C(L) for a candidate set: Σ_a C_a(L ∩ L_a) plus
+// virtual contract prices.
+func (in *Instance) costOf(set map[int]bool) float64 {
+	total := 0.0
+	for a, links := range in.linksByBP(set) {
+		c := in.Bids[a].Cost(links)
+		if math.IsInf(c, 1) {
+			return math.Inf(1)
+		}
+		total += c
+	}
+	for _, v := range in.Virtual {
+		if set[v.LinkID] {
+			total += v.ContractPrice
+		}
+	}
+	return total
+}
+
+// selection is the outcome of one winner determination.
+type selection struct {
+	set    map[int]bool
+	cost   float64
+	checks int
+}
+
+// offered returns the offered link set OL, optionally excluding one
+// BP's links (excludeBP >= 0).
+func (in *Instance) offered(excludeBP int) map[int]bool {
+	ol := map[int]bool{}
+	for a, b := range in.Bids {
+		if a == excludeBP {
+			continue
+		}
+		for _, id := range b.Links {
+			ol[id] = true
+		}
+	}
+	for _, v := range in.Virtual {
+		ol[v.LinkID] = true
+	}
+	return ol
+}
+
+// priceOfLink returns the per-link price used as the routing metric
+// and the removal order: each BP link's *marginal* price within the
+// BP's full offer (C_a(L_a) − C_a(L_a∖{id})), which sees bundle
+// discounts that a naive singleton price would miss; virtual links
+// use their contract price. When a bid prices its full set at +Inf
+// (pathological), the singleton price is the fallback.
+func (in *Instance) priceOfLink() map[int]float64 {
+	price := map[int]float64{}
+	scratch := make([]int, 0, 64)
+	for _, b := range in.Bids {
+		full := b.Cost(b.Links)
+		for i, id := range b.Links {
+			if math.IsInf(full, 1) {
+				price[id] = b.Cost([]int{id})
+				continue
+			}
+			scratch = scratch[:0]
+			scratch = append(scratch, b.Links[:i]...)
+			scratch = append(scratch, b.Links[i+1:]...)
+			p := full - b.Cost(scratch)
+			if p < 0 {
+				p = 0
+			}
+			price[id] = p
+		}
+	}
+	for _, v := range in.Virtual {
+		price[v.LinkID] = v.ContractPrice
+	}
+	return price
+}
+
+// selectLinks is the deterministic winner-determination heuristic:
+//
+//  1. Start from all offered links (minus the excluded BP) and fail
+//     if even that is unacceptable.
+//  2. Drop-unused pass: route the TM by lease price, then drop every
+//     link the routing (and, for resilience constraints, the
+//     degraded routings) leaves idle, bisecting the drop batch on
+//     failure.
+//  3. Optional batch refinement (MaxChecks > 0): try to drop the
+//     most expensive remaining links in batches within the budget.
+//  4. Shave (unless MaxChecks < 0): make the set incrementally
+//     1-minimal, most expensive link first, via cheap repair-based
+//     drop tests (provision.Shaver).
+//
+// The shave is what makes VCG pivots consistent: the main run and
+// every counterfactual run converge to comparably tight sets, so
+// C(SL_-a) − C(SL) measures the BP's contribution rather than
+// heuristic noise. The whole pipeline is deterministic, so the POC
+// can publish it and every BP can reproduce the outcome.
+func (in *Instance) selectLinks(excludeBP int, warm map[int]bool) (selection, error) {
+	cur := in.offered(excludeBP)
+	opts := in.RouteOpts
+	if warm != nil {
+		// Scale down the routing metric of links in the warm set so
+		// the constructive seed follows the main solution's structure.
+		bias := in.WarmBias
+		if bias <= 0 || bias > 1 {
+			bias = 0.75
+		}
+		base := opts.LinkCost
+		opts.LinkCost = func(l topo.LogicalLink) float64 {
+			c := base(l)
+			if warm[l.ID] {
+				c *= bias
+			}
+			return c
+		}
+	}
+	checks := 0
+	feasible := func(set map[int]bool) bool {
+		checks++
+		ok, _ := provision.Check(in.Network, set, in.TM, in.Constraint, opts)
+		return ok
+	}
+	if !feasible(cur) {
+		// A tight offer set (e.g. a prior auction's minimal selection
+		// re-offered in the collusion experiment) can wedge the greedy
+		// packing even though a feasible packing exists; retry with
+		// more path splits before declaring the set unacceptable.
+		boosted := opts
+		boosted.MaxPaths = boosted.MaxPaths * 4
+		if boosted.MaxPaths <= 0 {
+			boosted.MaxPaths = 48
+		}
+		checks++
+		if ok, _ := provision.Check(in.Network, cur, in.TM, in.Constraint, boosted); !ok {
+			return selection{}, fmt.Errorf("offered set is not acceptable under %v", in.Constraint)
+		}
+		opts = boosted
+	}
+
+	// Pass 1: drop every link idle under the constraint's scenarios.
+	core := provision.CoreLinks(in.Network, cur, in.TM, in.Constraint, opts)
+	var idle []int
+	for id := range cur {
+		if !core[id] {
+			idle = append(idle, id)
+		}
+	}
+	sort.Ints(idle)
+	in.dropBatch(cur, idle, feasible)
+
+	price := in.priceOfLink()
+
+	// Pass 2 (optional): price-ordered batch refinement within the
+	// check budget.
+	if in.MaxChecks > 0 {
+		budget := in.MaxChecks
+		for checks < budget {
+			// Most expensive first.
+			var cand []int
+			for id := range cur {
+				cand = append(cand, id)
+			}
+			sort.Slice(cand, func(i, j int) bool {
+				if price[cand[i]] != price[cand[j]] {
+					return price[cand[i]] > price[cand[j]]
+				}
+				return cand[i] < cand[j]
+			})
+			batch := len(cand) / 8
+			if batch < 1 {
+				batch = 1
+			}
+			dropped := in.dropBatchBudget(cur, cand[:min(batch*2, len(cand))], feasible, budget-checks, &checks)
+			if dropped == 0 {
+				break
+			}
+		}
+	}
+
+	// Pass 3: shave to incremental 1-minimality.
+	if in.MaxChecks >= 0 {
+		if sh, ok := provision.NewShaver(in.Network, cur, in.TM, in.Constraint, opts); ok {
+			sh.Shave(func(link int) float64 { return price[link] }, 0)
+			cur = sh.Include()
+		}
+	}
+
+	return selection{set: cur, cost: in.costOf(cur), checks: checks}, nil
+}
+
+// dropBatch tries to remove the candidate links from set, bisecting
+// on infeasibility. It mutates set in place and returns how many
+// links were removed.
+func (in *Instance) dropBatch(set map[int]bool, cand []int, feasible func(map[int]bool) bool) int {
+	if len(cand) == 0 {
+		return 0
+	}
+	trial := cloneSet(set)
+	for _, id := range cand {
+		delete(trial, id)
+	}
+	if feasible(trial) {
+		for _, id := range cand {
+			delete(set, id)
+		}
+		return len(cand)
+	}
+	if len(cand) == 1 {
+		return 0
+	}
+	mid := len(cand) / 2
+	return in.dropBatch(set, cand[:mid], feasible) + in.dropBatch(set, cand[mid:], feasible)
+}
+
+// dropBatchBudget is dropBatch with an external check budget: it
+// stops descending when spent reaches budget.
+func (in *Instance) dropBatchBudget(set map[int]bool, cand []int, feasible func(map[int]bool) bool, budget int, spent *int) int {
+	if len(cand) == 0 || budget <= 0 {
+		return 0
+	}
+	before := *spent
+	trial := cloneSet(set)
+	for _, id := range cand {
+		delete(trial, id)
+	}
+	if feasible(trial) {
+		for _, id := range cand {
+			delete(set, id)
+		}
+		return len(cand)
+	}
+	if len(cand) == 1 {
+		return 0
+	}
+	mid := len(cand) / 2
+	remaining := budget - (*spent - before)
+	n := in.dropBatchBudget(set, cand[:mid], feasible, remaining, spent)
+	remaining = budget - (*spent - before)
+	return n + in.dropBatchBudget(set, cand[mid:], feasible, remaining, spent)
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package auction
+
+import (
+	"math"
+	"testing"
+
+	"github.com/public-option/poc/internal/provision"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// parallelNet builds n parallel links between two routers, one per
+// BP, all 10 Gbps / 100 km.
+func parallelNet(n int) *topo.POCNetwork {
+	p := &topo.POCNetwork{
+		World:   &topo.World{Cities: make([]topo.City, 2)},
+		Routers: []int{0, 1},
+	}
+	for i := 0; i < n; i++ {
+		p.BPs = append(p.BPs, topo.BP{Name: "bp", CostMult: 1})
+		p.Links = append(p.Links, topo.LogicalLink{
+			ID: i, BP: i, A: 0, B: 1, Capacity: 10, DistanceKm: 100,
+		})
+	}
+	return p
+}
+
+func parallelInstance(prices []float64, demand float64) *Instance {
+	p := parallelNet(len(prices))
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, demand)
+	in := &Instance{Network: p, TM: tm, Constraint: provision.Constraint1}
+	for i, price := range prices {
+		in.Bids = append(in.Bids, Bid{BP: i, Links: []int{i},
+			Cost: AdditiveCost(map[int]float64{i: price})})
+	}
+	return in
+}
+
+// With parallel identical links, the auction must select the cheapest
+// subset that covers the demand and pay each winner up to the
+// cheapest loser's price — the textbook (K+1)-price outcome.
+func TestParallelLinksKPlusOnePrice(t *testing.T) {
+	in := parallelInstance([]float64{10, 20, 30, 40}, 15) // needs 2 links
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Selected[0] || !res.Selected[1] {
+		t.Fatalf("selected = %v, want links 0 and 1", res.Selected)
+	}
+	if res.TotalCost != 30 {
+		t.Fatalf("C(SL) = %v, want 30", res.TotalCost)
+	}
+	// Pivot for BP0: without it the selection is {1,2} at 50 → P0 = 10 + (50−30) = 30.
+	if res.Payments[0] != 30 {
+		t.Fatalf("P_0 = %v, want 30", res.Payments[0])
+	}
+	// Same replacement logic for BP1.
+	if res.Payments[1] != 30 {
+		t.Fatalf("P_1 = %v, want 30", res.Payments[1])
+	}
+	if res.Payments[2] != 0 || res.Payments[3] != 0 {
+		t.Fatalf("losers paid: %v", res.Payments)
+	}
+}
+
+func TestWarmBiasKnobAccepted(t *testing.T) {
+	for _, bias := range []float64{0.1, 0.5, 1.0, 0 /* default */, 1.5 /* clamped to default */} {
+		in := parallelInstance([]float64{10, 20, 30}, 15)
+		in.WarmBias = bias
+		res, err := in.Run()
+		if err != nil {
+			t.Fatalf("bias %v: %v", bias, err)
+		}
+		// The small instance is exact regardless of bias.
+		if res.TotalCost != 30 {
+			t.Fatalf("bias %v: C(SL) = %v", bias, res.TotalCost)
+		}
+		for a := range res.Payments {
+			if res.Payments[a] < res.BPCost[a]-1e-9 {
+				t.Fatalf("bias %v: IR violated for BP %d", bias, a)
+			}
+		}
+	}
+}
+
+func TestMaxChecksVariantsAgreeOnSmallInstance(t *testing.T) {
+	var costs []float64
+	for _, mc := range []int{-1, 0, 24} {
+		in := parallelInstance([]float64{10, 20, 30, 40}, 15)
+		in.MaxChecks = mc
+		res, err := in.Run()
+		if err != nil {
+			t.Fatalf("MaxChecks %d: %v", mc, err)
+		}
+		costs = append(costs, res.TotalCost)
+	}
+	// Constructive (-1) may keep extra links; shave and refine+shave
+	// must both reach the 30 optimum, and never beat it.
+	if costs[1] != 30 || costs[2] != 30 {
+		t.Fatalf("costs = %v", costs)
+	}
+	if costs[0] < 30 {
+		t.Fatalf("constructive beat the optimum: %v", costs[0])
+	}
+}
+
+func TestAggregatePaymentsCoverCosts(t *testing.T) {
+	// IR in aggregate: Σ P_a >= Σ C_a(SL_a) = C(SL) − virtual cost.
+	in := parallelInstance([]float64{10, 12, 14, 16, 18}, 25)
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumP, sumC float64
+	for a := range res.Payments {
+		sumP += res.Payments[a]
+		sumC += res.BPCost[a]
+	}
+	if sumP < sumC-1e-9 {
+		t.Fatalf("payments %v below costs %v", sumP, sumC)
+	}
+	if math.Abs(sumC+res.VirtualCost-res.TotalCost) > 1e-9 {
+		t.Fatalf("cost accounting broken: %v + %v != %v", sumC, res.VirtualCost, res.TotalCost)
+	}
+}
+
+func TestRunFigure2TopBPs(t *testing.T) {
+	p := parallelNet(4)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 15)
+	var bids []Bid
+	for i := 0; i < 4; i++ {
+		bids = append(bids, Bid{BP: i, Links: []int{i},
+			Cost: AdditiveCost(map[int]float64{i: float64(10 * (i + 1))})})
+	}
+	res, err := RunFigure2(Figure2Config{
+		Network: p, TM: tm, Bids: bids, TopBPs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// Rows carry the per-constraint PoB of the largest-share BPs.
+	for _, row := range res.Rows {
+		if row.Share <= 0 {
+			t.Fatalf("row share = %v", row.Share)
+		}
+	}
+}
+
+func TestRunFigure2PropagatesErrors(t *testing.T) {
+	p := parallelNet(1) // single BP: A(OL−L_0) empty
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 5)
+	_, err := RunFigure2(Figure2Config{
+		Network: p, TM: tm,
+		Bids: []Bid{{BP: 0, Links: []int{0}, Cost: AdditiveCost(map[int]float64{0: 10})}},
+	})
+	if err == nil {
+		t.Fatal("expected error for irreplaceable BP")
+	}
+}
+
+func TestNonAdditivePricingAffectsSelection(t *testing.T) {
+	// BP0 offers two links with a steep bundle discount; BP1 two
+	// additive links. Demand needs two links. The discounted bundle
+	// (30×2×0.7 = 42) beats every alternative pair (25+25 = 50,
+	// 30+25 = 55).
+	p := parallelNet(4)
+	p.Links[0].BP = 0
+	p.Links[1].BP = 0
+	p.Links[2].BP = 1
+	p.Links[3].BP = 1
+	p.BPs = p.BPs[:2]
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 15)
+	in := &Instance{
+		Network: p, TM: tm, Constraint: provision.Constraint1,
+		Bids: []Bid{
+			{BP: 0, Links: []int{0, 1}, Cost: VolumeDiscountCost(map[int]float64{0: 30, 1: 30}, 0.3, 0.3)},
+			{BP: 1, Links: []int{2, 3}, Cost: AdditiveCost(map[int]float64{2: 25, 3: 25})},
+		},
+	}
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-42) > 1e-9 {
+		t.Fatalf("C(SL) = %v, want discounted bundle at 42", res.TotalCost)
+	}
+	if !res.Selected[0] || !res.Selected[1] || res.Selected[2] || res.Selected[3] {
+		t.Fatalf("selected = %v, want BP0's bundle", res.Selected)
+	}
+}

@@ -1,0 +1,102 @@
+package auction
+
+import (
+	"testing"
+
+	"github.com/public-option/poc/internal/provision"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// BuildFigure2Instance assembles the paper-scale Figure 2 experiment:
+// the default synthetic zoo (20 BPs, ~4700 logical links), a gravity
+// traffic matrix, standard bids, and an external ISP attached at four
+// major hubs. Exported for reuse by benches, examples and cmd tools
+// via the test package only; the public API exposes the same via
+// package poc.
+func buildFigure2Instance(tb testing.TB, scale float64) Figure2Config {
+	tb.Helper()
+	w := topo.DefaultWorld()
+	zoo := topo.DefaultZooConfig()
+	if scale < 1 {
+		zoo.NumNetworks = int(float64(zoo.NumNetworks) * scale)
+	}
+	nets := topo.GenerateZoo(w, zoo)
+	p := topo.BuildPOCNetwork(w, nets, 20, 4, 0)
+	gcfg := traffic.DefaultGravityConfig()
+	if scale < 1 {
+		gcfg.TotalGbps *= scale * scale
+	}
+	tm := traffic.Gravity(len(p.Routers), gcfg,
+		func(i int) float64 { return w.Cities[p.Routers[i]].Population },
+		func(i, j int) float64 { return w.Distance(p.Routers[i], p.Routers[j]) })
+	lp := DefaultLeasePricing()
+	bids := StandardBids(p, lp)
+	// External ISP attached at four hubs; expensive fallback mesh.
+	var attach []int
+	for _, name := range []string{"NewYork", "London", "Tokyo", "SaoPaulo"} {
+		if r := p.RouterIndex(w.CityIndex(name)); r >= 0 {
+			attach = append(attach, r)
+		}
+	}
+	if len(attach) < 2 {
+		// Degenerate small-scale instance: attach at the first routers.
+		attach = []int{0, len(p.Routers) / 2}
+	}
+	virtual := StandardVirtualLinks(p, attach, 400, 3.0, lp)
+	return Figure2Config{
+		Network:   p,
+		TM:        tm,
+		Bids:      bids,
+		Virtual:   virtual,
+		RouteOpts: provision.Options{FailureScenarios: 4},
+		MaxChecks: 0,
+	}
+}
+
+func TestRunFigure2SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure2 is slow")
+	}
+	cfg := buildFigure2Instance(t, 0.35)
+	res, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	// Rows ordered by decreasing share.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Share > res.Rows[i-1].Share {
+			t.Fatalf("rows not ordered by share: %v", res.Rows)
+		}
+	}
+	for i, row := range res.Rows {
+		for c := 0; c < 3; c++ {
+			if row.PoB[c] < 0 {
+				t.Fatalf("row %d constraint %d: negative PoB %v", i, c+1, row.PoB[c])
+			}
+			if row.PoB[c] > 5 {
+				t.Fatalf("row %d constraint %d: implausible PoB %v", i, c+1, row.PoB[c])
+			}
+		}
+		t.Logf("%s share=%.1f%% PoB = %.3f / %.3f / %.3f",
+			row.Name, 100*row.Share, row.PoB[0], row.PoB[1], row.PoB[2])
+	}
+	// The PoB margins must vary across BPs (the paper highlights "the
+	// high variation in the PoB").
+	same := true
+	for _, row := range res.Rows[1:] {
+		if row.PoB != res.Rows[0].PoB {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("PoB identical across BPs; expected variation")
+	}
+	for c := 0; c < 3; c++ {
+		t.Logf("constraint #%d: C(SL)=%.0f checks=%d selected=%d links",
+			c+1, res.Results[c].TotalCost, res.Results[c].Checks, len(res.Results[c].Selected))
+	}
+}

@@ -1,0 +1,373 @@
+// Package core implements the POC operator: the nonprofit that runs
+// the paper's Public Option for the Core. It drives the full lease
+// lifecycle —
+//
+//	collect bids → run the VCG auction → provision the selected
+//	links → activate the fabric → attach LMPs/CSPs under the
+//	network-neutrality terms of service → carry traffic → bill
+//	usage at break-even prices → settle with BPs and external ISPs
+//
+// — exposing one type, POC, whose methods must be called in lifecycle
+// order (they return errors otherwise, never panic).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/public-option/poc/internal/auction"
+	"github.com/public-option/poc/internal/edge"
+	"github.com/public-option/poc/internal/market"
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/peering"
+	"github.com/public-option/poc/internal/provision"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// Config assembles a POC deployment.
+type Config struct {
+	// Network is the offer graph: routers and all offered links.
+	Network *topo.POCNetwork
+	// TM is the upper-bound traffic matrix the POC provisions for.
+	TM *traffic.Matrix
+	// Constraint selects the acceptability family for the auction
+	// (Constraint2 is the sensible production default: survive any
+	// single path failure).
+	Constraint provision.Constraint
+	// RouteOpts tunes feasibility routing.
+	RouteOpts provision.Options
+	// MaxChecks bounds the auction's winner-determination budget.
+	MaxChecks int
+	// ReserveMargin in [0,1) pads the break-even price for
+	// contingencies; the POC is a nonprofit, not a charity (§1.2).
+	ReserveMargin float64
+}
+
+// phase tracks lifecycle progress.
+type phase int
+
+const (
+	phaseBidding phase = iota
+	phaseAuctioned
+	phaseActive
+)
+
+// POC is the operator state machine.
+type POC struct {
+	cfg     Config
+	phase   phase
+	bids    []auction.Bid
+	virtual []auction.VirtualLink
+
+	auctionResult *auction.Result
+	fabric        *netsim.Fabric
+
+	ledger   *market.Ledger
+	pocID    market.EntityID
+	bpIDs    []market.EntityID
+	ispID    market.EntityID
+	memberID map[string]market.EntityID // LMP/CSP name -> ledger entity
+
+	endpoints map[string]netsim.EndpointID
+	policies  map[string]peering.Policy
+	suspended map[string]bool
+	billedGB  map[string]float64 // usage already billed, per member
+
+	recalled     map[int]bool // links recalled by their BPs
+	recalledCost float64      // monthly payment share no longer owed
+	edgeServices map[string]*edge.Service
+	qos          map[string]QoSOffering
+	epochs       int
+}
+
+// New creates a POC in the bidding phase.
+func New(cfg Config) (*POC, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if cfg.TM == nil {
+		return nil, fmt.Errorf("core: nil traffic matrix")
+	}
+	if cfg.Constraint == 0 {
+		cfg.Constraint = provision.Constraint2
+	}
+	if cfg.ReserveMargin < 0 || cfg.ReserveMargin >= 1 {
+		return nil, fmt.Errorf("core: reserve margin %v out of [0,1)", cfg.ReserveMargin)
+	}
+	p := &POC{
+		cfg:       cfg,
+		ledger:    &market.Ledger{},
+		memberID:  map[string]market.EntityID{},
+		endpoints: map[string]netsim.EndpointID{},
+		policies:  map[string]peering.Policy{},
+		suspended: map[string]bool{},
+		billedGB:  map[string]float64{},
+		recalled:  map[int]bool{},
+	}
+	p.pocID = p.ledger.AddEntity(market.POC, "poc")
+	for i := range cfg.Network.BPs {
+		p.bpIDs = append(p.bpIDs, p.ledger.AddEntity(market.BandwidthProvider, cfg.Network.BPs[i].Name))
+	}
+	p.ispID = p.ledger.AddEntity(market.ExternalISP, "external-isp")
+	return p, nil
+}
+
+// SubmitBid registers a BP's bid during the bidding phase.
+func (p *POC) SubmitBid(b auction.Bid) error {
+	if p.phase != phaseBidding {
+		return fmt.Errorf("core: bids are closed")
+	}
+	if err := b.Validate(p.cfg.Network); err != nil {
+		return err
+	}
+	for _, existing := range p.bids {
+		if existing.BP == b.BP {
+			return fmt.Errorf("core: BP %d already bid", b.BP)
+		}
+	}
+	p.bids = append(p.bids, b)
+	return nil
+}
+
+// AddVirtualLinks registers external-ISP virtual links.
+func (p *POC) AddVirtualLinks(vls []auction.VirtualLink) error {
+	if p.phase != phaseBidding {
+		return fmt.Errorf("core: bids are closed")
+	}
+	p.virtual = append(p.virtual, vls...)
+	return nil
+}
+
+// RunAuction closes bidding and runs the VCG auction.
+func (p *POC) RunAuction() (*auction.Result, error) {
+	if p.phase != phaseBidding {
+		return nil, fmt.Errorf("core: auction already ran")
+	}
+	if len(p.bids) == 0 {
+		return nil, fmt.Errorf("core: no bids")
+	}
+	inst := &auction.Instance{
+		Network:    p.cfg.Network,
+		Bids:       p.bids,
+		Virtual:    p.virtual,
+		TM:         p.cfg.TM,
+		Constraint: p.cfg.Constraint,
+		RouteOpts:  p.cfg.RouteOpts,
+		MaxChecks:  p.cfg.MaxChecks,
+	}
+	res, err := inst.Run()
+	if err != nil {
+		return nil, err
+	}
+	p.auctionResult = res
+	p.phase = phaseAuctioned
+	return res, nil
+}
+
+// Activate builds the fabric over the auctioned link set.
+func (p *POC) Activate() error {
+	if p.phase != phaseAuctioned {
+		return fmt.Errorf("core: activate requires a completed auction")
+	}
+	p.fabric = netsim.New(p.cfg.Network, p.auctionResult.Selected)
+	p.phase = phaseActive
+	return nil
+}
+
+// Fabric exposes the active data plane (nil before Activate).
+func (p *POC) Fabric() *netsim.Fabric { return p.fabric }
+
+// AuctionResult exposes the auction outcome (nil before RunAuction).
+func (p *POC) AuctionResult() *auction.Result { return p.auctionResult }
+
+// Ledger exposes the POC's books for inspection.
+func (p *POC) Ledger() *market.Ledger { return p.ledger }
+
+// AttachLMP admits a last-mile provider at a router, subject to the
+// §3.4 terms of service: the LMP's declared traffic policy must pass
+// the neutrality audit.
+func (p *POC) AttachLMP(name string, router int, policy peering.Policy) (netsim.EndpointID, error) {
+	if p.phase != phaseActive {
+		return 0, fmt.Errorf("core: POC not active")
+	}
+	policy.LMP = name
+	if vs := peering.Audit(policy); len(vs) > 0 {
+		return 0, fmt.Errorf("core: %s violates the terms of service: %v", name, vs[0])
+	}
+	id, err := p.fabric.Attach(name, netsim.LMPEndpoint, router)
+	if err != nil {
+		return 0, err
+	}
+	p.endpoints[name] = id
+	p.policies[name] = policy
+	p.memberID[name] = p.ledger.AddEntity(market.LastMileProvider, name)
+	return id, nil
+}
+
+// AttachCSP admits a directly-attached content provider. CSPs have no
+// peering policy to audit (they terminate no third-party traffic) but
+// pay for access like every member (§3.2).
+func (p *POC) AttachCSP(name string, router int) (netsim.EndpointID, error) {
+	if p.phase != phaseActive {
+		return 0, fmt.Errorf("core: POC not active")
+	}
+	id, err := p.fabric.Attach(name, netsim.CSPEndpoint, router)
+	if err != nil {
+		return 0, err
+	}
+	p.endpoints[name] = id
+	p.memberID[name] = p.ledger.AddEntity(market.ContentProvider, name)
+	return id, nil
+}
+
+// UpdatePolicy replaces an attached LMP's declared policy (it is
+// re-audited at the next EnforceTerms run, mirroring the
+// contract-then-audit flow of real terms of service).
+func (p *POC) UpdatePolicy(name string, policy peering.Policy) error {
+	if _, ok := p.policies[name]; !ok {
+		return fmt.Errorf("core: %s is not an attached LMP", name)
+	}
+	policy.LMP = name
+	p.policies[name] = policy
+	return nil
+}
+
+// EnforceTerms audits every attached LMP's policy and suspends
+// violators (their flows are not torn down here; operators act on the
+// returned report). It returns all violations found.
+func (p *POC) EnforceTerms() []peering.Violation {
+	var names []string
+	for n := range p.policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []peering.Violation
+	for _, n := range names {
+		vs := peering.Audit(p.policies[n])
+		if len(vs) > 0 {
+			p.suspended[n] = true
+			out = append(out, vs...)
+		}
+	}
+	return out
+}
+
+// Suspended reports whether a member is suspended for terms
+// violations.
+func (p *POC) Suspended(name string) bool { return p.suspended[name] }
+
+// StartFlow admits traffic between two attached members. Suspended
+// members cannot start flows.
+func (p *POC) StartFlow(src, dst string, gbps float64, class netsim.Class) (*netsim.Flow, error) {
+	if p.phase != phaseActive {
+		return nil, fmt.Errorf("core: POC not active")
+	}
+	if p.suspended[src] || p.suspended[dst] {
+		return nil, fmt.Errorf("core: member suspended for terms-of-service violations")
+	}
+	sid, ok := p.endpoints[src]
+	if !ok {
+		return nil, fmt.Errorf("core: %q not attached", src)
+	}
+	did, ok := p.endpoints[dst]
+	if !ok {
+		return nil, fmt.Errorf("core: %q not attached", dst)
+	}
+	return p.fabric.StartFlow(sid, did, gbps, class)
+}
+
+// EpochReport summarizes one billing epoch.
+type EpochReport struct {
+	Epoch        int
+	LeaseCost    float64 // paid to BPs (auction payments)
+	VirtualCost  float64 // paid to the external ISP (contracts)
+	UsageGB      map[string]float64
+	PricePerGB   float64
+	Revenue      float64
+	POCNet       float64 // revenue − costs this epoch
+	MemberCharge map[string]float64
+}
+
+// BillEpoch advances simulated time by the given seconds, bills every
+// attached member at the break-even usage price, pays the BPs their
+// auction payments (prorated from monthly to the epoch length) and
+// the external ISP its contract cost, and closes the ledger epoch.
+func (p *POC) BillEpoch(seconds float64) (*EpochReport, error) {
+	if p.phase != phaseActive {
+		return nil, fmt.Errorf("core: POC not active")
+	}
+	if seconds <= 0 {
+		return nil, fmt.Errorf("core: non-positive epoch length")
+	}
+	p.fabric.Tick(seconds)
+
+	const monthSeconds = 30 * 24 * 3600.0
+	frac := seconds / monthSeconds
+
+	rep := &EpochReport{
+		Epoch:        p.epochs,
+		UsageGB:      map[string]float64{},
+		MemberCharge: map[string]float64{},
+	}
+	// Costs: prorated auction payments (minus the shares of links
+	// their BPs recalled) + virtual contracts.
+	recalledShare := make([]float64, len(p.auctionResult.Payments))
+	for id := range p.recalled {
+		recalledShare[p.cfg.Network.Links[id].BP] += p.linkPaymentShare(id)
+	}
+	for a, pay := range p.auctionResult.Payments {
+		amt := (pay - recalledShare[a]) * frac
+		if amt <= 0 {
+			continue
+		}
+		if err := p.ledger.Pay(p.pocID, p.bpIDs[a], market.LinkLease, amt, "prorated auction payment"); err != nil {
+			return nil, err
+		}
+		rep.LeaseCost += amt
+	}
+	if vc := p.auctionResult.VirtualCost * frac; vc > 0 {
+		if err := p.ledger.Pay(p.pocID, p.ispID, market.ISPContract, vc, "prorated contract"); err != nil {
+			return nil, err
+		}
+		rep.VirtualCost = vc
+	}
+
+	// Usage per member since the last billing run.
+	usage := p.fabric.UsageByEndpoint()
+	total := 0.0
+	for name, eid := range p.endpoints {
+		gb := usage[eid] - p.billedGB[name]
+		if gb < 0 {
+			gb = 0
+		}
+		rep.UsageGB[name] = gb
+		total += gb
+	}
+	cost := rep.LeaseCost + rep.VirtualCost
+	if total > 0 {
+		plan, err := market.BreakEvenUsagePlan(cost, total, p.cfg.ReserveMargin)
+		if err != nil {
+			return nil, err
+		}
+		rep.PricePerGB = plan.PerGB
+		for name, gb := range rep.UsageGB {
+			if gb == 0 {
+				continue
+			}
+			charge := plan.Charge(gb)
+			if err := p.ledger.Pay(p.memberID[name], p.pocID, market.POCAccess, charge, "usage"); err != nil {
+				return nil, err
+			}
+			rep.MemberCharge[name] = charge
+			rep.Revenue += charge
+		}
+	}
+	for name, gb := range rep.UsageGB {
+		p.billedGB[name] += gb
+	}
+	rep.POCNet = p.ledger.POCBalance(p.ledger.Epoch())
+	p.ledger.CloseEpoch()
+	p.epochs++
+	return rep, nil
+}

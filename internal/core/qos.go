@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/public-option/poc/internal/market"
+	"github.com/public-option/poc/internal/netsim"
+)
+
+// §3.1: the POC may offer "different levels of quality-of-service",
+// provided they are "openly offered, so that users could choose their
+// desired level of service and pay the resulting price". This file
+// implements that: a public QoS catalog with posted per-Gbps-month
+// prices, purchases billed through the ledger, and a latency-bound
+// SLA the operator can verify per flow. What remains impossible — by
+// construction, not policy — is granting a class to one member on
+// terms unavailable to another.
+
+// QoSOffering is one catalog entry.
+type QoSOffering struct {
+	Class netsim.Class
+	// MaxLatencyKm is the propagation-distance SLA the class
+	// advertises (0 = no latency promise).
+	MaxLatencyKm float64
+}
+
+// PublishQoS adds a class to the public catalog. The price must be
+// positive (a free premium class is indistinguishable from the
+// arbitrary preference §3.4 bans) and the weight at least 1.
+func (p *POC) PublishQoS(class netsim.Class, maxLatencyKm float64) error {
+	if class.Name == "" {
+		return fmt.Errorf("core: QoS class needs a name")
+	}
+	if class.Weight < 1 {
+		return fmt.Errorf("core: QoS weight %v < 1", class.Weight)
+	}
+	if class.Price <= 0 {
+		return fmt.Errorf("core: QoS class %q needs a posted positive price", class.Name)
+	}
+	if maxLatencyKm < 0 {
+		return fmt.Errorf("core: negative latency bound")
+	}
+	if p.qos == nil {
+		p.qos = map[string]QoSOffering{}
+	}
+	if _, dup := p.qos[class.Name]; dup {
+		return fmt.Errorf("core: QoS class %q already published", class.Name)
+	}
+	p.qos[class.Name] = QoSOffering{Class: class, MaxLatencyKm: maxLatencyKm}
+	return nil
+}
+
+// QoSCatalog returns the published offerings sorted by name — the
+// open price list any member can consult.
+func (p *POC) QoSCatalog() []QoSOffering {
+	var names []string
+	for n := range p.qos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]QoSOffering, 0, len(names))
+	for _, n := range names {
+		out = append(out, p.qos[n])
+	}
+	return out
+}
+
+// StartQoSFlow admits a flow under a published class, charging the
+// buyer the posted price × reserved Gbps (per month, prorated at
+// billing time this is simplified to an upfront monthly charge). The
+// same call with the same arguments works identically for every
+// member — openness by construction.
+func (p *POC) StartQoSFlow(src, dst, className string, gbps float64) (*netsim.Flow, error) {
+	off, ok := p.qos[className]
+	if !ok {
+		return nil, fmt.Errorf("core: QoS class %q is not in the catalog", className)
+	}
+	fl, err := p.StartFlow(src, dst, gbps, off.Class)
+	if err != nil {
+		return nil, err
+	}
+	buyer, ok := p.memberID[src]
+	if !ok {
+		// StartFlow validated membership; this is defensive.
+		return nil, fmt.Errorf("core: unknown buyer %q", src)
+	}
+	// SLA check before money moves: the POC cannot sell an SLA it
+	// cannot meet at admission time.
+	if off.MaxLatencyKm > 0 && fl.LatencyKm > off.MaxLatencyKm {
+		_ = p.fabric.StopFlow(fl.ID)
+		return nil, fmt.Errorf("core: no path within the %s SLA (%.0f km > %.0f km)",
+			className, fl.LatencyKm, off.MaxLatencyKm)
+	}
+	charge := off.Class.Price * fl.Allocated
+	if charge > 0 {
+		if err := p.ledger.Pay(buyer, p.pocID, market.EdgeServiceFee, charge,
+			fmt.Sprintf("QoS %s for %.1f Gbps", className, fl.Allocated)); err != nil {
+			_ = p.fabric.StopFlow(fl.ID)
+			return nil, err
+		}
+	}
+	return fl, nil
+}
+
+// SLAViolation reports one flow exceeding its class's latency bound
+// (e.g. after failure-induced rerouting).
+type SLAViolation struct {
+	Flow      netsim.FlowID
+	Class     string
+	LatencyKm float64
+	BoundKm   float64
+}
+
+// CheckSLAs audits every admitted flow against its class's latency
+// bound and returns the violations — the operator's signal to
+// re-provision or compensate after failures.
+func (p *POC) CheckSLAs() []SLAViolation {
+	if p.fabric == nil {
+		return nil
+	}
+	var out []SLAViolation
+	for _, fl := range p.fabric.Flows() {
+		off, ok := p.qos[fl.Class.Name]
+		if !ok || off.MaxLatencyKm <= 0 {
+			continue
+		}
+		lat := fl.LatencyKm
+		if fl.Allocated == 0 {
+			// An outage violates any latency promise.
+			lat = math.Inf(1)
+		}
+		if lat > off.MaxLatencyKm {
+			out = append(out, SLAViolation{
+				Flow: fl.ID, Class: fl.Class.Name,
+				LatencyKm: lat, BoundKm: off.MaxLatencyKm,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/public-option/poc/internal/market"
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/peering"
+)
+
+func TestPublishQoSValidation(t *testing.T) {
+	p := activePOC(t)
+	cases := []struct {
+		name  string
+		class netsim.Class
+		bound float64
+	}{
+		{"unnamed", netsim.Class{Weight: 2, Price: 1}, 0},
+		{"weight", netsim.Class{Name: "x", Weight: 0.5, Price: 1}, 0},
+		{"free", netsim.Class{Name: "x", Weight: 2, Price: 0}, 0},
+		{"negative bound", netsim.Class{Name: "x", Weight: 2, Price: 1}, -1},
+	}
+	for _, c := range cases {
+		if err := p.PublishQoS(c.class, c.bound); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	gold := netsim.Class{Name: "gold", Weight: 4, Price: 10}
+	if err := p.PublishQoS(gold, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PublishQoS(gold, 500); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	if got := p.QoSCatalog(); len(got) != 1 || got[0].Class.Name != "gold" {
+		t.Fatalf("catalog = %+v", got)
+	}
+}
+
+func TestStartQoSFlowChargesPostedPrice(t *testing.T) {
+	p := activePOC(t)
+	if _, err := p.AttachLMP("lmp-a", 0, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AttachLMP("lmp-b", 2, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PublishQoS(netsim.Class{Name: "gold", Weight: 4, Price: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := p.StartQoSFlow("lmp-a", "lmp-b", "gold", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Class.Name != "gold" {
+		t.Fatalf("class = %v", fl.Class)
+	}
+	fees := p.Ledger().TotalsByKind(-1)[market.EdgeServiceFee]
+	if fees != 50 { // 10 × 5 Gbps
+		t.Fatalf("QoS fees = %v, want 50", fees)
+	}
+	// Unknown class rejected.
+	if _, err := p.StartQoSFlow("lmp-a", "lmp-b", "platinum", 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestQoSSLARejectionAndAudit(t *testing.T) {
+	p := activePOC(t)
+	if _, err := p.AttachLMP("lmp-a", 0, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AttachLMP("lmp-b", 2, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	// SLA tighter than any path 0→2 (min 200 km on the ring): reject.
+	if err := p.PublishQoS(netsim.Class{Name: "ultra", Weight: 8, Price: 20}, 150); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartQoSFlow("lmp-a", "lmp-b", "ultra", 1); err == nil {
+		t.Fatal("SLA-violating admission accepted")
+	} else if !strings.Contains(err.Error(), "SLA") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// A feasible SLA admits; failure-induced rerouting can then break
+	// it, which CheckSLAs reports.
+	if err := p.PublishQoS(netsim.Class{Name: "std", Weight: 2, Price: 5}, 220); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := p.StartQoSFlow("lmp-a", "lmp-b", "std", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := p.CheckSLAs(); len(vs) != 0 {
+		t.Fatalf("fresh admission already violating: %+v", vs)
+	}
+	// Fail the flow's first link; the reroute is longer than 220 km.
+	p.Fabric().FailLink(fl.Links[0])
+	vs := p.CheckSLAs()
+	if len(vs) != 1 || vs[0].Class != "std" {
+		t.Fatalf("violations = %+v", vs)
+	}
+	if vs[0].LatencyKm <= vs[0].BoundKm {
+		t.Fatalf("violation not actually violating: %+v", vs[0])
+	}
+}
+
+func TestQoSSLARejectionDoesNotCharge(t *testing.T) {
+	p := activePOC(t)
+	if _, err := p.AttachLMP("lmp-a", 0, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AttachLMP("lmp-b", 2, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PublishQoS(netsim.Class{Name: "ultra", Weight: 8, Price: 20}, 150); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartQoSFlow("lmp-a", "lmp-b", "ultra", 1); err == nil {
+		t.Fatal("SLA-violating admission accepted")
+	}
+	if fees := p.Ledger().TotalsByKind(-1)[market.EdgeServiceFee]; fees != 0 {
+		t.Fatalf("rejected admission still charged %v", fees)
+	}
+	if n := len(p.Fabric().Flows()); n != 0 {
+		t.Fatalf("%d flows left after rejection", n)
+	}
+}

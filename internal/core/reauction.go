@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/public-option/poc/internal/auction"
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// §3.3 builds the POC from *temporarily* leased links ("lease out (on
+// a temporary basis) their excess bandwidth"), which implies the POC
+// re-runs its auction as demand shifts. Reauction implements that
+// lifecycle step: a new traffic matrix, a fresh auction over the
+// standing bids, a link-set diff, and a fabric migration that re-admits
+// every attachment and flow onto the new selection.
+
+// ReauctionReport describes one re-leasing cycle.
+type ReauctionReport struct {
+	// Added and Dropped are the link-set diff against the previous
+	// selection, sorted.
+	Added   []int
+	Dropped []int
+	// Result is the new auction outcome.
+	Result *auction.Result
+	// FlowsKept counts flows re-admitted at full demand on the new
+	// fabric; FlowsDegraded those re-admitted below their previous
+	// allocation; FlowsLost those that could not be re-admitted.
+	FlowsKept     int
+	FlowsDegraded int
+	FlowsLost     int
+}
+
+// Reauction re-runs the auction against a new traffic matrix using
+// the standing bids and virtual links, then migrates the fabric: all
+// attachments are preserved and every flow is re-admitted onto the
+// new link set (in descending QoS weight, then flow ID). Recalled
+// links stay excluded. Billing for subsequent epochs uses the new
+// payments.
+func (p *POC) Reauction(tm *traffic.Matrix) (*ReauctionReport, error) {
+	if p.phase != phaseActive {
+		return nil, fmt.Errorf("core: reauction requires an active POC")
+	}
+	if tm == nil {
+		return nil, fmt.Errorf("core: nil traffic matrix")
+	}
+	if tm.Size() != len(p.cfg.Network.Routers) {
+		return nil, fmt.Errorf("core: traffic matrix size %d != %d routers",
+			tm.Size(), len(p.cfg.Network.Routers))
+	}
+
+	// Exclude recalled links from every bid: their owners took them
+	// back, so they are not on offer this cycle.
+	bids := make([]auction.Bid, len(p.bids))
+	for i, b := range p.bids {
+		var keep []int
+		for _, id := range b.Links {
+			if !p.recalled[id] {
+				keep = append(keep, id)
+			}
+		}
+		bids[i] = auction.Bid{BP: b.BP, Links: keep, Cost: b.Cost}
+	}
+
+	inst := &auction.Instance{
+		Network:    p.cfg.Network,
+		Bids:       bids,
+		Virtual:    p.virtual,
+		TM:         tm,
+		Constraint: p.cfg.Constraint,
+		RouteOpts:  p.cfg.RouteOpts,
+		MaxChecks:  p.cfg.MaxChecks,
+	}
+	res, err := inst.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: reauction: %w", err)
+	}
+
+	rep := &ReauctionReport{Result: res}
+	for id := range res.Selected {
+		if !p.auctionResult.Selected[id] {
+			rep.Added = append(rep.Added, id)
+		}
+	}
+	for id := range p.auctionResult.Selected {
+		if !res.Selected[id] {
+			rep.Dropped = append(rep.Dropped, id)
+		}
+	}
+	sort.Ints(rep.Added)
+	sort.Ints(rep.Dropped)
+
+	// Migrate the fabric: rebuild over the new selection, re-attach
+	// every endpoint, re-admit every flow.
+	oldFabric := p.fabric
+	oldFlows := oldFabric.Flows()
+	newFabric := netsim.New(p.cfg.Network, res.Selected)
+
+	oldEndpoints := oldFabric.Endpoints()
+	idMap := make(map[netsim.EndpointID]netsim.EndpointID, len(oldEndpoints))
+	for _, ep := range oldEndpoints {
+		nid, err := newFabric.Attach(ep.Name, ep.Kind, ep.Router)
+		if err != nil {
+			return nil, fmt.Errorf("core: migrating %q: %w", ep.Name, err)
+		}
+		idMap[ep.ID] = nid
+	}
+	// Highest class first, then admission order.
+	sort.Slice(oldFlows, func(i, j int) bool {
+		if oldFlows[i].Class.Weight != oldFlows[j].Class.Weight {
+			return oldFlows[i].Class.Weight > oldFlows[j].Class.Weight
+		}
+		return oldFlows[i].ID < oldFlows[j].ID
+	})
+	for _, fl := range oldFlows {
+		nf, err := newFabric.StartFlow(idMap[fl.Src], idMap[fl.Dst], fl.Demand, fl.Class)
+		switch {
+		case err != nil:
+			rep.FlowsLost++
+		case nf.Allocated >= fl.Allocated-1e-9:
+			rep.FlowsKept++
+		default:
+			rep.FlowsDegraded++
+		}
+	}
+
+	// Endpoint IDs are preserved by construction (attachment order);
+	// verify rather than assume.
+	for old, nid := range idMap {
+		if old != nid {
+			return nil, fmt.Errorf("core: endpoint id drift during migration (%d -> %d)", old, nid)
+		}
+	}
+
+	p.auctionResult = res
+	p.fabric = newFabric
+	// Usage counters restart with the new fabric; already-billed
+	// volume must reset with them.
+	for name := range p.billedGB {
+		p.billedGB[name] = 0
+	}
+	return rep, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/peering"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+func TestReauctionValidation(t *testing.T) {
+	p := newPOC(t)
+	if _, err := p.Reauction(ringTM()); err == nil {
+		t.Fatal("reauction before activation accepted")
+	}
+	a := activePOC(t)
+	if _, err := a.Reauction(nil); err == nil {
+		t.Fatal("nil TM accepted")
+	}
+	if _, err := a.Reauction(traffic.NewMatrix(99)); err == nil {
+		t.Fatal("mismatched TM accepted")
+	}
+}
+
+func TestReauctionMigratesFlows(t *testing.T) {
+	p := activePOC(t)
+	if _, err := p.AttachLMP("lmp-a", 0, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AttachLMP("lmp-b", 2, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := p.StartFlow("lmp-a", "lmp-b", 5, netsim.BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fl
+
+	// Double the demand between routers 0 and 2.
+	tm := ringTM()
+	tm.Set(0, 2, 40)
+	tm.Set(2, 0, 40)
+	rep, err := p.Reauction(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result == nil || len(rep.Result.Selected) == 0 {
+		t.Fatal("empty reauction result")
+	}
+	if rep.FlowsKept+rep.FlowsDegraded+rep.FlowsLost != 1 {
+		t.Fatalf("flow accounting = %+v", rep)
+	}
+	if rep.FlowsLost != 0 {
+		t.Fatal("flow lost despite larger provisioning")
+	}
+	// The migrated flow lives on the new fabric under the same members.
+	if _, err := p.StartFlow("lmp-a", "lmp-b", 1, netsim.BestEffort); err != nil {
+		t.Fatalf("post-migration flow failed: %v", err)
+	}
+	// Billing still works and reflects the new payments.
+	if _, err := p.BillEpoch(3600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReauctionExcludesRecalledLinks(t *testing.T) {
+	p := activePOC(t)
+	link, _ := selectedLinkWithFlow(t, p)
+	if _, err := p.RecallLink(link, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A light matrix between multiply-connected routers keeps
+	// A(OL−L_a) nonempty with one link recalled on the small ring
+	// fixture (router 3 can become single-homed after the recall).
+	tm := traffic.NewMatrix(4)
+	tm.Set(0, 1, 5)
+	tm.Set(1, 0, 5)
+	rep, err := p.Reauction(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Selected[link] {
+		t.Fatal("reauction re-selected a recalled link")
+	}
+}
+
+func TestReauctionUsageCountersReset(t *testing.T) {
+	p := activePOC(t)
+	if _, err := p.AttachLMP("lmp-a", 0, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AttachLMP("lmp-b", 2, peering.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartFlow("lmp-a", "lmp-b", 4, netsim.BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BillEpoch(3600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reauction(ringTM()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.BillEpoch(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One hour at 4 Gbps = 1800 GB per endpoint; double-billing or
+	// negative deltas would show up here.
+	if got := rep.UsageGB["lmp-a"]; got < 1700 || got > 1900 {
+		t.Fatalf("post-reauction usage = %v, want ~1800", got)
+	}
+}

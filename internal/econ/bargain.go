@@ -1,0 +1,183 @@
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// NBSFee returns the Nash-bargaining termination fee for one CSP/LMP
+// pair (§4.5 model 1):
+//
+//	t = (p − r·c) / 2
+//
+// where p is the CSP's (fixed) price, r the rate at which the LMP
+// loses customers if the service walks away, and c the LMP's access
+// charge. The fee can be negative (the LMP pays the CSP) when the
+// LMP's disagreement loss exceeds the CSP's.
+func NBSFee(p, r, c float64) float64 { return (p - r*c) / 2 }
+
+// LMP describes one last-mile provider in the multi-LMP bargaining
+// model: its customer count for the service, its access charge, and
+// its churn rate r_l^s (fraction of the service's subscribers who
+// leave the LMP if the service disappears from it).
+type LMP struct {
+	Name      string
+	Customers float64 // n_l: subscribers of service s at this LMP
+	Access    float64 // c_l: monthly access charge
+	Churn     float64 // r_l^s in [0,1]
+}
+
+// AverageFee returns the customer-weighted average NBS fee across
+// LMPs (§4.5 model 2):
+//
+//	t^ave = (p − ⟨rc⟩) / 2,  ⟨rc⟩ = Σ n_l r_l c_l / Σ n_l
+func AverageFee(p float64, lmps []LMP) (float64, error) {
+	rc, err := weightedRC(lmps)
+	if err != nil {
+		return 0, err
+	}
+	return (p - rc) / 2, nil
+}
+
+func weightedRC(lmps []LMP) (float64, error) {
+	if len(lmps) == 0 {
+		return 0, fmt.Errorf("econ: no LMPs")
+	}
+	var num, den float64
+	for _, l := range lmps {
+		if l.Customers < 0 || l.Churn < 0 || l.Churn > 1 || l.Access < 0 {
+			return 0, fmt.Errorf("econ: invalid LMP %+v", l)
+		}
+		num += l.Customers * l.Churn * l.Access
+		den += l.Customers
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("econ: zero total customers")
+	}
+	return num / den, nil
+}
+
+// Equilibrium solves §4.5 model 3: the CSP re-optimizes its price
+// given the average fee, the fees are renegotiated given the new
+// price, and so on until the fixed point
+//
+//	t = (p*(t) − ⟨rc⟩) / 2
+//
+// It returns the equilibrium fee and price. The iteration is damped
+// and converges for all the demand families in this package; it
+// errors out if it fails to converge within maxIter.
+func Equilibrium(d Demand, lmps []LMP) (t, p float64, err error) {
+	rc, err := weightedRC(lmps)
+	if err != nil {
+		return 0, 0, err
+	}
+	t = 0.0
+	const maxIter = 500
+	for i := 0; i < maxIter; i++ {
+		p = OptimalPrice(d, t)
+		next := (p - rc) / 2
+		if next < 0 {
+			next = 0 // paper: "we assume we are in the regime where the termination fees are positive"
+		}
+		if math.Abs(next-t) < 1e-9*(1+math.Abs(t)) {
+			return next, OptimalPrice(d, next), nil
+		}
+		t = t + 0.5*(next-t) // damping
+	}
+	return 0, 0, fmt.Errorf("econ: equilibrium did not converge (rc=%v)", rc)
+}
+
+// Regime identifies a §4 scenario for welfare comparison.
+type Regime int
+
+const (
+	// NN is the network-neutrality regime: no termination fees.
+	NN Regime = iota
+	// URUnilateral is the unregulated regime with LMPs setting fees
+	// unilaterally (double marginalization, §4.4).
+	URUnilateral
+	// URBargain is the unregulated regime with fees set by Nash
+	// bargaining at the renegotiated equilibrium (§4.5 model 3).
+	URBargain
+)
+
+func (r Regime) String() string {
+	switch r {
+	case NN:
+		return "NN"
+	case URUnilateral:
+		return "UR-unilateral"
+	case URBargain:
+		return "UR-bargain"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Outcome summarizes one service under one regime.
+type Outcome struct {
+	Regime     Regime
+	Fee        float64 // t_s (0 under NN)
+	Price      float64 // p_s
+	Demand     float64 // D_s(p_s)
+	Welfare    float64 // ∫_p v dF (social welfare, §4.6)
+	Consumer   float64 // ∫_p (v−p) dF (consumer welfare, §4.6)
+	CSPRevenue float64 // (p − t)·D(p)
+	LMPRevenue float64 // t·D(p)
+}
+
+// Evaluate computes the Outcome of a single service with demand d
+// under the given regime. lmps is required for URBargain and ignored
+// otherwise.
+func Evaluate(d Demand, regime Regime, lmps []LMP) (Outcome, error) {
+	var t float64
+	switch regime {
+	case NN:
+		t = 0
+	case URUnilateral:
+		t = UnilateralFee(d)
+	case URBargain:
+		var err error
+		t, _, err = Equilibrium(d, lmps)
+		if err != nil {
+			return Outcome{}, err
+		}
+	default:
+		return Outcome{}, fmt.Errorf("econ: unknown regime %d", int(regime))
+	}
+	p := OptimalPrice(d, t)
+	return Outcome{
+		Regime:     regime,
+		Fee:        t,
+		Price:      p,
+		Demand:     D(d, p),
+		Welfare:    SocialWelfare(d, p),
+		Consumer:   ConsumerSurplus(d, p),
+		CSPRevenue: Revenue(d, p, t),
+		LMPRevenue: t * D(d, p),
+	}, nil
+}
+
+// IncumbentAdvantage quantifies §4.5's competitive-advantage result.
+// For LMPs: an incumbent (low churn r, because its subscribers have
+// nowhere comparable to go) extracts a higher fee than an entrant
+// (high churn). For CSPs: an incumbent service (high churn imposed on
+// LMPs) pays a lower fee than an emerging one. Both are reported as
+// fee differences at price p and access charge c.
+type IncumbentAdvantage struct {
+	// LMPFeeGap = t(incumbent LMP) − t(entrant LMP) at fixed CSP churn.
+	LMPFeeGap float64
+	// CSPFeeGap = t(entrant CSP) − t(incumbent CSP) at fixed LMP.
+	CSPFeeGap float64
+}
+
+// Advantage computes the incumbent advantages for the given price and
+// access charge, using churn rates rIncumbent < rEntrant for the LMP
+// side and churn rates imposed by an incumbent vs entrant CSP for the
+// CSP side.
+func Advantage(p, c, lmpIncumbentChurn, lmpEntrantChurn, cspIncumbentChurn, cspEntrantChurn float64) IncumbentAdvantage {
+	return IncumbentAdvantage{
+		LMPFeeGap: NBSFee(p, lmpIncumbentChurn, c) - NBSFee(p, lmpEntrantChurn, c),
+		CSPFeeGap: NBSFee(p, cspEntrantChurn, c) - NBSFee(p, cspIncumbentChurn, c),
+	}
+}

@@ -1,0 +1,140 @@
+package econ
+
+import "fmt"
+
+// This file models the paper's §2.3/§2.5 competition argument: a new
+// last-mile provider (LMP) must either build a core network or buy
+// transit — and in today's market the available transit sellers
+// often compete with it for the same last-mile customers, so they can
+// price transit to squeeze the entrant's margin. The POC removes the
+// squeeze (its transit is sold at break-even by a party with no
+// last-mile business), and its network-neutrality terms remove the
+// §4.5 termination-fee asymmetry that otherwise favors incumbents.
+
+// TransitSource identifies who sells the entrant transit.
+type TransitSource int
+
+const (
+	// IncumbentTransit: transit bought from an ISP that also competes
+	// for the entrant's last-mile customers.
+	IncumbentTransit TransitSource = iota
+	// POCTransit: transit bought from the nonprofit POC.
+	POCTransit
+)
+
+func (t TransitSource) String() string {
+	if t == IncumbentTransit {
+		return "incumbent-transit"
+	}
+	return "poc-transit"
+}
+
+// EntryModel parameterises one entry decision. All money amounts are
+// per subscriber per month.
+type EntryModel struct {
+	// IncumbentRetail is the incumbent LMP's access price — the price
+	// the entrant must (at least slightly) undercut to win customers.
+	IncumbentRetail float64
+	// LastMileCost is the entrant's own per-subscriber cost of
+	// operating the last mile (after any loop unbundling).
+	LastMileCost float64
+	// POCTransitPrice is the POC's break-even per-subscriber transit
+	// charge.
+	POCTransitPrice float64
+	// SqueezeSlack is how far below the margin-squeeze optimum the
+	// incumbent prices its transit (0 = full rational squeeze; real
+	// markets leave some slack for regulatory or reputational
+	// reasons).
+	SqueezeSlack float64
+}
+
+// Validate sanity-checks the model.
+func (m EntryModel) Validate() error {
+	if m.IncumbentRetail <= 0 {
+		return fmt.Errorf("econ: non-positive incumbent retail price")
+	}
+	if m.LastMileCost < 0 || m.POCTransitPrice < 0 || m.SqueezeSlack < 0 {
+		return fmt.Errorf("econ: negative cost in entry model")
+	}
+	return nil
+}
+
+// IncumbentTransitPrice returns the transit price a rational
+// incumbent sets when the buyer competes with it downstream: the
+// highest price that still leaves the entrant no margin, minus the
+// configured slack (Spengler's vertical squeeze, which §2.3 points at
+// via "transit ISPs ... can use their transit pricing to put new
+// competitors at a disadvantage").
+func (m EntryModel) IncumbentTransitPrice() float64 {
+	p := m.IncumbentRetail - m.LastMileCost - m.SqueezeSlack
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// EntrantMargin returns the entrant's per-subscriber margin when it
+// matches the incumbent's retail price, buying transit from the given
+// source.
+func (m EntryModel) EntrantMargin(src TransitSource) float64 {
+	transit := m.POCTransitPrice
+	if src == IncumbentTransit {
+		transit = m.IncumbentTransitPrice()
+	}
+	return m.IncumbentRetail - m.LastMileCost - transit
+}
+
+// Viable reports whether entry is profitable with the given transit
+// source (margin strictly positive).
+func (m EntryModel) Viable(src TransitSource) bool {
+	return m.EntrantMargin(src) > 0
+}
+
+// EntryAnalysis is the complete §2.3+§4.5 comparison for one entrant:
+// margins under both transit sources, and the termination-fee revenue
+// gap an unregulated regime adds on top.
+type EntryAnalysis struct {
+	Model EntryModel
+	// MarginIncumbent and MarginPOC are per-subscriber margins.
+	MarginIncumbent float64
+	MarginPOC       float64
+	// URFeeGap is the per-subscriber termination-fee revenue the
+	// incumbent collects above the entrant under the unregulated
+	// regime (§4.5: incumbents extract higher fees); zero under the
+	// POC's network-neutrality terms.
+	URFeeGap float64
+}
+
+// AnalyzeEntry combines the transit-margin comparison with the
+// termination-fee asymmetry: cspPrice and access feed the NBS fee
+// t = (p − r·c)/2, with the incumbent's churn below the entrant's.
+func AnalyzeEntry(m EntryModel, cspPrice, incumbentChurn, entrantChurn float64) (EntryAnalysis, error) {
+	if err := m.Validate(); err != nil {
+		return EntryAnalysis{}, err
+	}
+	if incumbentChurn < 0 || incumbentChurn > 1 || entrantChurn < 0 || entrantChurn > 1 {
+		return EntryAnalysis{}, fmt.Errorf("econ: churn out of [0,1]")
+	}
+	if incumbentChurn > entrantChurn {
+		return EntryAnalysis{}, fmt.Errorf("econ: incumbent churn %v above entrant churn %v (incumbents lose fewer customers)",
+			incumbentChurn, entrantChurn)
+	}
+	tInc := NBSFee(cspPrice, incumbentChurn, m.IncumbentRetail)
+	tEnt := NBSFee(cspPrice, entrantChurn, m.IncumbentRetail)
+	gap := tInc - tEnt
+	if gap < 0 {
+		gap = 0
+	}
+	return EntryAnalysis{
+		Model:           m,
+		MarginIncumbent: m.EntrantMargin(IncumbentTransit),
+		MarginPOC:       m.EntrantMargin(POCTransit),
+		URFeeGap:        gap,
+	}, nil
+}
+
+// POCAdvantage returns how much per-subscriber margin the POC's
+// existence adds for the entrant relative to incumbent-sold transit.
+func (a EntryAnalysis) POCAdvantage() float64 {
+	return a.MarginPOC - a.MarginIncumbent
+}

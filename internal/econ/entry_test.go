@@ -1,0 +1,142 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseEntry() EntryModel {
+	return EntryModel{
+		IncumbentRetail: 60,
+		LastMileCost:    25,
+		POCTransitPrice: 8,
+		SqueezeSlack:    2,
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	if err := baseEntry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := baseEntry()
+	bad.IncumbentRetail = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero retail accepted")
+	}
+	bad = baseEntry()
+	bad.LastMileCost = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestIncumbentSqueeze(t *testing.T) {
+	m := baseEntry()
+	// Squeeze price: 60 - 25 - 2 = 33.
+	if got := m.IncumbentTransitPrice(); got != 33 {
+		t.Fatalf("squeeze price = %v, want 33", got)
+	}
+	// Entrant margin with incumbent transit = the slack only.
+	if got := m.EntrantMargin(IncumbentTransit); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("incumbent-transit margin = %v, want 2", got)
+	}
+	// With POC transit: 60 - 25 - 8 = 27.
+	if got := m.EntrantMargin(POCTransit); got != 27 {
+		t.Fatalf("POC-transit margin = %v, want 27", got)
+	}
+}
+
+func TestSqueezeNeverNegativePrice(t *testing.T) {
+	m := baseEntry()
+	m.LastMileCost = 70 // above retail
+	if got := m.IncumbentTransitPrice(); got != 0 {
+		t.Fatalf("squeeze price = %v, want 0", got)
+	}
+}
+
+func TestViability(t *testing.T) {
+	m := baseEntry()
+	if !m.Viable(POCTransit) {
+		t.Fatal("POC transit should enable entry")
+	}
+	m.SqueezeSlack = 0 // full rational squeeze
+	if m.Viable(IncumbentTransit) {
+		t.Fatal("full squeeze should block entry")
+	}
+	if !m.Viable(POCTransit) {
+		t.Fatal("POC transit independent of the squeeze")
+	}
+}
+
+func TestAnalyzeEntry(t *testing.T) {
+	a, err := AnalyzeEntry(baseEntry(), 100, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fee gap = (t_inc - t_ent) = ((100-0.1*60) - (100-0.5*60))/2 = 12.
+	if math.Abs(a.URFeeGap-12) > 1e-12 {
+		t.Fatalf("UR fee gap = %v, want 12", a.URFeeGap)
+	}
+	if adv := a.POCAdvantage(); math.Abs(adv-25) > 1e-12 {
+		t.Fatalf("POC advantage = %v, want 25", adv)
+	}
+}
+
+func TestAnalyzeEntryValidation(t *testing.T) {
+	if _, err := AnalyzeEntry(EntryModel{}, 100, 0.1, 0.5); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := AnalyzeEntry(baseEntry(), 100, -0.1, 0.5); err == nil {
+		t.Fatal("negative churn accepted")
+	}
+	if _, err := AnalyzeEntry(baseEntry(), 100, 0.6, 0.5); err == nil {
+		t.Fatal("incumbent churn above entrant accepted")
+	}
+}
+
+func TestTransitSourceString(t *testing.T) {
+	if IncumbentTransit.String() != "incumbent-transit" || POCTransit.String() != "poc-transit" {
+		t.Fatal("TransitSource strings")
+	}
+}
+
+// Property: the POC advantage is exactly the transit-price difference
+// and is non-negative whenever the POC prices at or below the
+// squeeze.
+func TestQuickPOCAdvantage(t *testing.T) {
+	f := func(retail, lastMile, pocT, slack uint8) bool {
+		m := EntryModel{
+			IncumbentRetail: 1 + float64(retail),
+			LastMileCost:    float64(lastMile) / 2,
+			POCTransitPrice: float64(pocT) / 4,
+			SqueezeSlack:    float64(slack) / 8,
+		}
+		if m.Validate() != nil {
+			return true
+		}
+		adv := m.EntrantMargin(POCTransit) - m.EntrantMargin(IncumbentTransit)
+		want := m.IncumbentTransitPrice() - m.POCTransitPrice
+		return math.Abs(adv-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the UR fee gap grows with the churn asymmetry.
+func TestQuickFeeGapMonotone(t *testing.T) {
+	f := func(rawEnt uint8) bool {
+		ent := 0.2 + 0.8*float64(rawEnt)/255 // in [0.2, 1.0]
+		a1, err1 := AnalyzeEntry(baseEntry(), 100, 0.1, ent)
+		a2, err2 := AnalyzeEntry(baseEntry(), 100, 0.1, ent/2+0.1)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		// Larger entrant churn (first case) → at least as large a gap.
+		return a1.URFeeGap >= a2.URFeeGap-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

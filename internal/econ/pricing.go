@@ -1,0 +1,132 @@
+package econ
+
+import (
+	"math"
+)
+
+// grid is the resolution of the numeric price searches and integrals.
+// The model's comparative statics (monotonicity, welfare ordering) are
+// insensitive to it; 4000 keeps unit tests fast and errors < 0.1%.
+const grid = 4000
+
+// OptimalPrice returns p*(t) = argmax_p (p − t)·D(p): the CSP's
+// revenue-maximizing price when it pays a per-customer termination
+// fee t (Equation 1 in the paper; t = 0 gives the NN-regime price).
+// The search is a golden-section refinement of a coarse grid scan
+// over [t, Max], which handles all the demand families including
+// non-smooth ones.
+func OptimalPrice(d Demand, t float64) float64 {
+	lo, hi := t, d.Max()
+	if hi <= lo {
+		return lo
+	}
+	rev := func(p float64) float64 { return (p - t) * D(d, p) }
+	// Coarse scan.
+	bestP, bestR := lo, math.Inf(-1)
+	for i := 0; i <= grid; i++ {
+		p := lo + (hi-lo)*float64(i)/grid
+		if r := rev(p); r > bestR {
+			bestR, bestP = r, p
+		}
+	}
+	// Golden-section refinement around the best grid cell.
+	a := math.Max(lo, bestP-(hi-lo)/grid)
+	b := math.Min(hi, bestP+(hi-lo)/grid)
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := rev(x1), rev(x2)
+	for i := 0; i < 80 && b-a > 1e-12*(1+b); i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = rev(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = rev(x1)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Revenue returns the CSP's per-consumer-mass revenue at price p with
+// termination fee t: (p − t)·D(p).
+func Revenue(d Demand, p, t float64) float64 { return (p - t) * D(d, p) }
+
+// ConsumerSurplus returns ∫_p^∞ (v − p) dF(v): the utility consumers
+// retain after paying p. Computed by parts as ∫_p^∞ D(v) dv — the
+// survival function is far better behaved than v·f(v) on heavy-tailed
+// families, and it makes the §4.6 decomposition
+// SocialWelfare = ConsumerSurplus + p·D(p) hold exactly.
+func ConsumerSurplus(d Demand, p float64) float64 {
+	hi := d.Max()
+	if p >= hi {
+		return 0
+	}
+	n := grid
+	h := (hi - p) / float64(n)
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		v := p + h*float64(i)
+		w := 1.0
+		switch {
+		case i == 0 || i == n:
+			w = 1
+		case i%2 == 1:
+			w = 4
+		default:
+			w = 2
+		}
+		sum += w * D(d, v)
+	}
+	return sum * h / 3
+}
+
+// SocialWelfare returns ∫_p^∞ v dF(v): the total utility generated
+// when everyone with value above the price buys (the paper's §4.3
+// welfare integral — payments are transfers and do not reduce it).
+// Computed as ConsumerSurplus(p) + p·D(p), which is the same integral
+// by parts and keeps the §4.6 decomposition exact.
+func SocialWelfare(d Demand, p float64) float64 {
+	if p >= d.Max() {
+		return 0
+	}
+	return ConsumerSurplus(d, p) + p*D(d, p)
+}
+
+// UnilateralFee returns t* = argmax_t t·D(p*(t)): the fee a
+// monopolist LMP sets when it can charge each CSP unilaterally
+// (§4.4's double-marginalization outcome). The outer search mirrors
+// OptimalPrice's.
+func UnilateralFee(d Demand) float64 {
+	hi := d.Max()
+	rev := func(t float64) float64 { return t * D(d, OptimalPrice(d, t)) }
+	bestT, bestR := 0.0, math.Inf(-1)
+	// Coarser outer scan (each eval runs an inner optimization).
+	const outer = 400
+	for i := 0; i <= outer; i++ {
+		t := hi * float64(i) / outer
+		if r := rev(t); r > bestR {
+			bestR, bestT = r, t
+		}
+	}
+	a := math.Max(0, bestT-hi/outer)
+	b := math.Min(hi, bestT+hi/outer)
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := rev(x1), rev(x2)
+	for i := 0; i < 60 && b-a > 1e-10*(1+b); i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = rev(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = rev(x1)
+		}
+	}
+	return (a + b) / 2
+}

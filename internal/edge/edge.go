@@ -1,0 +1,171 @@
+// Package edge implements the open edge services of §3.1–§3.2: CDN
+// caches and other application-enhancement functions deployed at POC
+// routers. The paper allows the POC (and LMPs) to "provide open CDN
+// services (on a fee for service basis) or allow CSPs to install
+// their own CDNs or similar network functions (for a set fee)"; what
+// is forbidden (§3.4 conditions (ii) and (iii)) is offering these
+// selectively. This package therefore enforces openness structurally:
+// every service has one posted price, and any CSP can deploy at any
+// router for that price.
+//
+// The model is request-level: a CSP's content is served either from
+// the nearest cache (offloading the backbone) or from its origin
+// attachment. Offload accounting quantifies the §2.4 observation that
+// "most traffic is first handled by CDN nodes at the edge".
+package edge
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/public-option/poc/internal/netsim"
+)
+
+// Service is one open edge service (e.g. the POC's managed CDN). The
+// zero value is not usable; use NewService.
+type Service struct {
+	name   string
+	fabric *netsim.Fabric
+	// postedPrice is the monthly fee per cache instance, identical
+	// for every customer (openness is structural, not policy).
+	postedPrice float64
+
+	caches map[string][]cache // CSP name -> deployed caches
+}
+
+type cache struct {
+	router   int
+	endpoint netsim.EndpointID
+}
+
+// NewService creates an open edge service on the fabric with a posted
+// per-cache monthly price.
+func NewService(name string, fabric *netsim.Fabric, postedPrice float64) (*Service, error) {
+	if name == "" {
+		return nil, fmt.Errorf("edge: service needs a name")
+	}
+	if fabric == nil {
+		return nil, fmt.Errorf("edge: nil fabric")
+	}
+	if postedPrice < 0 {
+		return nil, fmt.Errorf("edge: negative posted price")
+	}
+	return &Service{
+		name:        name,
+		fabric:      fabric,
+		postedPrice: postedPrice,
+		caches:      map[string][]cache{},
+	}, nil
+}
+
+// PostedPrice returns the public per-cache monthly fee.
+func (s *Service) PostedPrice() float64 { return s.postedPrice }
+
+// Deploy installs a cache for the CSP at the given POC router. Any
+// CSP may deploy anywhere; there is no admission policy beyond the
+// posted fee (this is the openness requirement).
+func (s *Service) Deploy(csp string, router int) (netsim.EndpointID, error) {
+	if csp == "" {
+		return 0, fmt.Errorf("edge: cache needs an owning CSP")
+	}
+	for _, c := range s.caches[csp] {
+		if c.router == router {
+			return 0, fmt.Errorf("edge: %s already has a %s cache at router %d", csp, s.name, router)
+		}
+	}
+	ep, err := s.fabric.Attach(fmt.Sprintf("%s/%s@r%d", s.name, csp, router), netsim.CSPEndpoint, router)
+	if err != nil {
+		return 0, err
+	}
+	s.caches[csp] = append(s.caches[csp], cache{router: router, endpoint: ep})
+	group := s.groupName(csp)
+	if err := s.fabric.RegisterAnycast(group, ep); err != nil {
+		return 0, err
+	}
+	return ep, nil
+}
+
+func (s *Service) groupName(csp string) string { return s.name + "/" + csp }
+
+// Caches returns the routers hosting caches for the CSP, sorted.
+func (s *Service) Caches(csp string) []int {
+	var out []int
+	for _, c := range s.caches[csp] {
+		out = append(out, c.router)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MonthlyFee returns the CSP's bill: posted price times deployed
+// caches. The identical formula applies to every CSP.
+func (s *Service) MonthlyFee(csp string) float64 {
+	return s.postedPrice * float64(len(s.caches[csp]))
+}
+
+// Delivery describes how one content request-aggregate was served.
+type Delivery struct {
+	Flow      *netsim.Flow
+	FromCache bool
+	Server    netsim.EndpointID
+}
+
+// Serve delivers gbps of the CSP's content to the consumer endpoint:
+// from the nearest cache when one is reachable, falling back to the
+// CSP's origin attachment. The returned Delivery records which server
+// was chosen; the flow is admitted on the fabric as usual.
+func (s *Service) Serve(csp string, origin netsim.EndpointID, consumer netsim.EndpointID, gbps float64, class netsim.Class) (*Delivery, error) {
+	if len(s.caches[csp]) > 0 {
+		// Anycast delivery from the nearest cache. Note the direction:
+		// content flows cache → consumer, so the flow source is the
+		// cache; StartAnycastFlow picks the nearest member to the
+		// consumer.
+		fl, member, err := s.fabric.StartAnycastFlow(consumer, s.groupName(csp), gbps, class)
+		if err == nil {
+			return &Delivery{Flow: fl, FromCache: true, Server: member}, nil
+		}
+		// Caches unreachable or saturated: fall through to origin.
+	}
+	fl, err := s.fabric.StartFlow(origin, consumer, gbps, class)
+	if err != nil {
+		return nil, fmt.Errorf("edge: origin delivery failed: %w", err)
+	}
+	return &Delivery{Flow: fl, FromCache: false, Server: origin}, nil
+}
+
+// OffloadReport quantifies how much backbone bandwidth the caches
+// save for a CSP's delivery set.
+type OffloadReport struct {
+	Deliveries  int
+	FromCache   int
+	CacheGbps   float64 // demand served from caches
+	OriginGbps  float64 // demand served from the origin
+	LinkGbpsNow float64 // Σ (allocated × path length) actually reserved
+}
+
+// Offload summarizes a set of deliveries.
+func Offload(ds []*Delivery) OffloadReport {
+	var r OffloadReport
+	for _, d := range ds {
+		r.Deliveries++
+		if d.FromCache {
+			r.FromCache++
+			r.CacheGbps += d.Flow.Allocated
+		} else {
+			r.OriginGbps += d.Flow.Allocated
+		}
+		r.LinkGbpsNow += d.Flow.Allocated * float64(len(d.Flow.Links))
+	}
+	return r
+}
+
+// CacheFraction returns the fraction of demand served from caches —
+// the paper's §2.4 cites operator estimates around 66–70% for today's
+// private CDN infrastructure.
+func (r OffloadReport) CacheFraction() float64 {
+	total := r.CacheGbps + r.OriginGbps
+	if total == 0 {
+		return 0
+	}
+	return r.CacheGbps / total
+}

@@ -1,0 +1,269 @@
+// Package federation interconnects multiple POCs. §1.2 anticipates
+// "several coexisting (and interconnected) POCs, run by different
+// entities but adopting the same basic principles (nonprofit,
+// focusing on transit, enforcing network neutrality)"; this package
+// provides the interconnect: gateways pair up routers of two member
+// fabrics, and cross-POC flows are admitted as a chain of segments
+// (source fabric → gateway → destination fabric), each reserving
+// capacity in its own domain so every member bills its own customers
+// for its own carriage — the §3.2 principle extended across domains.
+package federation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/public-option/poc/internal/netsim"
+)
+
+// MemberID identifies a member POC within the federation.
+type MemberID int
+
+// Member is one federated POC: its fabric plus the attestation that
+// it runs under the shared principles. The federation refuses members
+// that do not attest — the paper's interconnection precondition.
+type Member struct {
+	ID     MemberID
+	Name   string
+	Fabric *netsim.Fabric
+	// NeutralityAttested records the member's contractual commitment
+	// to the shared terms of service.
+	NeutralityAttested bool
+}
+
+// GatewayID identifies an interconnect.
+type GatewayID int
+
+// Gateway is a bidirectional interconnect between routers of two
+// member fabrics with its own capacity.
+type Gateway struct {
+	ID       GatewayID
+	A, B     MemberID
+	RouterA  int
+	RouterB  int
+	Capacity float64
+	// endpoints of the gateway inside each member fabric.
+	epA, epB netsim.EndpointID
+	used     float64
+}
+
+// Residual returns the gateway's remaining capacity.
+func (g *Gateway) Residual() float64 { return g.Capacity - g.used }
+
+// Federation is a set of interconnected POCs.
+type Federation struct {
+	members  []*Member
+	gateways []*Gateway
+
+	flows    map[CrossFlowID]*CrossFlow
+	nextFlow CrossFlowID
+}
+
+// New returns an empty federation.
+func New() *Federation {
+	return &Federation{flows: map[CrossFlowID]*CrossFlow{}}
+}
+
+// AddMember admits a POC to the federation. Admission requires the
+// neutrality attestation.
+func (f *Federation) AddMember(name string, fabric *netsim.Fabric, neutralityAttested bool) (MemberID, error) {
+	if fabric == nil {
+		return 0, fmt.Errorf("federation: nil fabric")
+	}
+	if !neutralityAttested {
+		return 0, fmt.Errorf("federation: %q has not attested to the shared neutrality terms", name)
+	}
+	for _, m := range f.members {
+		if m.Name == name {
+			return 0, fmt.Errorf("federation: member %q already admitted", name)
+		}
+	}
+	id := MemberID(len(f.members))
+	f.members = append(f.members, &Member{
+		ID: id, Name: name, Fabric: fabric, NeutralityAttested: true,
+	})
+	return id, nil
+}
+
+// Member returns an admitted member.
+func (f *Federation) Member(id MemberID) (*Member, error) {
+	if id < 0 || int(id) >= len(f.members) {
+		return nil, fmt.Errorf("federation: unknown member %d", id)
+	}
+	return f.members[id], nil
+}
+
+// Connect establishes a gateway between routers of two members. The
+// gateway is modeled inside each fabric as an endpoint at the paired
+// router, so intra-fabric segments reserve real capacity up to the
+// border.
+func (f *Federation) Connect(a MemberID, routerA int, b MemberID, routerB int, capacity float64) (GatewayID, error) {
+	ma, err := f.Member(a)
+	if err != nil {
+		return 0, err
+	}
+	mb, err := f.Member(b)
+	if err != nil {
+		return 0, err
+	}
+	if a == b {
+		return 0, fmt.Errorf("federation: gateway must join two distinct members")
+	}
+	if capacity <= 0 {
+		return 0, fmt.Errorf("federation: gateway needs positive capacity")
+	}
+	id := GatewayID(len(f.gateways))
+	epA, err := ma.Fabric.Attach(fmt.Sprintf("gw%d/%s", id, mb.Name), netsim.ExternalEndpoint, routerA)
+	if err != nil {
+		return 0, err
+	}
+	epB, err := mb.Fabric.Attach(fmt.Sprintf("gw%d/%s", id, ma.Name), netsim.ExternalEndpoint, routerB)
+	if err != nil {
+		return 0, err
+	}
+	f.gateways = append(f.gateways, &Gateway{
+		ID: id, A: a, B: b, RouterA: routerA, RouterB: routerB,
+		Capacity: capacity, epA: epA, epB: epB,
+	})
+	return id, nil
+}
+
+// CrossFlowID identifies an admitted cross-POC flow.
+type CrossFlowID int
+
+// CrossFlow is a flow spanning two member POCs through one gateway.
+type CrossFlow struct {
+	ID        CrossFlowID
+	SrcMember MemberID
+	DstMember MemberID
+	Gateway   GatewayID
+	Gbps      float64
+	// SrcSegment and DstSegment are the per-fabric flows; Allocated
+	// is the end-to-end rate (the min across segments and gateway).
+	SrcSegment netsim.FlowID
+	DstSegment netsim.FlowID
+	Allocated  float64
+}
+
+// StartCrossFlow admits traffic from an endpoint of one member to an
+// endpoint of another, choosing the gateway that admits the highest
+// end-to-end rate (ties broken by lower gateway ID). Admission is
+// atomic: if no gateway can carry any traffic, nothing is reserved.
+func (f *Federation) StartCrossFlow(srcMember MemberID, src netsim.EndpointID, dstMember MemberID, dst netsim.EndpointID, gbps float64) (*CrossFlow, error) {
+	if gbps <= 0 {
+		return nil, fmt.Errorf("federation: non-positive demand")
+	}
+	ms, err := f.Member(srcMember)
+	if err != nil {
+		return nil, err
+	}
+	md, err := f.Member(dstMember)
+	if err != nil {
+		return nil, err
+	}
+	if srcMember == dstMember {
+		return nil, fmt.Errorf("federation: use the member fabric for intra-POC flows")
+	}
+
+	var best *Gateway
+	for _, g := range f.gateways {
+		if (g.A == srcMember && g.B == dstMember) || (g.B == srcMember && g.A == dstMember) {
+			if g.Residual() <= 0 {
+				continue
+			}
+			if best == nil || g.Residual() > best.Residual() {
+				best = g
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("federation: no gateway with capacity between %s and %s", ms.Name, md.Name)
+	}
+
+	// Gateway endpoints oriented from the source member's side.
+	gwSrcEp, gwDstEp := best.epA, best.epB
+	if best.B == srcMember {
+		gwSrcEp, gwDstEp = best.epB, best.epA
+	}
+
+	want := math.Min(gbps, best.Residual())
+	seg1, err := ms.Fabric.StartFlow(src, gwSrcEp, want, netsim.BestEffort)
+	if err != nil {
+		return nil, fmt.Errorf("federation: source segment: %w", err)
+	}
+	rate := seg1.Allocated
+	seg2, err := md.Fabric.StartFlow(gwDstEp, dst, rate, netsim.BestEffort)
+	if err != nil {
+		ms.Fabric.StopFlow(seg1.ID)
+		return nil, fmt.Errorf("federation: destination segment: %w", err)
+	}
+	// Harmonize to the end-to-end bottleneck.
+	rate = math.Min(seg1.Allocated, seg2.Allocated)
+	if rate <= 0 {
+		ms.Fabric.StopFlow(seg1.ID)
+		md.Fabric.StopFlow(seg2.ID)
+		return nil, fmt.Errorf("federation: zero end-to-end capacity")
+	}
+	best.used += rate
+
+	cf := &CrossFlow{
+		ID:        f.nextFlow,
+		SrcMember: srcMember, DstMember: dstMember,
+		Gateway: best.ID, Gbps: gbps,
+		SrcSegment: seg1.ID, DstSegment: seg2.ID,
+		Allocated: rate,
+	}
+	f.nextFlow++
+	f.flows[cf.ID] = cf
+	return cf, nil
+}
+
+// StopCrossFlow tears down both segments and releases the gateway.
+func (f *Federation) StopCrossFlow(id CrossFlowID) error {
+	cf, ok := f.flows[id]
+	if !ok {
+		return fmt.Errorf("federation: unknown cross flow %d", id)
+	}
+	ms := f.members[cf.SrcMember]
+	md := f.members[cf.DstMember]
+	if err := ms.Fabric.StopFlow(cf.SrcSegment); err != nil {
+		return err
+	}
+	if err := md.Fabric.StopFlow(cf.DstSegment); err != nil {
+		return err
+	}
+	f.gateways[cf.Gateway].used -= cf.Allocated
+	delete(f.flows, id)
+	return nil
+}
+
+// CrossFlows returns snapshots of active cross-POC flows in ID order.
+func (f *Federation) CrossFlows() []CrossFlow {
+	ids := make([]int, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]CrossFlow, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *f.flows[CrossFlowID(id)])
+	}
+	return out
+}
+
+// SegmentUsage returns, per member, the GB its fabric has carried for
+// federation flows (each member bills its own customers for its own
+// carriage).
+func (f *Federation) SegmentUsage() map[MemberID]float64 {
+	out := map[MemberID]float64{}
+	for _, cf := range f.flows {
+		if fl, err := f.members[cf.SrcMember].Fabric.Flow(cf.SrcSegment); err == nil {
+			out[cf.SrcMember] += fl.TransferredGB
+		}
+		if fl, err := f.members[cf.DstMember].Fabric.Flow(cf.DstSegment); err == nil {
+			out[cf.DstMember] += fl.TransferredGB
+		}
+	}
+	return out
+}

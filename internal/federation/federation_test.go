@@ -1,0 +1,190 @@
+package federation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/topo"
+)
+
+// lineFabric builds a 3-router line fabric (0-1-2, 10 Gbps, 100 km).
+func lineFabric() *netsim.Fabric {
+	p := &topo.POCNetwork{
+		World:   &topo.World{Cities: make([]topo.City, 3)},
+		BPs:     make([]topo.BP, 2),
+		Routers: []int{0, 1, 2},
+	}
+	for i := 0; i < 2; i++ {
+		p.Links = append(p.Links, topo.LogicalLink{
+			ID: i, BP: i, A: i, B: i + 1, Capacity: 10, DistanceKm: 100,
+		})
+	}
+	return netsim.New(p, nil)
+}
+
+// twoPOCs builds a federation of two line POCs joined at router 2 of
+// A and router 0 of B, with an LMP at each far end.
+func twoPOCs(t *testing.T, gwCap float64) (*Federation, MemberID, MemberID, netsim.EndpointID, netsim.EndpointID) {
+	t.Helper()
+	fa, fb := lineFabric(), lineFabric()
+	srcEp, err := fa.Attach("lmp-west", netsim.LMPEndpoint, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstEp, err := fb.Attach("lmp-east", netsim.LMPEndpoint, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := New()
+	a, err := fed.AddMember("poc-a", fa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fed.AddMember("poc-b", fb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Connect(a, 2, b, 0, gwCap); err != nil {
+		t.Fatal(err)
+	}
+	return fed, a, b, srcEp, dstEp
+}
+
+func TestAddMemberRequiresAttestation(t *testing.T) {
+	fed := New()
+	if _, err := fed.AddMember("rogue", lineFabric(), false); err == nil {
+		t.Fatal("unattested member admitted")
+	}
+	if _, err := fed.AddMember("", nil, true); err == nil {
+		t.Fatal("nil fabric admitted")
+	}
+	if _, err := fed.AddMember("a", lineFabric(), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.AddMember("a", lineFabric(), true); err == nil {
+		t.Fatal("duplicate name admitted")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	fed := New()
+	a, _ := fed.AddMember("a", lineFabric(), true)
+	b, _ := fed.AddMember("b", lineFabric(), true)
+	if _, err := fed.Connect(a, 0, a, 1, 5); err == nil {
+		t.Fatal("self-gateway accepted")
+	}
+	if _, err := fed.Connect(a, 0, b, 0, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := fed.Connect(99, 0, b, 0, 5); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if _, err := fed.Connect(a, 0, b, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossFlowEndToEnd(t *testing.T) {
+	fed, a, b, src, dst := twoPOCs(t, 8)
+	cf, err := fed.StartCrossFlow(a, src, b, dst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Allocated != 5 {
+		t.Fatalf("allocated = %v", cf.Allocated)
+	}
+	// Both segments reserve in their own fabrics.
+	ma, _ := fed.Member(a)
+	mb, _ := fed.Member(b)
+	if got, _ := ma.Fabric.Flow(cf.SrcSegment); got.Allocated != 5 {
+		t.Fatalf("src segment = %+v", got)
+	}
+	if got, _ := mb.Fabric.Flow(cf.DstSegment); got.Allocated != 5 {
+		t.Fatalf("dst segment = %+v", got)
+	}
+	if len(fed.CrossFlows()) != 1 {
+		t.Fatal("flow not tracked")
+	}
+}
+
+func TestCrossFlowGatewayBottleneck(t *testing.T) {
+	fed, a, b, src, dst := twoPOCs(t, 3)
+	cf, err := fed.StartCrossFlow(a, src, b, dst, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Allocated != 3 {
+		t.Fatalf("allocated = %v, want gateway cap 3", cf.Allocated)
+	}
+	// Gateway exhausted: next flow fails.
+	if _, err := fed.StartCrossFlow(a, src, b, dst, 1); err == nil {
+		t.Fatal("flow admitted over exhausted gateway")
+	}
+}
+
+func TestCrossFlowValidation(t *testing.T) {
+	fed, a, b, src, dst := twoPOCs(t, 8)
+	if _, err := fed.StartCrossFlow(a, src, b, dst, 0); err == nil {
+		t.Fatal("zero demand accepted")
+	}
+	if _, err := fed.StartCrossFlow(a, src, a, src, 1); err == nil {
+		t.Fatal("intra-POC flow accepted")
+	}
+	if _, err := fed.StartCrossFlow(99, src, b, dst, 1); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+func TestStopCrossFlowReleasesEverything(t *testing.T) {
+	fed, a, b, src, dst := twoPOCs(t, 8)
+	cf, err := fed.StartCrossFlow(a, src, b, dst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.StopCrossFlow(cf.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.StopCrossFlow(cf.ID); err == nil {
+		t.Fatal("double stop accepted")
+	}
+	// Full capacity back: admit the same demand again.
+	cf2, err := fed.StartCrossFlow(a, src, b, dst, 8)
+	if err != nil || cf2.Allocated != 8 {
+		t.Fatalf("re-admission: %v %+v", err, cf2)
+	}
+}
+
+func TestSegmentUsagePerMember(t *testing.T) {
+	fed, a, b, src, dst := twoPOCs(t, 8)
+	if _, err := fed.StartCrossFlow(a, src, b, dst, 8); err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := fed.Member(a)
+	mb, _ := fed.Member(b)
+	ma.Fabric.Tick(100) // 8 Gbps × 100 s / 8 = 100 GB
+	mb.Fabric.Tick(100)
+	usage := fed.SegmentUsage()
+	if math.Abs(usage[a]-100) > 1e-9 || math.Abs(usage[b]-100) > 1e-9 {
+		t.Fatalf("usage = %v", usage)
+	}
+}
+
+func TestCrossFlowPicksWidestGateway(t *testing.T) {
+	fed, a, b, src, dst := twoPOCs(t, 2)
+	// Second, wider gateway between the same members at other routers.
+	gw2, err := fed.Connect(a, 1, b, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := fed.StartCrossFlow(a, src, b, dst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Gateway != gw2 {
+		t.Fatalf("chose gateway %d, want wider %d", cf.Gateway, gw2)
+	}
+	if cf.Allocated != 6 {
+		t.Fatalf("allocated = %v", cf.Allocated)
+	}
+}

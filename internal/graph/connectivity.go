@@ -1,0 +1,116 @@
+package graph
+
+// BFS visits nodes reachable from src over enabled edges admitted by
+// filter, in breadth-first order, calling visit for each node
+// (including src). If visit returns false the traversal stops.
+func (g *Graph) BFS(src NodeID, filter EdgeFilter, visit func(NodeID) bool) {
+	seen := make([]bool, g.NumNodes())
+	seen[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if !visit(u) {
+			return
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			if e.Disabled || (filter != nil && !filter(eid, e)) || seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			queue = append(queue, e.To)
+		}
+	}
+}
+
+// Reachable reports whether dst is reachable from src.
+func (g *Graph) Reachable(src, dst NodeID, filter EdgeFilter) bool {
+	found := false
+	g.BFS(src, filter, func(n NodeID) bool {
+		if n == dst {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Components returns the weakly connected components of the graph over
+// enabled edges, each as a sorted slice of node IDs. Direction is
+// ignored (an enabled edge connects both endpoints).
+func (g *Graph) Components() [][]NodeID {
+	n := g.NumNodes()
+	// Union-find.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range g.edges {
+		if !e.Disabled {
+			union(int(e.From), int(e.To))
+		}
+	}
+	groups := make(map[int][]NodeID)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], NodeID(i))
+	}
+	out := make([][]NodeID, 0, len(groups))
+	for _, nodes := range groups {
+		out = append(out, nodes)
+	}
+	// Deterministic order: by smallest member.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j][0] < out[i][0] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether all nodes with at least one enabled
+// incident edge belong to a single weak component. Isolated nodes are
+// ignored, because an auctioned link set typically does not cover
+// every node of the offer graph.
+func (g *Graph) Connected() bool {
+	touched := make([]bool, g.NumNodes())
+	for _, e := range g.edges {
+		if !e.Disabled {
+			touched[e.From] = true
+			touched[e.To] = true
+		}
+	}
+	comps := g.Components()
+	active := 0
+	for _, c := range comps {
+		hasTouched := false
+		for _, n := range c {
+			if touched[n] {
+				hasTouched = true
+				break
+			}
+		}
+		if hasTouched {
+			active++
+		}
+	}
+	return active <= 1
+}

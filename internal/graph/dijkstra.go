@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// pqItem is an entry in the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestTree holds the result of a single-source shortest-path run:
+// per-node distance and the incoming edge on the shortest path.
+type ShortestTree struct {
+	Source NodeID
+	Dist   []float64
+	Parent []EdgeID // incoming edge on shortest path, Undefined at source/unreachable
+}
+
+// Reachable reports whether n has a finite distance from the source.
+func (t *ShortestTree) Reachable(n NodeID) bool {
+	return !math.IsInf(t.Dist[n], 1)
+}
+
+// PathTo reconstructs the shortest path from the tree's source to dst.
+// It returns a zero-length path with infinite cost when dst is
+// unreachable, and an empty path with zero cost when dst == source.
+func (t *ShortestTree) PathTo(g *Graph, dst NodeID) Path {
+	if !t.Reachable(dst) {
+		return Path{Cost: math.Inf(1)}
+	}
+	var rev []EdgeID
+	for n := dst; n != t.Source; {
+		eid := t.Parent[n]
+		if eid == Undefined {
+			return Path{Cost: math.Inf(1)}
+		}
+		rev = append(rev, eid)
+		n = g.edges[eid].From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{Edges: rev, Cost: t.Dist[dst]}
+}
+
+// EdgeFilter restricts which edges an algorithm may traverse. A nil
+// filter admits every enabled edge. Disabled edges are always skipped
+// regardless of the filter.
+type EdgeFilter func(id EdgeID, e Edge) bool
+
+// Dijkstra computes single-source shortest paths from src using edge
+// costs. Edges rejected by filter (or disabled) are not traversed.
+func (g *Graph) Dijkstra(src NodeID, filter EdgeFilter) *ShortestTree {
+	n := g.NumNodes()
+	t := &ShortestTree{
+		Source: src,
+		Dist:   make([]float64, n),
+		Parent: make([]EdgeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Parent[i] = Undefined
+	}
+	t.Dist[src] = 0
+
+	q := pq{{node: src}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > t.Dist[it.node] {
+			continue // stale entry
+		}
+		for _, eid := range g.adj[it.node] {
+			e := g.edges[eid]
+			if e.Disabled || (filter != nil && !filter(eid, e)) {
+				continue
+			}
+			nd := it.dist + e.Cost
+			if nd < t.Dist[e.To] {
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = eid
+				heap.Push(&q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// ShortestPath returns the cheapest path from src to dst, or a path
+// with infinite cost if none exists.
+func (g *Graph) ShortestPath(src, dst NodeID, filter EdgeFilter) Path {
+	if src == dst {
+		return Path{}
+	}
+	return g.Dijkstra(src, filter).PathTo(g, dst)
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// dijkstraScratch is reusable state for repeated point-to-point
+// Dijkstra runs on the same graph, avoiding per-call allocation. It is
+// not safe for concurrent use.
+type dijkstraScratch struct {
+	dist   []float64
+	parent []EdgeID
+	epoch  []uint32
+	cur    uint32
+	q      pq
+}
+
+// NewPointRouter returns a reusable point-to-point shortest-path
+// engine bound to g's node count. The engine reads g's edges on every
+// call, so edge mutations (capacity, disabled) between calls are
+// honored; adding nodes is not.
+func NewPointRouter(g *Graph) *PointRouter {
+	n := g.NumNodes()
+	return &PointRouter{
+		g: g,
+		s: dijkstraScratch{
+			dist:   make([]float64, n),
+			parent: make([]EdgeID, n),
+			epoch:  make([]uint32, n),
+		},
+	}
+}
+
+// PointRouter computes point-to-point shortest paths with early
+// termination and zero steady-state allocation. Not concurrency-safe.
+type PointRouter struct {
+	g *Graph
+	s dijkstraScratch
+}
+
+// Path returns the cheapest src→dst path, or a path with +Inf cost if
+// none exists. The returned path's Edges slice is freshly allocated
+// and owned by the caller.
+func (pr *PointRouter) Path(src, dst NodeID, filter EdgeFilter) Path {
+	if src == dst {
+		return Path{}
+	}
+	g := pr.g
+	s := &pr.s
+	s.cur++
+	seen := func(n NodeID) bool { return s.epoch[n] == s.cur }
+	touch := func(n NodeID) {
+		if !seen(n) {
+			s.epoch[n] = s.cur
+			s.dist[n] = math.Inf(1)
+			s.parent[n] = Undefined
+		}
+	}
+	touch(src)
+	s.dist[src] = 0
+	s.q = append(s.q[:0], pqItem{node: src})
+	heap.Init(&s.q)
+	for len(s.q) > 0 {
+		it := heap.Pop(&s.q).(pqItem)
+		if it.dist > s.dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break // settled: done
+		}
+		for _, eid := range g.adj[it.node] {
+			e := g.edges[eid]
+			if e.Disabled || (filter != nil && !filter(eid, e)) {
+				continue
+			}
+			touch(e.To)
+			nd := it.dist + e.Cost
+			if nd < s.dist[e.To] {
+				s.dist[e.To] = nd
+				s.parent[e.To] = eid
+				heap.Push(&s.q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if !seen(dst) || math.IsInf(s.dist[dst], 1) {
+		return Path{Cost: math.Inf(1)}
+	}
+	var rev []EdgeID
+	for n := dst; n != src; {
+		eid := s.parent[n]
+		rev = append(rev, eid)
+		n = g.edges[eid].From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{Edges: rev, Cost: s.dist[dst]}
+}

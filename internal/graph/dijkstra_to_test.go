@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointRouterMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 60)
+		pr := NewPointRouter(g)
+		for dst := 1; dst < g.NumNodes(); dst++ {
+			want := g.ShortestPath(0, NodeID(dst), nil)
+			got := pr.Path(0, NodeID(dst), nil)
+			if math.IsInf(want.Cost, 1) != math.IsInf(got.Cost, 1) {
+				return false
+			}
+			if !math.IsInf(want.Cost, 1) && math.Abs(want.Cost-got.Cost) > 1e-9 {
+				return false
+			}
+			if got.Validate(g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointRouterReusableAcrossCalls(t *testing.T) {
+	g := diamond()
+	pr := NewPointRouter(g)
+	// Many interleaved queries with different sources must not leak
+	// state (the epoch mechanism resets lazily).
+	for i := 0; i < 100; i++ {
+		if p := pr.Path(0, 3, nil); p.Cost != 2 {
+			t.Fatalf("iteration %d: cost %v", i, p.Cost)
+		}
+		if p := pr.Path(2, 3, nil); p.Cost != 2 {
+			t.Fatalf("iteration %d: reverse cost %v", i, p.Cost)
+		}
+		if p := pr.Path(3, 0, nil); !math.IsInf(p.Cost, 1) {
+			t.Fatalf("iteration %d: unreachable returned %v", i, p.Cost)
+		}
+	}
+}
+
+func TestPointRouterSelf(t *testing.T) {
+	g := diamond()
+	pr := NewPointRouter(g)
+	p := pr.Path(1, 1, nil)
+	if p.Cost != 0 || len(p.Edges) != 0 {
+		t.Fatalf("self path = %+v", p)
+	}
+}
+
+func TestPointRouterHonorsEdgeMutations(t *testing.T) {
+	g := diamond()
+	pr := NewPointRouter(g)
+	if p := pr.Path(0, 3, nil); p.Cost != 2 {
+		t.Fatalf("cost = %v", p.Cost)
+	}
+	g.SetDisabled(0, true)
+	if p := pr.Path(0, 3, nil); p.Cost != 4 {
+		t.Fatalf("after disable: cost = %v, want 4", p.Cost)
+	}
+	g.SetDisabled(0, false)
+	if p := pr.Path(0, 3, nil); p.Cost != 2 {
+		t.Fatalf("after re-enable: cost = %v, want 2", p.Cost)
+	}
+}
+
+func TestPointRouterFilter(t *testing.T) {
+	g := diamond()
+	pr := NewPointRouter(g)
+	p := pr.Path(0, 3, func(id EdgeID, e Edge) bool { return id != 0 })
+	if p.Cost != 4 {
+		t.Fatalf("filtered cost = %v, want 4", p.Cost)
+	}
+}
+
+func BenchmarkPointRouterVsDijkstra(b *testing.B) {
+	g := randomGraph(7, 60, 400)
+	pr := NewPointRouter(g)
+	b.Run("pointrouter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.Path(0, NodeID(g.NumNodes()-1), nil)
+		}
+	})
+	b.Run("full-dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.ShortestPath(0, NodeID(g.NumNodes()-1), nil)
+		}
+	})
+}

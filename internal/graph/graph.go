@@ -1,0 +1,196 @@
+// Package graph provides the directed multigraph model and the routing
+// algorithms shared by the provisioning engine (winner determination for
+// the bandwidth auction) and the fabric simulator.
+//
+// The graph is deliberately small and value-oriented: nodes are dense
+// integer IDs, edges are stored in a flat slice and referenced by index,
+// and adjacency is a slice of edge indices per node. This keeps Dijkstra
+// and max-flow allocation-free in steady state, which matters because the
+// auction's winner-determination step runs feasibility checks across
+// thousands of candidate link subsets.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: a graph with N
+// nodes uses IDs 0..N-1.
+type NodeID int
+
+// EdgeID identifies an edge by its index in the graph's edge slice.
+type EdgeID int
+
+// Undefined is returned by lookups that find no node or edge.
+const Undefined = -1
+
+// Edge is a directed edge with a routing cost and a capacity.
+//
+// The provisioning engine treats Cost as the routing metric (typically
+// link latency or distance) and Capacity as the leased bandwidth in
+// Gbps. Disabled edges remain in the slice (so EdgeIDs stay stable) but
+// are skipped by all algorithms; the auction uses this to evaluate
+// subsets of the offered links without rebuilding the graph.
+type Edge struct {
+	From     NodeID
+	To       NodeID
+	Cost     float64
+	Capacity float64
+	Disabled bool
+}
+
+// Graph is a directed multigraph. The zero value is an empty graph
+// ready to use.
+type Graph struct {
+	edges []Edge
+	adj   [][]EdgeID // outgoing edge indices per node
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]EdgeID, n)}
+}
+
+// Clone returns a deep copy of g. Mutating the clone's edges (for
+// example disabling them during a failure sweep) does not affect g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		edges: append([]Edge(nil), g.edges...),
+		adj:   make([][]EdgeID, len(g.adj)),
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]EdgeID(nil), a...)
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of edges, including disabled ones.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a new node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// AddEdge appends a directed edge and returns its ID. Cost must be
+// non-negative; a negative capacity is treated as unbounded.
+func (g *Graph) AddEdge(from, to NodeID, cost, capacity float64) EdgeID {
+	if from < 0 || int(from) >= len(g.adj) || to < 0 || int(to) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range for %d nodes", from, to, len(g.adj)))
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("graph: negative edge cost %v", cost))
+	}
+	if capacity < 0 {
+		capacity = math.Inf(1)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{From: from, To: to, Cost: cost, Capacity: capacity})
+	g.adj[from] = append(g.adj[from], id)
+	return id
+}
+
+// AddBiEdge adds a pair of directed edges (one per direction) with the
+// same cost and capacity and returns both IDs.
+func (g *Graph) AddBiEdge(a, b NodeID, cost, capacity float64) (EdgeID, EdgeID) {
+	return g.AddEdge(a, b, cost, capacity), g.AddEdge(b, a, cost, capacity)
+}
+
+// Edge returns a copy of the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge {
+	return g.edges[id]
+}
+
+// SetDisabled marks an edge (not) usable by the algorithms.
+func (g *Graph) SetDisabled(id EdgeID, disabled bool) {
+	g.edges[id].Disabled = disabled
+}
+
+// SetCapacity overwrites an edge's capacity.
+func (g *Graph) SetCapacity(id EdgeID, capacity float64) {
+	if capacity < 0 {
+		capacity = math.Inf(1)
+	}
+	g.edges[id].Capacity = capacity
+}
+
+// Out returns the IDs of the outgoing edges of n, including disabled
+// ones. The returned slice must not be modified.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.adj[n] }
+
+// Degree returns the number of enabled outgoing edges of n.
+func (g *Graph) Degree(n NodeID) int {
+	d := 0
+	for _, id := range g.adj[n] {
+		if !g.edges[id].Disabled {
+			d++
+		}
+	}
+	return d
+}
+
+// Path is a sequence of edge IDs forming a walk from a source to a
+// destination, together with its total routing cost.
+type Path struct {
+	Edges []EdgeID
+	Cost  float64
+}
+
+// Nodes returns the node sequence of the path in g, starting at the
+// first edge's From node. An empty path returns nil.
+func (p Path) Nodes(g *Graph) []NodeID {
+	if len(p.Edges) == 0 {
+		return nil
+	}
+	nodes := make([]NodeID, 0, len(p.Edges)+1)
+	nodes = append(nodes, g.edges[p.Edges[0]].From)
+	for _, id := range p.Edges {
+		nodes = append(nodes, g.edges[id].To)
+	}
+	return nodes
+}
+
+// MinCapacity returns the smallest capacity along the path, or +Inf for
+// an empty path.
+func (p Path) MinCapacity(g *Graph) float64 {
+	min := math.Inf(1)
+	for _, id := range p.Edges {
+		if c := g.edges[id].Capacity; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Validate checks that the path's edges are contiguous in g and
+// returns an error describing the first inconsistency.
+func (p Path) Validate(g *Graph) error {
+	for i := 1; i < len(p.Edges); i++ {
+		prev, cur := g.edges[p.Edges[i-1]], g.edges[p.Edges[i]]
+		if prev.To != cur.From {
+			return fmt.Errorf("graph: path discontinuous at hop %d: edge %d ends at %d, edge %d starts at %d",
+				i, p.Edges[i-1], prev.To, p.Edges[i], cur.From)
+		}
+	}
+	return nil
+}
+
+// EdgesBetween returns the IDs of enabled edges from a to b, sorted by
+// ascending cost.
+func (g *Graph) EdgesBetween(a, b NodeID) []EdgeID {
+	var out []EdgeID
+	for _, id := range g.adj[a] {
+		e := g.edges[id]
+		if !e.Disabled && e.To == b {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return g.edges[out[i]].Cost < g.edges[out[j]].Cost })
+	return out
+}

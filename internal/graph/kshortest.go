@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to
+// dst in ascending cost order, using Yen's algorithm. It returns fewer
+// than k paths when the graph does not contain that many distinct
+// loopless paths.
+//
+// The provisioning engine splits a demand across several paths when a
+// single shortest path lacks capacity, and the resilience constraints
+// (#2 and #3 in the paper's auction evaluation) need alternatives to
+// the primary path.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, filter EdgeFilter) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first := g.ShortestPath(src, dst, filter)
+	if math.IsInf(first.Cost, 1) {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	banned := make(map[EdgeID]bool)
+	bannedNodes := make(map[NodeID]bool)
+	combined := func(id EdgeID, e Edge) bool {
+		if banned[id] || bannedNodes[e.From] || bannedNodes[e.To] {
+			return false
+		}
+		return filter == nil || filter(id, e)
+	}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from each node of the previous path except the last.
+		for i := 0; i < len(prev.Edges); i++ {
+			spurNode := prevNodes[i]
+			rootEdges := prev.Edges[:i]
+
+			// Ban edges that would recreate an already-found path with
+			// the same root.
+			for k := range banned {
+				delete(banned, k)
+			}
+			for n := range bannedNodes {
+				delete(bannedNodes, n)
+			}
+			for _, p := range paths {
+				if len(p.Edges) > i && equalPrefix(p.Edges, rootEdges) {
+					banned[p.Edges[i]] = true
+				}
+			}
+			// Ban root nodes (except the spur node) to keep paths loopless.
+			for _, n := range prevNodes[:i] {
+				bannedNodes[n] = true
+			}
+
+			spur := g.ShortestPath(spurNode, dst, combined)
+			if math.IsInf(spur.Cost, 1) {
+				continue
+			}
+			total := Path{
+				Edges: append(append([]EdgeID(nil), rootEdges...), spur.Edges...),
+			}
+			for _, eid := range total.Edges {
+				total.Cost += g.edges[eid].Cost
+			}
+			if !containsPath(candidates, total) && !containsPath(paths, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// EdgeDisjointPaths returns a maximal set of pairwise edge-disjoint
+// src→dst paths found greedily by repeated shortest-path searches,
+// removing each found path's edges before the next search. The result
+// is not guaranteed maximum (use MaxFlow with unit capacities for the
+// exact count) but is deterministic and fast, and is what the
+// resilience checks use to prove survivability.
+func (g *Graph) EdgeDisjointPaths(src, dst NodeID, limit int, filter EdgeFilter) []Path {
+	used := make(map[EdgeID]bool)
+	combined := func(id EdgeID, e Edge) bool {
+		if used[id] {
+			return false
+		}
+		return filter == nil || filter(id, e)
+	}
+	var out []Path
+	for limit <= 0 || len(out) < limit {
+		p := g.ShortestPath(src, dst, combined)
+		if math.IsInf(p.Cost, 1) || len(p.Edges) == 0 {
+			break
+		}
+		for _, eid := range p.Edges {
+			used[eid] = true
+		}
+		out = append(out, p)
+		if limit <= 0 && len(out) > g.NumEdges() {
+			break // safety against pathological graphs
+		}
+	}
+	return out
+}
+
+func equalPrefix(p []EdgeID, prefix []EdgeID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if len(p.Edges) != len(q.Edges) {
+			continue
+		}
+		same := true
+		for i := range p.Edges {
+			if p.Edges[i] != q.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package graph
+
+import "math"
+
+// MaxFlow computes the maximum s→t flow over the enabled edges of g
+// using Edmonds–Karp (BFS augmenting paths). Edge capacities are read
+// from the graph; infinite capacities are supported. The graph itself
+// is not modified.
+//
+// The provisioning engine uses max-flow both to verify point-to-point
+// deliverability of a demand and to compute cut bounds that prune the
+// winner-determination search.
+func (g *Graph) MaxFlow(s, t NodeID, filter EdgeFilter) float64 {
+	if s == t {
+		return math.Inf(1)
+	}
+	n := g.NumNodes()
+	m := g.NumEdges()
+
+	// Residual capacities: forward per edge plus a reverse residual per
+	// edge (indexed m+id).
+	res := make([]float64, 2*m)
+	for i, e := range g.edges {
+		if e.Disabled || (filter != nil && !filter(EdgeID(i), e)) {
+			continue
+		}
+		res[i] = e.Capacity
+	}
+
+	// Residual adjacency: for each node, the residual arc indices that
+	// leave it. Forward arc i leaves edges[i].From; reverse arc m+i
+	// leaves edges[i].To.
+	radj := make([][]int32, n)
+	for i, e := range g.edges {
+		if res[i] <= 0 {
+			continue
+		}
+		radj[e.From] = append(radj[e.From], int32(i))
+		radj[e.To] = append(radj[e.To], int32(m+i))
+	}
+
+	arcTo := func(a int) NodeID {
+		if a < m {
+			return g.edges[a].To
+		}
+		return g.edges[a-m].From
+	}
+	arcRev := func(a int) int {
+		if a < m {
+			return a + m
+		}
+		return a - m
+	}
+
+	total := 0.0
+	parent := make([]int32, n) // residual arc used to reach node
+	queue := make([]NodeID, 0, n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue = append(queue[:0], s)
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range radj[u] {
+				if res[a] <= 1e-12 {
+					continue
+				}
+				v := arcTo(int(a))
+				if parent[v] != -1 {
+					continue
+				}
+				parent[v] = a
+				if v == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			return total
+		}
+		// Find bottleneck.
+		bottleneck := math.Inf(1)
+		for v := t; v != s; {
+			a := int(parent[v])
+			if res[a] < bottleneck {
+				bottleneck = res[a]
+			}
+			if a < m {
+				v = g.edges[a].From
+			} else {
+				v = g.edges[a-m].To
+			}
+		}
+		if math.IsInf(bottleneck, 1) {
+			return math.Inf(1) // an all-infinite augmenting path
+		}
+		// Apply.
+		for v := t; v != s; {
+			a := int(parent[v])
+			res[a] -= bottleneck
+			res[arcRev(a)] += bottleneck
+			if a < m {
+				v = g.edges[a].From
+			} else {
+				v = g.edges[a-m].To
+			}
+		}
+		total += bottleneck
+	}
+}
+
+// MinCut returns the capacity of the minimum s→t cut, which equals the
+// max flow, along with the set of nodes on the source side of the cut.
+func (g *Graph) MinCut(s, t NodeID, filter EdgeFilter) (float64, []NodeID) {
+	flow := g.MaxFlow(s, t, filter)
+	// Re-run a residual BFS to find the source side. We recompute the
+	// residual network by pushing the max flow again; simpler and still
+	// O(VE^2) overall: rerun Edmonds-Karp capturing residuals.
+	n := g.NumNodes()
+	m := g.NumEdges()
+	res := make([]float64, 2*m)
+	for i, e := range g.edges {
+		if e.Disabled || (filter != nil && !filter(EdgeID(i), e)) {
+			continue
+		}
+		res[i] = e.Capacity
+	}
+	radj := make([][]int32, n)
+	for i, e := range g.edges {
+		if res[i] <= 0 {
+			continue
+		}
+		radj[e.From] = append(radj[e.From], int32(i))
+		radj[e.To] = append(radj[e.To], int32(m+i))
+	}
+	arcTo := func(a int) NodeID {
+		if a < m {
+			return g.edges[a].To
+		}
+		return g.edges[a-m].From
+	}
+	arcRev := func(a int) int {
+		if a < m {
+			return a + m
+		}
+		return a - m
+	}
+	parent := make([]int32, n)
+	queue := make([]NodeID, 0, n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue = append(queue[:0], s)
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range radj[u] {
+				if res[a] <= 1e-12 {
+					continue
+				}
+				v := arcTo(int(a))
+				if parent[v] != -1 {
+					continue
+				}
+				parent[v] = a
+				if v == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			// parent[] marks the source side.
+			var side []NodeID
+			for i, p := range parent {
+				if p != -1 {
+					side = append(side, NodeID(i))
+				}
+			}
+			return flow, side
+		}
+		bottleneck := math.Inf(1)
+		for v := t; v != s; {
+			a := int(parent[v])
+			if res[a] < bottleneck {
+				bottleneck = res[a]
+			}
+			if a < m {
+				v = g.edges[a].From
+			} else {
+				v = g.edges[a-m].To
+			}
+		}
+		if math.IsInf(bottleneck, 1) {
+			bottleneck = 1e18
+		}
+		for v := t; v != s; {
+			a := int(parent[v])
+			res[a] -= bottleneck
+			res[arcRev(a)] += bottleneck
+			if a < m {
+				v = g.edges[a].From
+			} else {
+				v = g.edges[a-m].To
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package interdomain
+
+import "fmt"
+
+// Hierarchy describes a synthetic status-quo Internet: a full mesh of
+// tier-1 providers, a layer of regional ISPs multihomed to the
+// tier-1s, and stubs buying transit from regionals. It is the
+// baseline instance for comparing today's transit economics against
+// the POC's.
+type Hierarchy struct {
+	Topology  *Topology
+	Tier1s    []ASN
+	Regionals []ASN
+	Stubs     []ASN
+}
+
+// SyntheticHierarchy builds the baseline: numTier1 tier-1s in a full
+// peering mesh; numRegional regionals, each a customer of two tier-1s
+// (round-robin); stubsPerRegional stubs under each regional, with
+// every adjacent pair of stubs (across regional boundaries) peering —
+// the IXP-style edge peering §2.1 notes is growing.
+func SyntheticHierarchy(numTier1, numRegional, stubsPerRegional int) (*Hierarchy, error) {
+	if numTier1 < 1 || numRegional < 1 || stubsPerRegional < 1 {
+		return nil, fmt.Errorf("interdomain: hierarchy needs at least one AS per layer")
+	}
+	h := &Hierarchy{Topology: NewTopology()}
+	next := ASN(1)
+	for i := 0; i < numTier1; i++ {
+		h.Tier1s = append(h.Tier1s, next)
+		next++
+	}
+	for i := 0; i < numTier1; i++ {
+		for j := i + 1; j < numTier1; j++ {
+			if err := h.Topology.AddPeering(h.Tier1s[i], h.Tier1s[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < numRegional; i++ {
+		r := next
+		next++
+		h.Regionals = append(h.Regionals, r)
+		if err := h.Topology.AddCustomerProvider(r, h.Tier1s[i%numTier1]); err != nil {
+			return nil, err
+		}
+		if numTier1 > 1 {
+			if err := h.Topology.AddCustomerProvider(r, h.Tier1s[(i+1)%numTier1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < numRegional; i++ {
+		for s := 0; s < stubsPerRegional; s++ {
+			stub := next
+			next++
+			h.Stubs = append(h.Stubs, stub)
+			if err := h.Topology.AddCustomerProvider(stub, h.Regionals[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Edge peerings between consecutive stubs.
+	for i := 0; i+1 < len(h.Stubs); i += 2 {
+		if err := h.Topology.AddPeering(h.Stubs[i], h.Stubs[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// BaselineComparison quantifies §2.5: what a stub pays for universal
+// reachability under the status quo (per-unit transit through its
+// providers) versus attached to a POC (one break-even usage price for
+// everything).
+type BaselineComparison struct {
+	Stub ASN
+	// Destinations reachable under the status quo.
+	Reachable int
+	// PaidDestinations reached only through paid provider routes.
+	PaidDestinations int
+	// StatusQuoBill at unit volume per destination.
+	StatusQuoBill float64
+	// POCBill for the same volume at the POC's break-even price.
+	POCBill float64
+}
+
+// CompareStubTransit runs the comparison for one stub. transitPrice
+// is the per-unit provider price in the status quo; pocPrice the
+// POC's break-even per-unit price (typically lower: the POC has no
+// margin and no market power).
+func (h *Hierarchy) CompareStubTransit(stub ASN, transitPrice, pocPrice float64) (BaselineComparison, error) {
+	reach := h.Topology.Reachable(stub)
+	vol := map[ASN]float64{}
+	for _, dst := range reach {
+		vol[dst] = 1
+	}
+	bill, err := h.Topology.TransitBill(stub, vol, transitPrice)
+	if err != nil {
+		return BaselineComparison{}, err
+	}
+	paid := 0
+	for _, dst := range reach {
+		r, ok := h.Topology.BestRoute(stub, dst)
+		if ok && r.FirstHop == CustomerOf {
+			paid++
+		}
+	}
+	return BaselineComparison{
+		Stub:             stub,
+		Reachable:        len(reach),
+		PaidDestinations: paid,
+		StatusQuoBill:    bill,
+		POCBill:          float64(len(reach)) * pocPrice,
+	}, nil
+}

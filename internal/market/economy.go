@@ -1,0 +1,168 @@
+package market
+
+import (
+	"fmt"
+)
+
+// Economy wires a complete POC ecosystem over a Ledger: one POC, a
+// set of BPs and external ISPs, LMPs with customers, and CSPs that
+// are either directly attached to the POC or served by an LMP. It
+// executes the §3.2 settlement each epoch.
+type Economy struct {
+	Ledger *Ledger
+
+	POCID EntityID
+	BPs   []EntityID
+	ISPs  []EntityID
+	LMPs  []LMPAccount
+	CSPs  []CSPAccount
+}
+
+// LMPAccount is one LMP's billing state.
+type LMPAccount struct {
+	ID        EntityID
+	Customers []CustomerAccount
+	// POCPlan prices the LMP's transit from the POC.
+	POCPlan Plan
+	// RetailPlan prices each customer's access.
+	RetailPlan Plan
+}
+
+// CustomerAccount is one customer's billing state.
+type CustomerAccount struct {
+	ID EntityID
+	// UsageGB is the customer's traffic this epoch.
+	UsageGB float64
+	// Subscriptions maps CSP index (into Economy.CSPs) to the monthly
+	// service fee the customer pays.
+	Subscriptions map[int]float64
+}
+
+// CSPAccount is one CSP's billing state.
+type CSPAccount struct {
+	ID EntityID
+	// Direct reports whether the CSP attaches straight to the POC; if
+	// false, ViaLMP names the serving LMP (index into Economy.LMPs).
+	Direct bool
+	ViaLMP int
+	// POCPlan (direct) or LMPPlan (via LMP) prices the CSP's access.
+	AccessPlan Plan
+	// UsageGB is the CSP's egress this epoch.
+	UsageGB float64
+}
+
+// NewEconomy builds an economy with the given participant counts,
+// registering every entity in a fresh ledger. Plans and usage start
+// zeroed; callers populate them before settling.
+func NewEconomy(numBPs, numISPs, numLMPs, numCSPs int) *Economy {
+	l := &Ledger{}
+	e := &Economy{Ledger: l}
+	e.POCID = l.AddEntity(POC, "poc")
+	for i := 0; i < numBPs; i++ {
+		e.BPs = append(e.BPs, l.AddEntity(BandwidthProvider, fmt.Sprintf("bp%02d", i)))
+	}
+	for i := 0; i < numISPs; i++ {
+		e.ISPs = append(e.ISPs, l.AddEntity(ExternalISP, fmt.Sprintf("isp%02d", i)))
+	}
+	for i := 0; i < numLMPs; i++ {
+		e.LMPs = append(e.LMPs, LMPAccount{ID: l.AddEntity(LastMileProvider, fmt.Sprintf("lmp%02d", i))})
+	}
+	for i := 0; i < numCSPs; i++ {
+		e.CSPs = append(e.CSPs, CSPAccount{ID: l.AddEntity(ContentProvider, fmt.Sprintf("csp%02d", i))})
+	}
+	return e
+}
+
+// AddCustomer registers a customer with the given LMP and returns its
+// index within that LMP's account.
+func (e *Economy) AddCustomer(lmp int, name string) int {
+	id := e.Ledger.AddEntity(Customer, name)
+	e.LMPs[lmp].Customers = append(e.LMPs[lmp].Customers, CustomerAccount{
+		ID:            id,
+		Subscriptions: map[int]float64{},
+	})
+	return len(e.LMPs[lmp].Customers) - 1
+}
+
+// SettleEpoch executes one epoch's §3.2 payments:
+//
+//	POC → BPs (auction payments), POC → ISPs (contracts),
+//	LMPs → POC, direct CSPs → POC,
+//	customers → LMPs, customers → CSPs, via-LMP CSPs → LMPs.
+//
+// leasePayments[i] pays BP i; ispContracts[i] pays ISP i. It then
+// closes the epoch.
+func (e *Economy) SettleEpoch(leasePayments, ispContracts []float64) error {
+	if len(leasePayments) != len(e.BPs) {
+		return fmt.Errorf("market: %d lease payments for %d BPs", len(leasePayments), len(e.BPs))
+	}
+	if len(ispContracts) != len(e.ISPs) {
+		return fmt.Errorf("market: %d contracts for %d ISPs", len(ispContracts), len(e.ISPs))
+	}
+	l := e.Ledger
+	for i, amt := range leasePayments {
+		if amt == 0 {
+			continue
+		}
+		if err := l.Pay(e.POCID, e.BPs[i], LinkLease, amt, "auction payment"); err != nil {
+			return err
+		}
+	}
+	for i, amt := range ispContracts {
+		if amt == 0 {
+			continue
+		}
+		if err := l.Pay(e.POCID, e.ISPs[i], ISPContract, amt, "general access"); err != nil {
+			return err
+		}
+	}
+	for li, lmp := range e.LMPs {
+		// LMP pays the POC for its aggregate transit.
+		usage := 0.0
+		for _, c := range lmp.Customers {
+			usage += c.UsageGB
+		}
+		if lmp.POCPlan != nil {
+			if err := l.Pay(lmp.ID, e.POCID, POCAccess, lmp.POCPlan.Charge(usage), "transit"); err != nil {
+				return err
+			}
+		}
+		// Customers pay the LMP and their CSPs.
+		for _, c := range lmp.Customers {
+			if lmp.RetailPlan != nil {
+				if err := l.Pay(c.ID, lmp.ID, LMPAccess, lmp.RetailPlan.Charge(c.UsageGB), "access"); err != nil {
+					return err
+				}
+			}
+			for csp, fee := range c.Subscriptions {
+				if csp < 0 || csp >= len(e.CSPs) {
+					return fmt.Errorf("market: customer subscribes to unknown CSP %d", csp)
+				}
+				if err := l.Pay(c.ID, e.CSPs[csp].ID, ServiceFee, fee, "subscription"); err != nil {
+					return err
+				}
+			}
+		}
+		_ = li
+	}
+	for _, csp := range e.CSPs {
+		if csp.AccessPlan == nil {
+			continue
+		}
+		charge := csp.AccessPlan.Charge(csp.UsageGB)
+		if csp.Direct {
+			if err := l.Pay(csp.ID, e.POCID, POCAccess, charge, "direct attach"); err != nil {
+				return err
+			}
+		} else {
+			if csp.ViaLMP < 0 || csp.ViaLMP >= len(e.LMPs) {
+				return fmt.Errorf("market: CSP routed via unknown LMP %d", csp.ViaLMP)
+			}
+			if err := l.Pay(csp.ID, e.LMPs[csp.ViaLMP].ID, LMPAccess, charge, "csp access"); err != nil {
+				return err
+			}
+		}
+	}
+	l.CloseEpoch()
+	return nil
+}

@@ -1,0 +1,335 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLedgerLegalFlows(t *testing.T) {
+	l := &Ledger{}
+	poc := l.AddEntity(POC, "poc")
+	bp := l.AddEntity(BandwidthProvider, "bp")
+	isp := l.AddEntity(ExternalISP, "isp")
+	lmp := l.AddEntity(LastMileProvider, "lmp")
+	csp := l.AddEntity(ContentProvider, "csp")
+	cust := l.AddEntity(Customer, "alice")
+
+	legal := []struct {
+		from, to EntityID
+		kind     FlowKind
+	}{
+		{poc, bp, LinkLease},
+		{poc, isp, ISPContract},
+		{lmp, poc, POCAccess},
+		{csp, poc, POCAccess},
+		{cust, lmp, LMPAccess},
+		{csp, lmp, LMPAccess},
+		{cust, csp, ServiceFee},
+	}
+	for _, f := range legal {
+		if err := l.Pay(f.from, f.to, f.kind, 10, ""); err != nil {
+			t.Errorf("legal flow %v rejected: %v", f.kind, err)
+		}
+	}
+}
+
+func TestLedgerIllegalFlows(t *testing.T) {
+	l := &Ledger{}
+	poc := l.AddEntity(POC, "poc")
+	bp := l.AddEntity(BandwidthProvider, "bp")
+	lmp := l.AddEntity(LastMileProvider, "lmp")
+	csp := l.AddEntity(ContentProvider, "csp")
+	cust := l.AddEntity(Customer, "alice")
+
+	illegal := []struct {
+		name     string
+		from, to EntityID
+		kind     FlowKind
+	}{
+		{"BP pays POC lease", bp, poc, LinkLease},
+		{"customer pays POC", cust, poc, POCAccess},
+		{"LMP pays customer", lmp, cust, LMPAccess},
+		{"CSP pays customer service", csp, cust, ServiceFee},
+		{"POC pays LMP", poc, lmp, POCAccess},
+		{"termination fee under NN terms", csp, lmp, TerminationFee},
+	}
+	for _, f := range illegal {
+		if err := l.Pay(f.from, f.to, f.kind, 10, ""); err == nil {
+			t.Errorf("%s: accepted", f.name)
+		}
+	}
+	if err := l.Pay(cust, csp, ServiceFee, -5, ""); err == nil {
+		t.Error("negative payment accepted")
+	}
+	if err := l.Pay(99, csp, ServiceFee, 5, ""); err == nil {
+		t.Error("unknown payer accepted")
+	}
+	if err := l.Pay(cust, 99, ServiceFee, 5, ""); err == nil {
+		t.Error("unknown payee accepted")
+	}
+	if err := l.Pay(cust, csp, FlowKind(42), 5, ""); err == nil {
+		t.Error("unknown flow kind accepted")
+	}
+}
+
+func TestTerminationFeesOnlyWhenAllowed(t *testing.T) {
+	l := &Ledger{AllowTerminationFees: true}
+	lmp := l.AddEntity(LastMileProvider, "lmp")
+	csp := l.AddEntity(ContentProvider, "csp")
+	if err := l.Pay(csp, lmp, TerminationFee, 10, "UR counterfactual"); err != nil {
+		t.Fatalf("UR ledger rejected termination fee: %v", err)
+	}
+	if err := l.Pay(lmp, csp, TerminationFee, 10, ""); err == nil {
+		t.Fatal("reverse termination fee accepted")
+	}
+}
+
+func TestBalancesAndConservation(t *testing.T) {
+	l := &Ledger{}
+	poc := l.AddEntity(POC, "poc")
+	bp := l.AddEntity(BandwidthProvider, "bp")
+	lmp := l.AddEntity(LastMileProvider, "lmp")
+	if err := l.Pay(poc, bp, LinkLease, 100, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Pay(lmp, poc, POCAccess, 130, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(poc, -1); got != 30 {
+		t.Fatalf("POC balance = %v, want 30", got)
+	}
+	if got := l.POCBalance(-1); got != 30 {
+		t.Fatalf("POCBalance = %v, want 30", got)
+	}
+	if got := l.Balance(bp, -1); got != 100 {
+		t.Fatalf("BP balance = %v, want 100", got)
+	}
+	if c := l.Conservation(); c != 0 {
+		t.Fatalf("conservation = %v, want 0", c)
+	}
+}
+
+func TestEpochScoping(t *testing.T) {
+	l := &Ledger{}
+	poc := l.AddEntity(POC, "poc")
+	lmp := l.AddEntity(LastMileProvider, "lmp")
+	if err := l.Pay(lmp, poc, POCAccess, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	l.CloseEpoch()
+	if err := l.Pay(lmp, poc, POCAccess, 25, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.POCBalance(0); got != 10 {
+		t.Fatalf("epoch 0 = %v, want 10", got)
+	}
+	if got := l.POCBalance(1); got != 25 {
+		t.Fatalf("epoch 1 = %v, want 25", got)
+	}
+	if got := l.POCBalance(-1); got != 35 {
+		t.Fatalf("all epochs = %v, want 35", got)
+	}
+	if n := len(l.Payments(1)); n != 1 {
+		t.Fatalf("epoch 1 payments = %d, want 1", n)
+	}
+	if tot := l.TotalsByKind(-1)[POCAccess]; tot != 35 {
+		t.Fatalf("totals = %v, want 35", tot)
+	}
+}
+
+func TestEntitiesByKind(t *testing.T) {
+	l := &Ledger{}
+	l.AddEntity(POC, "poc")
+	a := l.AddEntity(BandwidthProvider, "a")
+	b := l.AddEntity(BandwidthProvider, "b")
+	got := l.EntitiesByKind(BandwidthProvider)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if POC.String() != "POC" || Customer.String() != "customer" || EntityKind(99).String() == "" {
+		t.Fatal("EntityKind strings")
+	}
+	if LinkLease.String() != "link-lease" || FlowKind(99).String() == "" {
+		t.Fatal("FlowKind strings")
+	}
+}
+
+func TestPlans(t *testing.T) {
+	if got := (FlatPlan{Price: 50}).Charge(1e9); got != 50 {
+		t.Fatalf("flat = %v", got)
+	}
+	if got := (UsagePlan{PerGB: 0.1}).Charge(250); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("usage = %v", got)
+	}
+	if got := (UsagePlan{PerGB: 0.1}).Charge(-5); got != 0 {
+		t.Fatalf("negative usage = %v", got)
+	}
+	tiered := TieredPlan{Base: 30, IncludedGB: 100, OveragePer: 0.2}
+	if got := tiered.Charge(80); got != 30 {
+		t.Fatalf("tiered under = %v", got)
+	}
+	if got := tiered.Charge(150); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("tiered over = %v", got)
+	}
+	for _, p := range []Plan{FlatPlan{1}, UsagePlan{1}, tiered} {
+		if p.Describe() == "" {
+			t.Fatal("empty description")
+		}
+	}
+}
+
+func TestBreakEvenUsagePlan(t *testing.T) {
+	p, err := BreakEvenUsagePlan(1000, 10000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.PerGB-0.105) > 1e-12 {
+		t.Fatalf("per GB = %v, want 0.105", p.PerGB)
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := BreakEvenUsagePlan(1000, 0, 0); return err },
+		func() error { _, err := BreakEvenUsagePlan(1000, 100, -0.1); return err },
+		func() error { _, err := BreakEvenUsagePlan(1000, 100, 1); return err },
+		func() error { _, err := BreakEvenUsagePlan(-1, 100, 0); return err },
+		func() error { _, err := BreakEvenUsagePlan(math.Inf(1), 100, 0); return err },
+	} {
+		if bad() == nil {
+			t.Fatal("expected error")
+		}
+	}
+}
+
+func buildEconomy(t testing.TB) *Economy {
+	e := NewEconomy(2, 1, 2, 2)
+	// LMP 0: 2 customers; LMP 1: 1 customer.
+	e.AddCustomer(0, "alice")
+	e.AddCustomer(0, "bob")
+	e.AddCustomer(1, "carol")
+	for li := range e.LMPs {
+		e.LMPs[li].POCPlan = UsagePlan{PerGB: 0.01}
+		e.LMPs[li].RetailPlan = TieredPlan{Base: 40, IncludedGB: 500, OveragePer: 0.05}
+	}
+	e.LMPs[0].Customers[0].UsageGB = 300
+	e.LMPs[0].Customers[0].Subscriptions[0] = 15 // alice subscribes to csp0
+	e.LMPs[0].Customers[1].UsageGB = 800
+	e.LMPs[1].Customers[0].UsageGB = 100
+	e.LMPs[1].Customers[0].Subscriptions[1] = 10
+	// CSP 0 attaches directly; CSP 1 via LMP 1.
+	e.CSPs[0].Direct = true
+	e.CSPs[0].AccessPlan = UsagePlan{PerGB: 0.008}
+	e.CSPs[0].UsageGB = 5000
+	e.CSPs[1].ViaLMP = 1
+	e.CSPs[1].AccessPlan = UsagePlan{PerGB: 0.02}
+	e.CSPs[1].UsageGB = 1000
+	return e
+}
+
+func TestEconomySettlement(t *testing.T) {
+	e := buildEconomy(t)
+	if err := e.SettleEpoch([]float64{500, 300}, []float64{200}); err != nil {
+		t.Fatal(err)
+	}
+	l := e.Ledger
+	if c := l.Conservation(); c != 0 {
+		t.Fatalf("conservation = %v", c)
+	}
+	// POC income: LMP transit 0.01*(1100+100)=12, CSP0 direct 40.
+	// POC outgo: 500+300+200 = 1000. Net = 52 − 1000.
+	want := 12.0 + 40 - 1000
+	if got := l.POCBalance(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("POC balance = %v, want %v", got, want)
+	}
+	// Customers only pay; their balances are negative.
+	for _, cid := range l.EntitiesByKind(Customer) {
+		if l.Balance(cid, 0) >= 0 {
+			t.Fatalf("customer %d balance non-negative", cid)
+		}
+	}
+	// Epoch advanced.
+	if l.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", l.Epoch())
+	}
+}
+
+func TestEconomyBreakEvenLoop(t *testing.T) {
+	// The nonprofit POC prices transit to recover its costs: with
+	// break-even pricing the POC balance per epoch is >= 0 and small.
+	e := buildEconomy(t)
+	leaseCost := 800.0
+	ispCost := 200.0
+	// Expected usage = LMP transit GB + direct CSP GB.
+	expected := 1100.0 + 100 + 5000
+	plan, err := BreakEvenUsagePlan(leaseCost+ispCost, expected, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range e.LMPs {
+		e.LMPs[li].POCPlan = plan
+	}
+	e.CSPs[0].AccessPlan = plan
+	if err := e.SettleEpoch([]float64{500, 300}, []float64{200}); err != nil {
+		t.Fatal(err)
+	}
+	bal := e.Ledger.POCBalance(0)
+	if bal < 0 {
+		t.Fatalf("POC lost money: %v", bal)
+	}
+	if bal > (leaseCost+ispCost)*0.05 {
+		t.Fatalf("POC profit %v exceeds reserve policy", bal)
+	}
+}
+
+func TestSettleEpochValidation(t *testing.T) {
+	e := buildEconomy(t)
+	if err := e.SettleEpoch([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("wrong lease payment count accepted")
+	}
+	if err := e.SettleEpoch([]float64{1, 2}, nil); err == nil {
+		t.Fatal("wrong contract count accepted")
+	}
+	e.LMPs[0].Customers[0].Subscriptions[99] = 5
+	if err := e.SettleEpoch([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("unknown CSP subscription accepted")
+	}
+	delete(e.LMPs[0].Customers[0].Subscriptions, 99)
+	e.CSPs[1].ViaLMP = 42
+	if err := e.SettleEpoch([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("unknown via-LMP accepted")
+	}
+}
+
+// Property: conservation holds for any sequence of legal payments.
+func TestQuickConservation(t *testing.T) {
+	f := func(amounts []uint16) bool {
+		l := &Ledger{}
+		poc := l.AddEntity(POC, "poc")
+		bp := l.AddEntity(BandwidthProvider, "bp")
+		lmp := l.AddEntity(LastMileProvider, "lmp")
+		cust := l.AddEntity(Customer, "u")
+		csp := l.AddEntity(ContentProvider, "csp")
+		for i, a := range amounts {
+			amt := float64(a)
+			switch i % 4 {
+			case 0:
+				_ = l.Pay(poc, bp, LinkLease, amt, "")
+			case 1:
+				_ = l.Pay(lmp, poc, POCAccess, amt, "")
+			case 2:
+				_ = l.Pay(cust, lmp, LMPAccess, amt, "")
+			case 3:
+				_ = l.Pay(cust, csp, ServiceFee, amt, "")
+			}
+			if i%5 == 4 {
+				l.CloseEpoch()
+			}
+		}
+		return math.Abs(l.Conservation()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

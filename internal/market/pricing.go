@@ -1,0 +1,81 @@
+package market
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan prices network access for a billing period given usage. §3.2
+// explicitly leaves the pricing scheme between any pair of entities
+// open ("flat price, or a strictly usage-based charge, or some form
+// of tiered service") as long as it is not discriminatory; these
+// implementations cover the three families the paper names.
+type Plan interface {
+	// Charge returns the price for the period given usage in GB.
+	Charge(usageGB float64) float64
+	// Describe returns a human-readable summary for posted-price
+	// publication (non-discrimination requires the plan be public).
+	Describe() string
+}
+
+// FlatPlan charges a fixed price regardless of usage.
+type FlatPlan struct{ Price float64 }
+
+// Charge implements Plan.
+func (p FlatPlan) Charge(usageGB float64) float64 { return p.Price }
+
+// Describe implements Plan.
+func (p FlatPlan) Describe() string { return fmt.Sprintf("flat %.2f/period", p.Price) }
+
+// UsagePlan charges strictly per GB.
+type UsagePlan struct{ PerGB float64 }
+
+// Charge implements Plan.
+func (p UsagePlan) Charge(usageGB float64) float64 {
+	if usageGB < 0 {
+		return 0
+	}
+	return p.PerGB * usageGB
+}
+
+// Describe implements Plan.
+func (p UsagePlan) Describe() string { return fmt.Sprintf("%.4f/GB", p.PerGB) }
+
+// TieredPlan charges a flat price up to IncludedGB, then per-GB
+// overage — the "flat price up to a given level of usage" family.
+type TieredPlan struct {
+	Base       float64
+	IncludedGB float64
+	OveragePer float64
+}
+
+// Charge implements Plan.
+func (p TieredPlan) Charge(usageGB float64) float64 {
+	if usageGB <= p.IncludedGB {
+		return p.Base
+	}
+	return p.Base + (usageGB-p.IncludedGB)*p.OveragePer
+}
+
+// Describe implements Plan.
+func (p TieredPlan) Describe() string {
+	return fmt.Sprintf("%.2f incl %.0fGB then %.4f/GB", p.Base, p.IncludedGB, p.OveragePer)
+}
+
+// BreakEvenUsagePlan returns the usage price per GB that lets the POC
+// recover cost over expected aggregate usage, plus a reserve margin
+// in [0,1) for contingencies. This is how the nonprofit POC sets its
+// LMP access price: revenue covers bandwidth (and other) costs, no
+// profit motive.
+func BreakEvenUsagePlan(totalCost, expectedUsageGB, reserveMargin float64) (UsagePlan, error) {
+	if expectedUsageGB <= 0 {
+		return UsagePlan{}, fmt.Errorf("market: expected usage must be positive")
+	}
+	if reserveMargin < 0 || reserveMargin >= 1 {
+		return UsagePlan{}, fmt.Errorf("market: reserve margin %v out of [0,1)", reserveMargin)
+	}
+	if totalCost < 0 || math.IsInf(totalCost, 0) || math.IsNaN(totalCost) {
+		return UsagePlan{}, fmt.Errorf("market: invalid total cost %v", totalCost)
+	}
+	return UsagePlan{PerGB: totalCost * (1 + reserveMargin) / expectedUsageGB}, nil
+}

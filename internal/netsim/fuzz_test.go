@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/public-option/poc/internal/topo"
+)
+
+// invariants checks the fabric's conservation laws:
+//
+//	(1) 0 <= resid[l] <= capacity[l] for every selected link;
+//	(2) capacity − resid equals the sum of allocations crossing l
+//	    (flows plus multicast trees);
+//	(3) every flow's allocation is within [0, demand].
+func invariants(t *testing.T, f *Fabric) {
+	t.Helper()
+	used := make([]float64, len(f.net.Links))
+	for _, fl := range f.flows {
+		if fl.Allocated < -1e-9 || fl.Allocated > fl.Demand+1e-9 {
+			t.Fatalf("flow %d allocation %v outside [0,%v]", fl.ID, fl.Allocated, fl.Demand)
+		}
+		for _, l := range fl.Links {
+			used[l] += fl.Allocated
+		}
+	}
+	for _, m := range f.mcasts {
+		for _, l := range m.TreeLinks {
+			used[l] += m.Gbps
+		}
+	}
+	for id := range f.edgeFor {
+		capacity := f.net.Links[id].Capacity
+		if f.resid[id] < -1e-9 || f.resid[id] > capacity+1e-9 {
+			t.Fatalf("link %d resid %v outside [0,%v]", id, f.resid[id], capacity)
+		}
+		if math.Abs((capacity-f.resid[id])-used[id]) > 1e-6 {
+			t.Fatalf("link %d: capacity-resid=%v but assignments sum to %v",
+				id, capacity-f.resid[id], used[id])
+		}
+	}
+}
+
+// TestFuzzFailureInjection drives a random sequence of flow starts,
+// stops, link failures and restores against a mid-size fabric and
+// checks the conservation invariants after every operation.
+func TestFuzzFailureInjection(t *testing.T) {
+	w := topo.DefaultWorld()
+	cfg := topo.DefaultZooConfig()
+	cfg.NumNetworks = 25
+	nets := topo.GenerateZoo(w, cfg)
+	p := topo.BuildPOCNetwork(w, nets, 8, 4, 0)
+	if len(p.Routers) < 4 || len(p.Links) < 20 {
+		t.Fatalf("fixture too small: %s", p.Summary())
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(p, nil)
+		var eps []EndpointID
+		for i := 0; i < 6; i++ {
+			id, err := fab.Attach(string(rune('a'+i)), LMPEndpoint, rng.Intn(len(p.Routers)))
+			if err != nil {
+				return false
+			}
+			eps = append(eps, id)
+		}
+		var live []FlowID
+		failed := map[int]bool{}
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // start a flow
+				a := eps[rng.Intn(len(eps))]
+				b := eps[rng.Intn(len(eps))]
+				if a == b {
+					continue
+				}
+				if fl, err := fab.StartFlow(a, b, 1+rng.Float64()*20, BestEffort); err == nil {
+					live = append(live, fl.ID)
+				}
+			case 2: // stop a flow
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				if err := fab.StopFlow(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			case 3: // fail a random link
+				l := rng.Intn(len(p.Links))
+				if !failed[l] {
+					fab.FailLink(l)
+					failed[l] = true
+				}
+			case 4: // restore a failed link
+				for l := range failed {
+					fab.RestoreLink(l)
+					delete(failed, l)
+					break
+				}
+			}
+			invariants(t, fab)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzMulticastLifecycle mixes multicast groups with unicast
+// flows and failures.
+func TestFuzzMulticastLifecycle(t *testing.T) {
+	p := ringNet(50)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(p, nil)
+		var eps []EndpointID
+		for i, r := range []int{0, 1, 2, 3} {
+			id, err := fab.Attach(string(rune('a'+i)), LMPEndpoint, r)
+			if err != nil {
+				return false
+			}
+			eps = append(eps, id)
+		}
+		var groups []MulticastID
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				src := eps[rng.Intn(len(eps))]
+				var rcv []EndpointID
+				for _, e := range eps {
+					if e != src && rng.Intn(2) == 0 {
+						rcv = append(rcv, e)
+					}
+				}
+				if len(rcv) == 0 {
+					continue
+				}
+				if m, err := fab.StartMulticast(src, rcv, 1+rng.Float64()*5); err == nil {
+					groups = append(groups, m.ID)
+				}
+			case 1:
+				if len(groups) == 0 {
+					continue
+				}
+				i := rng.Intn(len(groups))
+				if err := fab.StopMulticast(groups[i]); err != nil {
+					return false
+				}
+				groups = append(groups[:i], groups[i+1:]...)
+			case 2:
+				a := eps[rng.Intn(len(eps))]
+				b := eps[rng.Intn(len(eps))]
+				if a != b {
+					fab.StartFlow(a, b, 1+rng.Float64()*5, BestEffort)
+				}
+			}
+			invariants(t, fab)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

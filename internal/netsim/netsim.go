@@ -1,0 +1,391 @@
+// Package netsim is a flow-level simulator of the POC fabric. It
+// models the connectivity structure of the paper's Figure 1:
+// customers sit behind last-mile providers (LMPs); LMPs — and large
+// CSPs directly — attach to the POC at router sites; the POC carries
+// flows edge-to-edge over the auctioned link set as a transparent,
+// policy-free fabric; anything not on the POC is reached through an
+// external ISP attachment.
+//
+// Flows reserve bandwidth on admission (min of demand and bottleneck
+// residual along the cheapest feasible path), are re-routed on link
+// failure, and accumulate transferred volume via Tick so the market
+// package can bill usage. QoS classes are open and posted-price:
+// a higher class buys a larger sharing weight, never a per-source
+// preference — the fabric has no notion of favored endpoints.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/topo"
+)
+
+// EndpointKind classifies fabric attachments.
+type EndpointKind int
+
+const (
+	// LMPEndpoint is a last-mile provider attachment.
+	LMPEndpoint EndpointKind = iota
+	// CSPEndpoint is a directly-attached content/service provider.
+	CSPEndpoint
+	// ExternalEndpoint represents the rest of the Internet behind an
+	// external ISP attachment.
+	ExternalEndpoint
+)
+
+func (k EndpointKind) String() string {
+	switch k {
+	case LMPEndpoint:
+		return "LMP"
+	case CSPEndpoint:
+		return "CSP"
+	case ExternalEndpoint:
+		return "external"
+	default:
+		return fmt.Sprintf("EndpointKind(%d)", int(k))
+	}
+}
+
+// EndpointID identifies an attachment.
+type EndpointID int
+
+// Endpoint is one attachment to the fabric.
+type Endpoint struct {
+	ID     EndpointID
+	Name   string
+	Kind   EndpointKind
+	Router int // POC router index
+}
+
+// Class is a posted-price QoS class. Weight scales the flow's claim
+// during contention; the price is what the POC publishes. Classes
+// apply uniformly to any buyer — the fabric cannot express per-source
+// preferences.
+type Class struct {
+	Name   string
+	Weight float64 // >= 1
+	Price  float64 // posted, per Gbps-month
+}
+
+// BestEffort is the default class.
+var BestEffort = Class{Name: "best-effort", Weight: 1, Price: 0}
+
+// FlowID identifies an admitted flow.
+type FlowID int
+
+// Flow is one admitted aggregate flow.
+type Flow struct {
+	ID        FlowID
+	Src, Dst  EndpointID
+	Demand    float64 // requested Gbps
+	Allocated float64 // reserved Gbps (≤ Demand)
+	Class     Class
+	Links     []int   // logical links along the path
+	LatencyKm float64 // propagation distance of the path
+	// TransferredGB accumulates volume via Tick.
+	TransferredGB float64
+}
+
+// Fabric is the POC data plane over a selected link set.
+type Fabric struct {
+	net      *topo.POCNetwork
+	selected map[int]bool
+	failed   map[int]bool
+
+	endpoints []Endpoint
+	flows     map[FlowID]*Flow
+	nextFlow  FlowID
+	mcasts    map[MulticastID]*Multicast
+	nextMcast int
+	anycast   map[string][]EndpointID
+	resid     []float64 // remaining Gbps per logical link
+
+	g       *graph.Graph
+	pr      *graph.PointRouter
+	linkFor []int32
+	edgeFor map[int][2]graph.EdgeID
+}
+
+// New builds a fabric over the network's selected links (nil = all).
+func New(p *topo.POCNetwork, selected map[int]bool) *Fabric {
+	f := &Fabric{
+		net:      p,
+		selected: selected,
+		failed:   map[int]bool{},
+		flows:    map[FlowID]*Flow{},
+		resid:    make([]float64, len(p.Links)),
+	}
+	f.g, f.edgeFor = p.Graph(selected)
+	f.linkFor = make([]int32, f.g.NumEdges())
+	for id, pair := range f.edgeFor {
+		f.linkFor[pair[0]] = int32(id)
+		f.linkFor[pair[1]] = int32(id)
+		f.resid[id] = p.Links[id].Capacity
+	}
+	f.pr = graph.NewPointRouter(f.g)
+	return f
+}
+
+// Attach registers an endpoint at the given POC router and returns
+// its ID.
+func (f *Fabric) Attach(name string, kind EndpointKind, router int) (EndpointID, error) {
+	if router < 0 || router >= len(f.net.Routers) {
+		return 0, fmt.Errorf("netsim: router %d out of range", router)
+	}
+	for _, e := range f.endpoints {
+		if e.Name == name {
+			return 0, fmt.Errorf("netsim: endpoint %q already attached", name)
+		}
+	}
+	id := EndpointID(len(f.endpoints))
+	f.endpoints = append(f.endpoints, Endpoint{ID: id, Name: name, Kind: kind, Router: router})
+	return id, nil
+}
+
+// Endpoint returns a registered endpoint.
+func (f *Fabric) Endpoint(id EndpointID) (Endpoint, error) {
+	if id < 0 || int(id) >= len(f.endpoints) {
+		return Endpoint{}, fmt.Errorf("netsim: unknown endpoint %d", id)
+	}
+	return f.endpoints[id], nil
+}
+
+// Endpoints returns all attachments in ID order.
+func (f *Fabric) Endpoints() []Endpoint {
+	return append([]Endpoint(nil), f.endpoints...)
+}
+
+// usable reports whether a logical link can carry more traffic.
+func (f *Fabric) usable(want float64) graph.EdgeFilter {
+	return func(id graph.EdgeID, e graph.Edge) bool {
+		l := int(f.linkFor[id])
+		if f.failed[l] {
+			return false
+		}
+		return f.resid[l] >= want
+	}
+}
+
+// StartFlow admits an aggregate flow between two endpoints. The flow
+// reserves min(demand, bottleneck) Gbps along the cheapest usable
+// path; a flow that can reserve nothing is rejected. The class must
+// have Weight >= 1 (use BestEffort for the default).
+func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class) (*Flow, error) {
+	se, err := f.Endpoint(src)
+	if err != nil {
+		return nil, err
+	}
+	de, err := f.Endpoint(dst)
+	if err != nil {
+		return nil, err
+	}
+	if demandGbps <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive demand %v", demandGbps)
+	}
+	if class.Weight < 1 {
+		return nil, fmt.Errorf("netsim: class weight %v < 1", class.Weight)
+	}
+	if se.Router == de.Router {
+		// Same attachment site: the fabric carries it for free (local
+		// cross-connect); no links reserved.
+		fl := &Flow{ID: f.nextFlow, Src: src, Dst: dst, Demand: demandGbps,
+			Allocated: demandGbps, Class: class}
+		f.nextFlow++
+		f.flows[fl.ID] = fl
+		return fl, nil
+	}
+	path := f.pr.Path(graph.NodeID(se.Router), graph.NodeID(de.Router), f.usable(1e-9))
+	if math.IsInf(path.Cost, 1) {
+		return nil, fmt.Errorf("netsim: no usable path %s→%s", se.Name, de.Name)
+	}
+	alloc := demandGbps
+	links := make([]int, len(path.Edges))
+	lat := 0.0
+	for i, eid := range path.Edges {
+		l := int(f.linkFor[eid])
+		links[i] = l
+		lat += f.net.Links[l].DistanceKm
+		if f.resid[l] < alloc {
+			alloc = f.resid[l]
+		}
+	}
+	if alloc <= 1e-9 {
+		return nil, fmt.Errorf("netsim: no capacity on path %s→%s", se.Name, de.Name)
+	}
+	for _, l := range links {
+		f.resid[l] -= alloc
+	}
+	fl := &Flow{ID: f.nextFlow, Src: src, Dst: dst, Demand: demandGbps,
+		Allocated: alloc, Class: class, Links: links, LatencyKm: lat}
+	f.nextFlow++
+	f.flows[fl.ID] = fl
+	return fl, nil
+}
+
+// StopFlow releases a flow's reservation.
+func (f *Fabric) StopFlow(id FlowID) error {
+	fl, ok := f.flows[id]
+	if !ok {
+		return fmt.Errorf("netsim: unknown flow %d", id)
+	}
+	for _, l := range fl.Links {
+		f.resid[l] += fl.Allocated
+	}
+	delete(f.flows, id)
+	return nil
+}
+
+// Flow returns a snapshot of an admitted flow.
+func (f *Fabric) Flow(id FlowID) (Flow, error) {
+	fl, ok := f.flows[id]
+	if !ok {
+		return Flow{}, fmt.Errorf("netsim: unknown flow %d", id)
+	}
+	return *fl, nil
+}
+
+// Flows returns snapshots of all admitted flows in ID order.
+func (f *Fabric) Flows() []Flow {
+	ids := make([]int, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]Flow, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *f.flows[FlowID(id)])
+	}
+	return out
+}
+
+// FailLink marks a logical link failed and re-routes the flows that
+// crossed it, in descending class-weight order (higher classes get
+// first claim on the surviving capacity — an open, posted-price
+// property, not a per-source preference). Flows that cannot be
+// re-routed are degraded to zero allocation but stay registered so
+// the caller can observe the outage; RestoreLink re-admits them.
+func (f *Fabric) FailLink(link int) []FlowID {
+	if link < 0 || link >= len(f.net.Links) || f.failed[link] {
+		return nil
+	}
+	f.failed[link] = true
+	return f.rerouteCrossing(func(fl *Flow) bool {
+		for _, l := range fl.Links {
+			if l == link {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// RestoreLink clears a failure and tries to re-admit degraded flows.
+func (f *Fabric) RestoreLink(link int) []FlowID {
+	if !f.failed[link] {
+		return nil
+	}
+	delete(f.failed, link)
+	return f.rerouteCrossing(func(fl *Flow) bool { return fl.Allocated == 0 })
+}
+
+// rerouteCrossing releases and re-places every flow selected by sel.
+// It returns the IDs of all re-placed flows (their path, allocation,
+// or both may have changed).
+func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
+	var victims []*Flow
+	for _, fl := range f.flows {
+		if sel(fl) {
+			victims = append(victims, fl)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Class.Weight != victims[j].Class.Weight {
+			return victims[i].Class.Weight > victims[j].Class.Weight
+		}
+		return victims[i].ID < victims[j].ID
+	})
+	var changed []FlowID
+	for _, fl := range victims {
+		changed = append(changed, fl.ID)
+		// Release.
+		for _, l := range fl.Links {
+			f.resid[l] += fl.Allocated
+		}
+		fl.Links = nil
+		fl.Allocated = 0
+		fl.LatencyKm = 0
+		// Re-place.
+		se := f.endpoints[fl.Src]
+		de := f.endpoints[fl.Dst]
+		if se.Router == de.Router {
+			fl.Allocated = fl.Demand
+		} else {
+			path := f.pr.Path(graph.NodeID(se.Router), graph.NodeID(de.Router), f.usable(1e-9))
+			if !math.IsInf(path.Cost, 1) {
+				alloc := fl.Demand
+				links := make([]int, len(path.Edges))
+				lat := 0.0
+				for i, eid := range path.Edges {
+					l := int(f.linkFor[eid])
+					links[i] = l
+					lat += f.net.Links[l].DistanceKm
+					if f.resid[l] < alloc {
+						alloc = f.resid[l]
+					}
+				}
+				if alloc > 1e-9 {
+					for _, l := range links {
+						f.resid[l] -= alloc
+					}
+					fl.Links = links
+					fl.Allocated = alloc
+					fl.LatencyKm = lat
+				}
+			}
+		}
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	return changed
+}
+
+// Tick advances simulated time, accumulating transferred volume:
+// allocated Gbps × seconds / 8 = GB.
+func (f *Fabric) Tick(seconds float64) {
+	if seconds < 0 {
+		panic("netsim: negative tick")
+	}
+	for _, fl := range f.flows {
+		fl.TransferredGB += fl.Allocated * seconds / 8
+	}
+}
+
+// UsageByEndpoint returns each endpoint's total transferred GB,
+// counting a flow's volume against both its source and destination
+// (both sides' providers carry it, matching the paper's "paying for
+// all traffic carried from and to them").
+func (f *Fabric) UsageByEndpoint() map[EndpointID]float64 {
+	out := map[EndpointID]float64{}
+	for _, fl := range f.flows {
+		out[fl.Src] += fl.TransferredGB
+		out[fl.Dst] += fl.TransferredGB
+	}
+	return out
+}
+
+// Utilization returns used/capacity for every selected link with
+// non-zero use.
+func (f *Fabric) Utilization() map[int]float64 {
+	out := map[int]float64{}
+	for id, pair := range f.edgeFor {
+		_ = pair
+		cap := f.net.Links[id].Capacity
+		used := cap - f.resid[id]
+		if used > 1e-9 {
+			out[id] = used / cap
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package provision
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/public-option/poc/internal/traffic"
+)
+
+func TestDbgC2ShaveManual(t *testing.T) {
+	p := shaveNet(10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+	sh, ok := NewShaver(p, nil, tm, Constraint2, Options{FailureScenarios: 4})
+	if !ok {
+		t.Fatal("rejected")
+	}
+	price := func(l int) float64 { return float64(l + 1) }
+	for pass := 0; pass < 3; pass++ {
+		var cand []int
+		for id := range sh.include {
+			cand = append(cand, id)
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			pi, pj := price(cand[i]), price(cand[j])
+			if pi != pj {
+				return pi > pj
+			}
+			return cand[i] < cand[j]
+		})
+		t.Logf("pass %d candidates %v", pass, cand)
+		n := 0
+		for _, id := range cand {
+			got := sh.TryDrop(id)
+			t.Logf("  TryDrop(%d)=%v", id, got)
+			if got {
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+	}
+	t.Logf("final include=%v", sh.Include())
+}

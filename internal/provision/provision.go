@@ -1,0 +1,713 @@
+// Package provision implements the POC's feasibility machinery: given
+// a candidate set of offered links, can the backbone carry the traffic
+// matrix — and can it keep doing so under the failure models the paper
+// uses as auction constraints (§3.3)?
+//
+//	Constraint #1: the link set handles the offered load.
+//	Constraint #2: it still does when any single (primary) path
+//	               between a pair of routers has failed.
+//	Constraint #3: it still does when a path between each pair of
+//	               routers has failed (every demand must avoid its own
+//	               primary path simultaneously).
+//
+// Routing is flow-level: each demand is split across up to MaxPaths
+// shortest paths subject to remaining capacity. This mirrors how a
+// transit fabric with MPLS-TE or similar splits aggregates, and keeps
+// feasibility checks fast enough for the auction's winner
+// determination, which runs them thousands of times.
+package provision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// Constraint selects the resilience model for feasibility checks.
+type Constraint int
+
+const (
+	// Constraint1 only requires the link set to carry the load.
+	Constraint1 Constraint = iota + 1
+	// Constraint2 additionally requires the load to be carried when
+	// any single router-pair primary path has failed (checked one
+	// scenario at a time over the heaviest pairs; see Options).
+	Constraint2
+	// Constraint3 requires every demand to be routable while avoiding
+	// its own primary path — all pairs degraded simultaneously.
+	Constraint3
+)
+
+func (c Constraint) String() string {
+	switch c {
+	case Constraint1:
+		return "constraint#1(load)"
+	case Constraint2:
+		return "constraint#2(single-path-failure)"
+	case Constraint3:
+		return "constraint#3(per-pair-path-failure)"
+	default:
+		return fmt.Sprintf("constraint(%d)", int(c))
+	}
+}
+
+// Options tunes the router.
+type Options struct {
+	// MaxPaths bounds how many alternative paths a single demand may
+	// be split across. Default 12.
+	MaxPaths int
+	// Headroom in [0,1): fraction of each link's capacity reserved
+	// (never filled by routed demand). Default 0.
+	Headroom float64
+	// FailureScenarios bounds how many router-pair primary-path
+	// failure scenarios Constraint2 checks, taking the pairs with the
+	// largest demand first. Zero means all pairs, which is exact but
+	// slow on large instances. Default 32.
+	FailureScenarios int
+	// LinkCost overrides the routing metric for a logical link. When
+	// nil, the link's physical distance is used. The auction sets
+	// this to the lease price so that routing — and therefore the
+	// seed of the winner determination — prefers cheap links.
+	LinkCost func(l topo.LogicalLink) float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 12
+	}
+	if o.FailureScenarios == 0 {
+		o.FailureScenarios = 32
+	}
+	if o.FailureScenarios < 0 {
+		o.FailureScenarios = 1 << 30 // "all"
+	}
+	return o
+}
+
+// PathAssignment records one path carrying part of a demand.
+type PathAssignment struct {
+	Links []int // logical link IDs in order
+	Gbps  float64
+}
+
+// Routing is the result of placing a traffic matrix onto a link set.
+type Routing struct {
+	// Assignments maps demand (src,dst) to its path assignments.
+	Assignments map[[2]int][]PathAssignment
+	// Used maps logical link ID to carried Gbps (sum of both directions).
+	Used map[int]float64
+	// Unplaced is the total demand in Gbps that could not be routed;
+	// zero means the matrix fits.
+	Unplaced float64
+	// Ejected is the demand placed by the phase-3 ejection repair
+	// (diagnostic: high values mean the greedy packing wedged).
+	Ejected float64
+	// UnplacedPairs lists the (src,dst) pairs with unplaced demand.
+	UnplacedPairs [][2]int
+}
+
+// Feasible reports whether the routing placed all demand.
+func (r *Routing) Feasible() bool { return r.Unplaced <= 1e-9 }
+
+// MaxUtilization returns the highest used/capacity ratio across links
+// in the POC network p, or 0 when nothing is used.
+func (r *Routing) MaxUtilization(p *topo.POCNetwork) float64 {
+	mx := 0.0
+	for id, used := range r.Used {
+		u := used / p.Links[id].Capacity
+		if u > mx {
+			mx = u
+		}
+	}
+	return mx
+}
+
+// router holds per-run routing state.
+type router struct {
+	p       *topo.POCNetwork
+	g       *graph.Graph
+	pr      *graph.PointRouter
+	edgeFor map[int][2]graph.EdgeID // logical link -> directed edge IDs
+	linkFor []int32                 // directed edge -> logical link
+	resid   []float64               // residual Gbps per logical link
+	opts    Options
+}
+
+// buildGraph constructs the routing graph over p's routers for the
+// included links, using opts.LinkCost (or physical distance) as the
+// edge metric.
+func buildGraph(p *topo.POCNetwork, include map[int]bool, opts Options) (*graph.Graph, map[int][2]graph.EdgeID) {
+	if opts.LinkCost == nil {
+		return p.Graph(include)
+	}
+	g := graph.New(len(p.Routers))
+	edges := make(map[int][2]graph.EdgeID)
+	for _, l := range p.Links {
+		if include != nil && !include[l.ID] {
+			continue
+		}
+		c := opts.LinkCost(l)
+		e1, e2 := g.AddBiEdge(graph.NodeID(l.A), graph.NodeID(l.B), c, l.Capacity)
+		edges[l.ID] = [2]graph.EdgeID{e1, e2}
+	}
+	return g, edges
+}
+
+func newRouter(p *topo.POCNetwork, include map[int]bool, opts Options) *router {
+	g, edgeFor := buildGraph(p, include, opts)
+	linkFor := make([]int32, g.NumEdges())
+	for id, pair := range edgeFor {
+		linkFor[pair[0]] = int32(id)
+		linkFor[pair[1]] = int32(id)
+	}
+	resid := make([]float64, len(p.Links))
+	for id := range edgeFor {
+		resid[id] = p.Links[id].Capacity * (1 - opts.Headroom)
+	}
+	return &router{p: p, g: g, pr: graph.NewPointRouter(g), edgeFor: edgeFor, linkFor: linkFor, resid: resid, opts: opts}
+}
+
+// residFilter admits edges with at least want Gbps of residual
+// capacity on their logical link, excluding the links in avoid.
+func (rt *router) residFilter(want float64, avoid map[int]bool) graph.EdgeFilter {
+	return func(id graph.EdgeID, e graph.Edge) bool {
+		link := int(rt.linkFor[id])
+		if avoid != nil && avoid[link] {
+			return false
+		}
+		return rt.resid[link] >= want
+	}
+}
+
+// place routes gbps from src to dst over up to MaxPaths paths,
+// avoiding the given logical links entirely. It returns the
+// assignments made and the amount left unplaced.
+func (rt *router) place(src, dst int, gbps float64, maxPaths int, avoid map[int]bool) ([]PathAssignment, float64) {
+	var out []PathAssignment
+	remaining := gbps
+	for attempt := 0; attempt < maxPaths && remaining > 1e-9; attempt++ {
+		// Find the cheapest path that can carry any positive amount.
+		path := rt.pr.Path(graph.NodeID(src), graph.NodeID(dst), rt.residFilter(1e-9, avoid))
+		if math.IsInf(path.Cost, 1) {
+			break
+		}
+		// Bottleneck over residuals.
+		bn := remaining
+		links := make([]int, len(path.Edges))
+		for i, eid := range path.Edges {
+			l := int(rt.linkFor[eid])
+			links[i] = l
+			if rt.resid[l] < bn {
+				bn = rt.resid[l]
+			}
+		}
+		if bn <= 1e-9 {
+			break
+		}
+		for _, l := range links {
+			rt.resid[l] -= bn
+		}
+		out = append(out, PathAssignment{Links: links, Gbps: bn})
+		remaining -= bn
+	}
+	return out, remaining
+}
+
+// ejectAndPlace tries to place up to gbps for the pair along its
+// cheapest capacity-oblivious path, freeing deficit links by
+// rerouting other pairs' assignments off them (whole assignments,
+// smallest first). It mutates res and the residuals, decrements
+// *moves per rerouted assignment, and returns the amount placed.
+func (rt *router) ejectAndPlace(res *Routing, pair [2]int, gbps float64, avoid map[int]bool, moves *int) (placed float64, blocker int) {
+	// Cheapest path over all enabled links (capacity ignored),
+	// respecting only the pair's avoid set.
+	filter := func(id graph.EdgeID, e graph.Edge) bool {
+		if avoid == nil {
+			return true
+		}
+		return !avoid[int(rt.linkFor[id])]
+	}
+	path := rt.pr.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), filter)
+	if math.IsInf(path.Cost, 1) || len(path.Edges) == 0 {
+		return 0, -1
+	}
+	links := make([]int, len(path.Edges))
+	want := gbps
+	for i, eid := range path.Edges {
+		links[i] = int(rt.linkFor[eid])
+	}
+	// How much can this path carry if we free what is freeable? Try to
+	// raise every deficit link's residual to `want`, reducing `want`
+	// when a link cannot be freed that far. Track the tightest link so
+	// the caller can detour around it on the next attempt.
+	blocker = -1
+	blockerResid := math.Inf(1)
+	for _, l := range links {
+		if rt.resid[l] >= want {
+			continue
+		}
+		rt.freeLink(res, l, want-rt.resid[l], pair, moves)
+		if rt.resid[l] < want {
+			want = rt.resid[l]
+		}
+		if rt.resid[l] < blockerResid {
+			blockerResid = rt.resid[l]
+			blocker = l
+		}
+		if want <= 1e-9 {
+			return 0, blocker
+		}
+	}
+	if want <= 1e-9 {
+		return 0, blocker
+	}
+	for _, l := range links {
+		rt.resid[l] -= want
+	}
+	res.Assignments[pair] = append(res.Assignments[pair], PathAssignment{Links: links, Gbps: want})
+	return want, blocker
+}
+
+// freeLink tries to raise link l's residual by `need` Gbps by
+// rerouting other pairs' assignments off it (smallest assignments
+// first, deterministic order). The displaced pair keeps its avoid
+// set; reroutes that cannot fully re-place are rolled back.
+func (rt *router) freeLink(res *Routing, l int, need float64, exclude [2]int, moves *int) float64 {
+	type cand struct {
+		pair [2]int
+		idx  int
+	}
+	var cands []cand
+	for pair, asgs := range res.Assignments {
+		if pair == exclude {
+			continue
+		}
+		for i, a := range asgs {
+			for _, al := range a.Links {
+				if al == l {
+					cands = append(cands, cand{pair, i})
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ai := res.Assignments[cands[i].pair][cands[i].idx]
+		aj := res.Assignments[cands[j].pair][cands[j].idx]
+		if ai.Gbps != aj.Gbps {
+			return ai.Gbps < aj.Gbps
+		}
+		if cands[i].pair != cands[j].pair {
+			if cands[i].pair[0] != cands[j].pair[0] {
+				return cands[i].pair[0] < cands[j].pair[0]
+			}
+			return cands[i].pair[1] < cands[j].pair[1]
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	freed := 0.0
+	banned := map[int]bool{l: true}
+	for _, c := range cands {
+		if freed >= need || *moves <= 0 {
+			break
+		}
+		asgs := res.Assignments[c.pair]
+		a := asgs[c.idx]
+		if a.Gbps == 0 {
+			continue // already displaced in this pass
+		}
+		// Release.
+		for _, al := range a.Links {
+			rt.resid[al] += a.Gbps
+		}
+		// Re-place avoiding l.
+		*moves--
+		replaced, left := rt.place(c.pair[0], c.pair[1], a.Gbps, 8, banned)
+		if left > 1e-9 {
+			// Rollback: restore the original assignment.
+			for _, r := range replaced {
+				for _, al := range r.Links {
+					rt.resid[al] += r.Gbps
+				}
+			}
+			for _, al := range a.Links {
+				rt.resid[al] -= a.Gbps
+			}
+			continue
+		}
+		// Commit: zero out the old slot and append the new ones.
+		asgs[c.idx] = PathAssignment{Gbps: 0}
+		res.Assignments[c.pair] = append(asgs, replaced...)
+		freed += a.Gbps
+	}
+	return freed
+}
+
+// demand is an internal flattened demand entry.
+type demand struct {
+	src, dst int
+	gbps     float64
+}
+
+func flatten(tm *traffic.Matrix) []demand {
+	var ds []demand
+	tm.Demands(func(s, d int, g float64) { ds = append(ds, demand{s, d, g}) })
+	// Largest first: big aggregates get the short paths, which is both
+	// realistic and makes the greedy packing more effective.
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].gbps != ds[j].gbps {
+			return ds[i].gbps > ds[j].gbps
+		}
+		if ds[i].src != ds[j].src {
+			return ds[i].src < ds[j].src
+		}
+		return ds[i].dst < ds[j].dst
+	})
+	return ds
+}
+
+// Route places tm onto the link subset include (nil = all links) and
+// returns the routing. avoidPrimary, when non-nil, maps a (src,dst)
+// pair to the set of logical links that demand must not use
+// (Constraint #3 uses this to ban each pair's primary path).
+//
+// Routing runs in two phases. Phase 1 computes one shortest-path tree
+// per source and sends each demand down its tree path as far as
+// residual capacity allows — this covers the vast majority of demand
+// with O(sources) Dijkstra runs. Phase 2 repairs the remainder (and
+// all demands with avoid sets) with per-demand point-to-point
+// searches over the residual capacities.
+func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Options, avoidPrimary map[[2]int]map[int]bool) *Routing {
+	opts = opts.withDefaults()
+	rt := newRouter(p, include, opts)
+	res := &Routing{
+		Assignments: make(map[[2]int][]PathAssignment),
+		Used:        make(map[int]float64),
+	}
+
+	ds := flatten(tm)
+	// Group by source, sources ordered by descending total outflow.
+	bySrc := map[int][]demand{}
+	rowTotal := map[int]float64{}
+	for _, d := range ds {
+		bySrc[d.src] = append(bySrc[d.src], d)
+		rowTotal[d.src] += d.gbps
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if rowTotal[srcs[i]] != rowTotal[srcs[j]] {
+			return rowTotal[srcs[i]] > rowTotal[srcs[j]]
+		}
+		return srcs[i] < srcs[j]
+	})
+
+	var phase2 []demand
+	usable := rt.residFilter(1e-9, nil)
+	for _, s := range srcs {
+		tree := rt.g.Dijkstra(graph.NodeID(s), usable)
+		for _, d := range bySrc[s] {
+			pair := [2]int{d.src, d.dst}
+			if avoidPrimary != nil && avoidPrimary[pair] != nil {
+				phase2 = append(phase2, d)
+				continue
+			}
+			if !tree.Reachable(graph.NodeID(d.dst)) {
+				phase2 = append(phase2, d)
+				continue
+			}
+			path := tree.PathTo(rt.g, graph.NodeID(d.dst))
+			bn := d.gbps
+			links := make([]int, len(path.Edges))
+			for i, eid := range path.Edges {
+				l := int(rt.linkFor[eid])
+				links[i] = l
+				if rt.resid[l] < bn {
+					bn = rt.resid[l]
+				}
+			}
+			if bn <= 1e-9 {
+				phase2 = append(phase2, d)
+				continue
+			}
+			for _, l := range links {
+				rt.resid[l] -= bn
+			}
+			res.Assignments[pair] = append(res.Assignments[pair], PathAssignment{Links: links, Gbps: bn})
+			if rest := d.gbps - bn; rest > 1e-9 {
+				phase2 = append(phase2, demand{d.src, d.dst, rest})
+			}
+		}
+	}
+
+	sort.Slice(phase2, func(i, j int) bool {
+		if phase2[i].gbps != phase2[j].gbps {
+			return phase2[i].gbps > phase2[j].gbps
+		}
+		if phase2[i].src != phase2[j].src {
+			return phase2[i].src < phase2[j].src
+		}
+		return phase2[i].dst < phase2[j].dst
+	})
+	var stuck []demand
+	for _, d := range phase2 {
+		pair := [2]int{d.src, d.dst}
+		var avoid map[int]bool
+		if avoidPrimary != nil {
+			avoid = avoidPrimary[pair]
+		}
+		budget := opts.MaxPaths - len(res.Assignments[pair])
+		if budget <= 0 {
+			stuck = append(stuck, d)
+			continue
+		}
+		asg, left := rt.place(d.src, d.dst, d.gbps, budget, avoid)
+		res.Assignments[pair] = append(res.Assignments[pair], asg...)
+		if left > 1e-9 {
+			stuck = append(stuck, demand{d.src, d.dst, left})
+		}
+	}
+
+	// Phase 3: ejection repair. A greedy packing can wedge a sliver of
+	// demand even when a feasible packing exists (earlier demands took
+	// capacity later ones needed). For each stuck remainder, walk its
+	// cheapest path and try to reroute other pairs' assignments off
+	// the deficit links, then place. Bounded by a global move budget,
+	// so the phase stays cheap and deterministic.
+	moves := 512
+	for _, d := range stuck {
+		pair := [2]int{d.src, d.dst}
+		var avoid map[int]bool
+		if avoidPrimary != nil {
+			avoid = avoidPrimary[pair]
+		}
+		left := d.gbps
+		pathBudget := opts.MaxPaths - len(res.Assignments[pair])
+		// detour accumulates the worst deficit link of each failed
+		// attempt so later attempts explore different paths.
+		detour := map[int]bool{}
+		for id := range avoid {
+			detour[id] = true
+		}
+		for attempt := 0; attempt < 8 && left > 1e-9 && moves > 0 && pathBudget > 0; attempt++ {
+			placed, blocker := rt.ejectAndPlace(res, pair, left, detour, &moves)
+			left -= placed
+			res.Ejected += placed
+			if placed <= 1e-9 {
+				if blocker < 0 {
+					break // no path at all
+				}
+				detour[blocker] = true
+			} else {
+				pathBudget--
+			}
+		}
+		if left > 1e-9 {
+			res.Unplaced += left
+			res.UnplacedPairs = append(res.UnplacedPairs, pair)
+		}
+	}
+
+	// Strip the zero-Gbps tombstones the ejection phase leaves behind,
+	// then account usage.
+	for pair, asgs := range res.Assignments {
+		kept := asgs[:0]
+		for _, a := range asgs {
+			if a.Gbps > 0 {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			delete(res.Assignments, pair)
+		} else {
+			res.Assignments[pair] = kept
+		}
+	}
+	for _, asgs := range res.Assignments {
+		for _, a := range asgs {
+			for _, l := range a.Links {
+				res.Used[l] += a.Gbps
+			}
+		}
+	}
+	return res
+}
+
+// PrimaryPaths computes, for every demand pair in tm, the links of its
+// shortest path in the subset include, ignoring capacity. Pairs with
+// no path at all map to nil and are reported in the second return.
+func PrimaryPaths(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix) (map[[2]int]map[int]bool, [][2]int) {
+	return PrimaryPathsOpts(p, include, tm, Options{})
+}
+
+// PrimaryPathsOpts is PrimaryPaths with an explicit routing metric.
+func PrimaryPathsOpts(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Options) (map[[2]int]map[int]bool, [][2]int) {
+	g, edgeFor := buildGraph(p, include, opts)
+	linkFor := make(map[graph.EdgeID]int, 2*len(edgeFor))
+	for id, pair := range edgeFor {
+		linkFor[pair[0]] = id
+		linkFor[pair[1]] = id
+	}
+	primaries := make(map[[2]int]map[int]bool)
+	var unreachable [][2]int
+
+	// One Dijkstra per source covers all destinations.
+	bySrc := map[int][]int{}
+	tm.Demands(func(s, d int, _ float64) { bySrc[s] = append(bySrc[s], d) })
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	for _, s := range srcs {
+		tree := g.Dijkstra(graph.NodeID(s), nil)
+		for _, d := range bySrc[s] {
+			if !tree.Reachable(graph.NodeID(d)) {
+				unreachable = append(unreachable, [2]int{s, d})
+				continue
+			}
+			path := tree.PathTo(g, graph.NodeID(d))
+			set := make(map[int]bool, len(path.Edges))
+			for _, eid := range path.Edges {
+				set[linkFor[eid]] = true
+			}
+			primaries[[2]int{s, d}] = set
+		}
+	}
+	return primaries, unreachable
+}
+
+// Check reports whether the link subset include satisfies the given
+// constraint for tm. The returned Routing is the base (no-failure)
+// routing; for Constraint3 it is the degraded routing.
+func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
+	opts = opts.withDefaults()
+	switch c {
+	case Constraint1:
+		r := Route(p, include, tm, opts, nil)
+		return r.Feasible(), r
+
+	case Constraint2:
+		base := Route(p, include, tm, opts, nil)
+		if !base.Feasible() {
+			return false, base
+		}
+		primaries, unreachable := PrimaryPathsOpts(p, include, tm, opts)
+		if len(unreachable) > 0 {
+			return false, base
+		}
+		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
+			failed := primaries[pair]
+			if len(failed) == 0 {
+				continue
+			}
+			// Fail this pair's primary path for everyone.
+			sub := subtract(include, failed, len(p.Links))
+			r := Route(p, sub, tm, opts, nil)
+			if !r.Feasible() {
+				return false, base
+			}
+		}
+		return true, base
+
+	case Constraint3:
+		base := Route(p, include, tm, opts, nil)
+		if !base.Feasible() {
+			return false, base
+		}
+		primaries, unreachable := PrimaryPathsOpts(p, include, tm, opts)
+		if len(unreachable) > 0 {
+			return false, base
+		}
+		r := Route(p, include, tm, opts, primaries)
+		return r.Feasible(), r
+
+	default:
+		panic(fmt.Sprintf("provision: unknown constraint %d", int(c)))
+	}
+}
+
+// CoreLinks returns the union of logical links used by the base
+// routing and by every degraded routing the constraint entails. Links
+// outside this set are idle under the constraint's scenarios, which
+// makes the set the natural seed for the auction's winner
+// determination: everything else is a candidate to drop.
+func CoreLinks(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) map[int]bool {
+	opts = opts.withDefaults()
+	core := map[int]bool{}
+	add := func(r *Routing) {
+		for id, used := range r.Used {
+			if used > 0 {
+				core[id] = true
+			}
+		}
+	}
+	add(Route(p, include, tm, opts, nil))
+	switch c {
+	case Constraint1:
+	case Constraint2:
+		primaries, _ := PrimaryPathsOpts(p, include, tm, opts)
+		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
+			failed := primaries[pair]
+			if len(failed) == 0 {
+				continue
+			}
+			add(Route(p, subtract(include, failed, len(p.Links)), tm, opts, nil))
+		}
+	case Constraint3:
+		primaries, _ := PrimaryPathsOpts(p, include, tm, opts)
+		add(Route(p, include, tm, opts, primaries))
+	}
+	return core
+}
+
+// heaviestPairs returns up to n demand pairs ordered by descending
+// demand.
+func heaviestPairs(tm *traffic.Matrix, n int) [][2]int {
+	type pd struct {
+		pair [2]int
+		g    float64
+	}
+	var all []pd
+	tm.Demands(func(s, d int, g float64) { all = append(all, pd{[2]int{s, d}, g}) })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].g != all[j].g {
+			return all[i].g > all[j].g
+		}
+		return all[i].pair[0]*1<<16+all[i].pair[1] < all[j].pair[0]*1<<16+all[j].pair[1]
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].pair
+	}
+	return out
+}
+
+// subtract returns include minus removed. A nil include means "all
+// links", so the result enumerates all links except removed.
+func subtract(include map[int]bool, removed map[int]bool, total int) map[int]bool {
+	out := make(map[int]bool)
+	if include == nil {
+		for i := 0; i < total; i++ {
+			if !removed[i] {
+				out[i] = true
+			}
+		}
+		return out
+	}
+	for id, ok := range include {
+		if ok && !removed[id] {
+			out[id] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,554 @@
+package provision
+
+import (
+	"sort"
+
+	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// ShaveHeadroom is the minimum capacity fraction the shave leaves
+// unused on every link. Without it the shaved set is exactly tight
+// for the shave's internal packing, and a fresh greedy Route over the
+// set — which packs demands in a different order — can wedge. Five
+// percent of slack absorbs that reordering in practice.
+const ShaveHeadroom = 0.05
+
+// Shaver makes a feasible link set (approximately) 1-minimal: it
+// repeatedly tries to drop links, most expensive first, using
+// incremental repair — only the demand assignments crossing the
+// dropped link are re-placed, against the live residual capacities of
+// every routing the constraint entails (the base routing, one routing
+// per Constraint-2 failure scenario, and the Constraint-3 degraded
+// routing). A drop commits only if every routing repairs.
+//
+// The failure scenarios are dynamic: a pair's "primary path" is its
+// cheapest path within the *current* set, so when a drop removes a
+// link on some pair's primary, that pair's scenario (Constraint2) or
+// avoid set (Constraint3) is recomputed before the drop can commit.
+// This keeps the shave aligned with Check, which also derives
+// primaries from the candidate set.
+//
+// Incremental minimality is the key to consistent VCG pivots: the
+// auction runs the same shave on SL and on every SL_-a, so the
+// counterfactual costs are directly comparable and C(SL_-a) < C(SL)
+// — impossible under exact optimization, and an artifact of greedy
+// construction — becomes rare instead of systematic.
+type Shaver struct {
+	p       *topo.POCNetwork
+	opts    Options
+	c       Constraint
+	tm      *traffic.Matrix
+	include map[int]bool
+
+	base      *liveRouting
+	scenarios []*scenario  // Constraint2
+	degraded  *liveRouting // Constraint3 (avoid sets mutate as primaries move)
+
+	// Cached metric graph for primaryOf, invalidated when include
+	// changes.
+	pg        *graph.Graph
+	pgLinkFor map[graph.EdgeID]int
+	pgVersion int
+	version   int
+}
+
+// scenario is one Constraint-2 failure case: the traffic matrix must
+// route with the pair's primary path removed.
+type scenario struct {
+	pair    [2]int
+	primary map[int]bool
+	lr      *liveRouting
+}
+
+// liveRouting is one mutable routing the shave must keep repairable.
+type liveRouting struct {
+	rt  *router
+	asg map[[2]int][]PathAssignment
+	// avoid bans links per pair (Constraint3's degraded routing).
+	avoid map[[2]int]map[int]bool
+	// banned excludes links from this routing beyond the shared
+	// include set: the scenario's failed primary plus every shaved
+	// link.
+	banned map[int]bool
+}
+
+// usableFilter admits edges whose links are neither banned nor out of
+// residual capacity, nor in the per-call avoid set.
+func (lr *liveRouting) usableFilter(avoid map[int]bool) graph.EdgeFilter {
+	return func(id graph.EdgeID, e graph.Edge) bool {
+		l := int(lr.rt.linkFor[id])
+		if lr.banned[l] {
+			return false
+		}
+		if avoid != nil && avoid[l] {
+			return false
+		}
+		return lr.rt.resid[l] >= 1e-9
+	}
+}
+
+// newLive routes tm over include minus failed (with per-pair avoid
+// sets) and wraps the result as a liveRouting, or returns nil when
+// infeasible. Shaved links must be passed in failed so the routing
+// avoids them.
+func newLive(p *topo.POCNetwork, include, failed map[int]bool, avoid map[[2]int]map[int]bool, tm *traffic.Matrix, opts Options) *liveRouting {
+	inc := include
+	if len(failed) > 0 {
+		inc = subtract(include, failed, len(p.Links))
+	}
+	r := Route(p, inc, tm, opts, avoid)
+	if !r.Feasible() {
+		return nil
+	}
+	lr := &liveRouting{
+		rt:     newRouter(p, include, opts),
+		asg:    r.Assignments,
+		avoid:  avoid,
+		banned: map[int]bool{},
+	}
+	for id := range failed {
+		lr.banned[id] = true
+	}
+	// Rebuild residuals from the assignments (the throwaway router
+	// inside Route owned the originals).
+	for _, asgs := range r.Assignments {
+		for _, a := range asgs {
+			for _, l := range a.Links {
+				lr.rt.resid[l] -= a.Gbps
+			}
+		}
+	}
+	return lr
+}
+
+// NewShaver routes tm over the include set under the constraint and
+// returns a Shaver ready to minimize it. It returns ok=false when the
+// set is not feasible to begin with.
+func NewShaver(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (*Shaver, bool) {
+	opts = opts.withDefaults()
+	if opts.Headroom < ShaveHeadroom {
+		opts.Headroom = ShaveHeadroom
+	}
+	s := &Shaver{p: p, opts: opts, c: c, tm: tm, include: cloneSet(include, len(p.Links))}
+
+	s.base = newLive(p, s.include, nil, nil, tm, opts)
+	if s.base == nil {
+		return nil, false
+	}
+	switch c {
+	case Constraint1:
+	case Constraint2:
+		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
+			primary, ok := s.primaryOf(pair)
+			if !ok {
+				return nil, false
+			}
+			lr := newLive(p, s.include, primary, nil, tm, opts)
+			if lr == nil {
+				return nil, false
+			}
+			s.scenarios = append(s.scenarios, &scenario{pair: pair, primary: primary, lr: lr})
+		}
+	case Constraint3:
+		avoid, unreachable := PrimaryPathsOpts(p, s.include, tm, opts)
+		if len(unreachable) > 0 {
+			return nil, false
+		}
+		s.degraded = newLive(p, s.include, nil, avoid, tm, opts)
+		if s.degraded == nil {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	return s, true
+}
+
+// primaryOf returns the links of the pair's cheapest path within the
+// current include set (by the routing metric, ignoring capacity). The
+// metric graph is cached and rebuilt only when the include set has
+// changed since the last call.
+func (s *Shaver) primaryOf(pair [2]int) (map[int]bool, bool) {
+	if s.pg == nil || s.pgVersion != s.version {
+		g, edgeFor := buildGraph(s.p, s.include, s.opts)
+		linkFor := make(map[graph.EdgeID]int, 2*len(edgeFor))
+		for id, p := range edgeFor {
+			linkFor[p[0]] = id
+			linkFor[p[1]] = id
+		}
+		s.pg, s.pgLinkFor, s.pgVersion = g, linkFor, s.version
+	}
+	path := s.pg.ShortestPath(graph.NodeID(pair[0]), graph.NodeID(pair[1]), nil)
+	if len(path.Edges) == 0 {
+		return nil, pair[0] == pair[1]
+	}
+	out := make(map[int]bool, len(path.Edges))
+	for _, eid := range path.Edges {
+		out[s.pgLinkFor[eid]] = true
+	}
+	return out, true
+}
+
+// routings returns every live routing in deterministic order.
+func (s *Shaver) routings() []*liveRouting {
+	out := []*liveRouting{s.base}
+	for _, sc := range s.scenarios {
+		out = append(out, sc.lr)
+	}
+	if s.degraded != nil {
+		out = append(out, s.degraded)
+	}
+	return out
+}
+
+// Include returns the current link set (live view; do not mutate).
+func (s *Shaver) Include() map[int]bool { return s.include }
+
+// Witness returns the base (no-failure) packing the shave maintains —
+// proof that the current set carries the matrix. The assignments are
+// live state; callers must not mutate them.
+func (s *Shaver) Witness() map[[2]int][]PathAssignment { return s.base.asg }
+
+// repairUndo records one routing's repair so it can be rolled back.
+type repairUndo struct {
+	lr      *liveRouting
+	removed map[[2]int][]PathAssignment
+	added   map[[2]int]int
+}
+
+// rollback undoes the repair.
+func (u *repairUndo) rollback() {
+	lr := u.lr
+	for pair, n := range u.added {
+		asgs := lr.asg[pair]
+		for _, a := range asgs[len(asgs)-n:] {
+			for _, l := range a.Links {
+				lr.rt.resid[l] += a.Gbps
+			}
+		}
+		lr.asg[pair] = asgs[:len(asgs)-n]
+	}
+	for pair, removed := range u.removed {
+		for _, a := range removed {
+			for _, l := range a.Links {
+				lr.rt.resid[l] -= a.Gbps
+			}
+			lr.asg[pair] = append(lr.asg[pair], a)
+		}
+	}
+}
+
+// repair releases every assignment of lr crossing link and re-places
+// it. It returns the undo record and whether every assignment was
+// re-placed.
+func (s *Shaver) repair(lr *liveRouting, link int) (*repairUndo, bool) {
+	u := &repairUndo{lr: lr, removed: map[[2]int][]PathAssignment{}, added: map[[2]int]int{}}
+	// Deterministic pair order (map iteration order would make the
+	// repair — and therefore the whole auction — vary run to run).
+	var pairs [][2]int
+	for pair, asgs := range lr.asg {
+		for _, a := range asgs {
+			if crossesLink(a, link) {
+				pairs = append(pairs, pair)
+				break
+			}
+		}
+	}
+	sortPairs(pairs)
+	for _, pair := range pairs {
+		var keep []PathAssignment
+		for _, a := range lr.asg[pair] {
+			if crossesLink(a, link) {
+				u.removed[pair] = append(u.removed[pair], a)
+				for _, l := range a.Links {
+					lr.rt.resid[l] += a.Gbps
+				}
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		lr.asg[pair] = keep
+	}
+	for _, pair := range pairs {
+		for _, a := range u.removed[pair] {
+			placed := s.place(lr, pair, a.Gbps)
+			u.added[pair] += len(placed)
+			if placed == nil {
+				return u, false
+			}
+			lr.asg[pair] = append(lr.asg[pair], placed...)
+		}
+	}
+	return u, true
+}
+
+// reanchor releases every assignment of the pair (its avoid set just
+// changed) and re-places it under the new avoid set.
+func (s *Shaver) reanchor(lr *liveRouting, pair [2]int) (*repairUndo, bool) {
+	u := &repairUndo{lr: lr, removed: map[[2]int][]PathAssignment{}, added: map[[2]int]int{}}
+	for _, a := range lr.asg[pair] {
+		u.removed[pair] = append(u.removed[pair], a)
+		for _, l := range a.Links {
+			lr.rt.resid[l] += a.Gbps
+		}
+	}
+	lr.asg[pair] = nil
+	for _, a := range u.removed[pair] {
+		placed := s.place(lr, pair, a.Gbps)
+		u.added[pair] += len(placed)
+		if placed == nil {
+			return u, false
+		}
+		lr.asg[pair] = append(lr.asg[pair], placed...)
+	}
+	return u, true
+}
+
+// TryDrop attempts to remove one link. It returns true (and commits)
+// when every routing repairs and every affected failure scenario
+// rebuilds; otherwise the state is rolled back.
+func (s *Shaver) TryDrop(link int) bool {
+	if !s.include[link] {
+		return false
+	}
+	// Tentatively remove the link everywhere, remembering which
+	// routings already banned it (a Constraint-2 scenario bans its
+	// failed primary; rollback must not clear that ban).
+	delete(s.include, link)
+	s.version++
+	entry := s.routings()
+	preBanned := make([]bool, len(entry))
+	for i, lr := range entry {
+		preBanned[i] = lr.banned[link]
+		lr.banned[link] = true
+	}
+	var undos []*repairUndo
+	ok := true
+
+	// 1. Base routing repairs incrementally.
+	u, repaired := s.repair(s.base, link)
+	undos = append(undos, u)
+	ok = repaired
+
+	// 2. Constraint-2 scenarios: a scenario whose primary contained
+	// the link gets a recomputed primary and a rebuilt routing; other
+	// scenarios repair incrementally.
+	type scenarioSwap struct {
+		sc         *scenario
+		oldPrimary map[int]bool
+		oldLR      *liveRouting
+	}
+	var swaps []scenarioSwap
+	if ok {
+		for _, sc := range s.scenarios {
+			if !sc.primary[link] {
+				u, repaired := s.repair(sc.lr, link)
+				undos = append(undos, u)
+				if !repaired {
+					ok = false
+					break
+				}
+				continue
+			}
+			newPrimary, reachable := s.primaryOf(sc.pair)
+			if !reachable {
+				ok = false
+				break
+			}
+			failed := cloneSet(newPrimary, 0)
+			for id := range sc.lr.banned {
+				if id != link && !s.include[id] {
+					// Keep previously shaved links out of the rebuild.
+					failed[id] = true
+				}
+			}
+			failed[link] = true
+			newLR := newLive(s.p, s.include, failed, nil, s.tm, s.opts)
+			if newLR == nil {
+				ok = false
+				break
+			}
+			swaps = append(swaps, scenarioSwap{sc: sc, oldPrimary: sc.primary, oldLR: sc.lr})
+			sc.primary = newPrimary
+			sc.lr = newLR
+		}
+	}
+
+	// 3. Constraint-3 degraded routing: pairs whose primary contained
+	// the link get new avoid sets and are re-placed; the rest repair
+	// incrementally.
+	type avoidSwap struct {
+		pair [2]int
+		old  map[int]bool
+	}
+	var avoidSwaps []avoidSwap
+	if ok && s.degraded != nil {
+		u, repaired := s.repair(s.degraded, link)
+		undos = append(undos, u)
+		if !repaired {
+			ok = false
+		}
+		if ok {
+			var moved [][2]int
+			for pair, av := range s.degraded.avoid {
+				if av[link] {
+					moved = append(moved, pair)
+				}
+			}
+			sortPairs(moved)
+			for _, pair := range moved {
+				newPrimary, reachable := s.primaryOf(pair)
+				if !reachable {
+					ok = false
+					break
+				}
+				avoidSwaps = append(avoidSwaps, avoidSwap{pair: pair, old: s.degraded.avoid[pair]})
+				s.degraded.avoid[pair] = newPrimary
+				u, repaired := s.reanchor(s.degraded, pair)
+				undos = append(undos, u)
+				if !repaired {
+					ok = false
+					break
+				}
+			}
+		}
+	}
+
+	if ok {
+		return true
+	}
+	// Rollback in reverse order of the mutations.
+	for i := len(undos) - 1; i >= 0; i-- {
+		undos[i].rollback()
+	}
+	if s.degraded != nil {
+		for i := len(avoidSwaps) - 1; i >= 0; i-- {
+			s.degraded.avoid[avoidSwaps[i].pair] = avoidSwaps[i].old
+		}
+	}
+	for i := len(swaps) - 1; i >= 0; i-- {
+		swaps[i].sc.primary = swaps[i].oldPrimary
+		swaps[i].sc.lr = swaps[i].oldLR
+	}
+	s.include[link] = true
+	s.version++
+	for i, lr := range entry {
+		if !preBanned[i] {
+			delete(lr.banned, link)
+		}
+	}
+	return false
+}
+
+// place routes gbps for the pair over the live residuals, splitting
+// across up to MaxPaths paths. It returns nil if the full amount does
+// not fit (partial placements are rolled back internally).
+func (s *Shaver) place(lr *liveRouting, pair [2]int, gbps float64) []PathAssignment {
+	avoid := lr.avoid[pair]
+	var out []PathAssignment
+	remaining := gbps
+	for attempt := 0; attempt < s.opts.MaxPaths && remaining > 1e-9; attempt++ {
+		path := lr.rt.pr.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), lr.usableFilter(avoid))
+		if len(path.Edges) == 0 {
+			break
+		}
+		bn := remaining
+		links := make([]int, len(path.Edges))
+		for i, eid := range path.Edges {
+			l := int(lr.rt.linkFor[eid])
+			links[i] = l
+			if lr.rt.resid[l] < bn {
+				bn = lr.rt.resid[l]
+			}
+		}
+		if bn <= 1e-9 {
+			break
+		}
+		for _, l := range links {
+			lr.rt.resid[l] -= bn
+		}
+		out = append(out, PathAssignment{Links: links, Gbps: bn})
+		remaining -= bn
+	}
+	if remaining > 1e-9 {
+		for _, a := range out {
+			for _, l := range a.Links {
+				lr.rt.resid[l] += a.Gbps
+			}
+		}
+		return nil
+	}
+	return out
+}
+
+// Shave runs drop passes over the current set, most expensive link
+// first (per the price function), until a full pass commits nothing
+// or maxPasses is reached (0 = default 3). It returns the number of
+// links dropped.
+func (s *Shaver) Shave(price func(link int) float64, maxPasses int) int {
+	if maxPasses <= 0 {
+		maxPasses = 3
+	}
+	dropped := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		var cand []int
+		for id := range s.include {
+			cand = append(cand, id)
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			pi, pj := price(cand[i]), price(cand[j])
+			if pi != pj {
+				return pi > pj
+			}
+			return cand[i] < cand[j]
+		})
+		n := 0
+		for _, id := range cand {
+			if s.TryDrop(id) {
+				n++
+			}
+		}
+		dropped += n
+		if n == 0 {
+			break
+		}
+	}
+	return dropped
+}
+
+func crossesLink(a PathAssignment, link int) bool {
+	for _, l := range a.Links {
+		if l == link {
+			return true
+		}
+	}
+	return false
+}
+
+func sortPairs(pairs [][2]int) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+}
+
+// cloneSet copies include; nil means all links.
+func cloneSet(include map[int]bool, total int) map[int]bool {
+	out := make(map[int]bool)
+	if include == nil {
+		for i := 0; i < total; i++ {
+			out[i] = true
+		}
+		return out
+	}
+	for id, ok := range include {
+		if ok {
+			out[id] = true
+		}
+	}
+	return out
+}

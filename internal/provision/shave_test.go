@@ -1,0 +1,222 @@
+package provision
+
+import (
+	"testing"
+
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// shaveNet: two routers, three parallel links with different prices
+// (price enters via the caller's price function; link IDs stand in).
+func shaveNet(caps ...float64) *topo.POCNetwork {
+	p := &topo.POCNetwork{
+		World:   &topo.World{Cities: make([]topo.City, 2)},
+		BPs:     make([]topo.BP, len(caps)),
+		Routers: []int{0, 1},
+	}
+	for i, c := range caps {
+		p.Links = append(p.Links, topo.LogicalLink{
+			ID: i, BP: i, A: 0, B: 1, Capacity: c, DistanceKm: 100 * float64(i+1),
+		})
+	}
+	return p
+}
+
+func TestShaverDropsRedundantLinks(t *testing.T) {
+	p := shaveNet(10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8) // one link suffices
+	sh, ok := NewShaver(p, nil, tm, Constraint1, Options{})
+	if !ok {
+		t.Fatal("feasible instance rejected")
+	}
+	price := func(l int) float64 { return float64(l + 1) } // link 2 priciest
+	dropped := sh.Shave(price, 0)
+	if dropped != 2 {
+		t.Fatalf("dropped %d links, want 2", dropped)
+	}
+	inc := sh.Include()
+	if len(inc) != 1 || !inc[0] {
+		t.Fatalf("kept %v, want cheapest link 0", inc)
+	}
+}
+
+func TestShaverKeepsNeededCapacity(t *testing.T) {
+	p := shaveNet(10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 15) // needs two links
+	sh, ok := NewShaver(p, nil, tm, Constraint1, Options{})
+	if !ok {
+		t.Fatal("feasible instance rejected")
+	}
+	price := func(l int) float64 { return float64(l + 1) }
+	sh.Shave(price, 0)
+	inc := sh.Include()
+	if len(inc) != 2 {
+		t.Fatalf("kept %d links, want 2", len(inc))
+	}
+	if !inc[0] || !inc[1] {
+		t.Fatalf("kept %v, want the two cheapest", inc)
+	}
+}
+
+func TestShaverInfeasibleInstance(t *testing.T) {
+	p := shaveNet(10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 50)
+	if _, ok := NewShaver(p, nil, tm, Constraint1, Options{}); ok {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestShaverTryDropRollsBack(t *testing.T) {
+	p := shaveNet(10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 15) // both links needed
+	sh, ok := NewShaver(p, nil, tm, Constraint1, Options{})
+	if !ok {
+		t.Fatal("feasible instance rejected")
+	}
+	if sh.TryDrop(0) {
+		t.Fatal("dropped a needed link")
+	}
+	// State intact: the other link can still not be dropped either,
+	// and re-attempting the first fails identically (determinism).
+	if sh.TryDrop(1) || sh.TryDrop(0) {
+		t.Fatal("rollback corrupted state")
+	}
+	if len(sh.Include()) != 2 {
+		t.Fatalf("include = %v", sh.Include())
+	}
+}
+
+func TestShaverTryDropUnknownLink(t *testing.T) {
+	p := shaveNet(10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 5)
+	sh, _ := NewShaver(p, nil, tm, Constraint1, Options{})
+	if sh.TryDrop(99) {
+		t.Fatal("dropped a link outside the set")
+	}
+	if sh.TryDrop(0) {
+		t.Fatal("dropped the only link")
+	}
+}
+
+func TestShaverConstraint2KeepsBackup(t *testing.T) {
+	// Demand fits on one link, but Constraint2 requires surviving the
+	// primary path's failure: the shave must keep a second link.
+	p := shaveNet(10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+	sh, ok := NewShaver(p, nil, tm, Constraint2, Options{FailureScenarios: 4})
+	if !ok {
+		t.Fatal("feasible instance rejected")
+	}
+	price := func(l int) float64 { return float64(l + 1) }
+	sh.Shave(price, 0)
+	if len(sh.Include()) != 2 {
+		t.Fatalf("kept %d links under constraint2, want 2 (primary + backup)", len(sh.Include()))
+	}
+}
+
+func TestShaverConstraint3KeepsDetour(t *testing.T) {
+	p := shaveNet(10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+	sh, ok := NewShaver(p, nil, tm, Constraint3, Options{})
+	if !ok {
+		t.Fatal("feasible instance rejected")
+	}
+	price := func(l int) float64 { return float64(l + 1) }
+	sh.Shave(price, 0)
+	// The degraded routing must avoid the primary link entirely.
+	if len(sh.Include()) != 2 {
+		t.Fatalf("kept %d links under constraint3, want 2", len(sh.Include()))
+	}
+}
+
+func TestShaverDeterministic(t *testing.T) {
+	w := topo.DefaultWorld()
+	cfg := topo.DefaultZooConfig()
+	cfg.NumNetworks = 30
+	nets := topo.GenerateZoo(w, cfg)
+	p := topo.BuildPOCNetwork(w, nets, 10, 4, 0)
+	gcfg := traffic.DefaultGravityConfig()
+	gcfg.TotalGbps = 1500
+	tm := traffic.Gravity(len(p.Routers), gcfg,
+		func(i int) float64 { return w.Cities[p.Routers[i]].Population },
+		func(i, j int) float64 { return w.Distance(p.Routers[i], p.Routers[j]) })
+	price := func(l int) float64 { return p.Links[l].DistanceKm }
+
+	var sizes []int
+	for run := 0; run < 3; run++ {
+		sh, ok := NewShaver(p, nil, tm, Constraint1, Options{})
+		if !ok {
+			t.Fatal("infeasible")
+		}
+		sh.Shave(price, 0)
+		sizes = append(sizes, len(sh.Include()))
+	}
+	if sizes[0] != sizes[1] || sizes[1] != sizes[2] {
+		t.Fatalf("nondeterministic shave: %v", sizes)
+	}
+}
+
+func TestShaverResultStillRoutes(t *testing.T) {
+	// Whatever the shave keeps must still carry the matrix.
+	w := topo.DefaultWorld()
+	cfg := topo.DefaultZooConfig()
+	cfg.NumNetworks = 30
+	nets := topo.GenerateZoo(w, cfg)
+	p := topo.BuildPOCNetwork(w, nets, 10, 4, 0)
+	gcfg := traffic.DefaultGravityConfig()
+	gcfg.TotalGbps = 1500
+	tm := traffic.Gravity(len(p.Routers), gcfg,
+		func(i int) float64 { return w.Cities[p.Routers[i]].Population },
+		func(i, j int) float64 { return w.Distance(p.Routers[i], p.Routers[j]) })
+	sh, ok := NewShaver(p, nil, tm, Constraint1, Options{})
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	before := len(sh.Include())
+	sh.Shave(func(l int) float64 { return p.Links[l].DistanceKm }, 0)
+	after := len(sh.Include())
+	if after >= before {
+		t.Fatalf("shave dropped nothing (%d -> %d)", before, after)
+	}
+
+	// Exact guarantee: the witness packing covers every demand and
+	// respects capacities.
+	witness := sh.Witness()
+	used := map[int]float64{}
+	tm.Demands(func(src, dst int, gbps float64) {
+		placed := 0.0
+		for _, a := range witness[[2]int{src, dst}] {
+			placed += a.Gbps
+			for _, l := range a.Links {
+				used[l] += a.Gbps
+				if !sh.Include()[l] {
+					t.Fatalf("witness uses shaved link %d", l)
+				}
+			}
+		}
+		if placed < gbps-1e-6 {
+			t.Fatalf("witness covers %.3f of %.3f Gbps for (%d,%d)", placed, gbps, src, dst)
+		}
+	})
+	for l, u := range used {
+		if u > p.Links[l].Capacity+1e-6 {
+			t.Fatalf("witness overloads link %d: %.2f > %.2f", l, u, p.Links[l].Capacity)
+		}
+	}
+
+	// Statistical guarantee: a fresh greedy route — which packs in a
+	// different order — places all but a sliver thanks to the shave
+	// headroom.
+	r := Route(p, sh.Include(), tm, Options{}, nil)
+	if r.Unplaced > 0.005*tm.Total() {
+		t.Fatalf("fresh route leaves %.1f of %.1f Gbps unplaced", r.Unplaced, tm.Total())
+	}
+}

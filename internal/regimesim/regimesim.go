@@ -1,0 +1,170 @@
+// Package regimesim runs the paper's §4 economics through the §3.2
+// ledger as a multi-epoch simulation: a population of consumers
+// subscribes to CSP services through their LMPs, CSPs set prices, and
+// — depending on the regime — LMPs do or do not charge termination
+// fees. The simulation produces the same welfare comparison as the
+// closed-form analysis (econ package) but with every payment recorded
+// and validated by the market ledger, so the §4 story and the §3.2
+// payment structure are demonstrably consistent.
+package regimesim
+
+import (
+	"fmt"
+
+	"github.com/public-option/poc/internal/econ"
+	"github.com/public-option/poc/internal/market"
+)
+
+// Service is one CSP product in the simulated market.
+type Service struct {
+	Name   string
+	Demand econ.Demand
+}
+
+// Provider is one LMP with its §4.5 bargaining parameters.
+type Provider struct {
+	Name      string
+	Customers float64 // consumer mass served by this LMP
+	Access    float64 // monthly access charge c_l
+	Churn     float64 // r_l^s (uniform across services here)
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Regime   econ.Regime
+	Services []Service
+	LMPs     []Provider
+	// Epochs to run; prices and fees are recomputed each epoch (they
+	// are stationary here, so epochs mostly exercise the ledger).
+	Epochs int
+}
+
+// EpochOutcome is the per-epoch economic summary.
+type EpochOutcome struct {
+	Epoch      int
+	Welfare    float64
+	CSPRevenue float64
+	LMPFees    float64
+	AccessRev  float64
+}
+
+// Result is the full simulation output.
+type Result struct {
+	Regime econ.Regime
+	Epochs []EpochOutcome
+	Ledger *market.Ledger
+	// PerService records each service's final price and fee.
+	PerService []econ.Outcome
+}
+
+// TotalWelfare sums welfare across epochs.
+func (r *Result) TotalWelfare() float64 {
+	t := 0.0
+	for _, e := range r.Epochs {
+		t += e.Welfare
+	}
+	return t
+}
+
+// Run executes the simulation. Under NN no termination fees flow;
+// under the UR regimes the equilibrium fees are paid CSP→LMP through
+// the ledger (which must be configured to allow them — the simulation
+// does that exactly when the regime requires it, mirroring how the
+// POC's terms of service would have forbidden the flows).
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Services) == 0 {
+		return nil, fmt.Errorf("regimesim: no services")
+	}
+	if len(cfg.LMPs) == 0 {
+		return nil, fmt.Errorf("regimesim: no LMPs")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+
+	ledger := &market.Ledger{AllowTerminationFees: cfg.Regime != econ.NN}
+	// Entities: one LMP each, one CSP per service, one aggregate
+	// customer per LMP (consumer masses are continuous; the aggregate
+	// customer carries the mass's payments).
+	lmpIDs := make([]market.EntityID, len(cfg.LMPs))
+	custIDs := make([]market.EntityID, len(cfg.LMPs))
+	for i, l := range cfg.LMPs {
+		lmpIDs[i] = ledger.AddEntity(market.LastMileProvider, l.Name)
+		custIDs[i] = ledger.AddEntity(market.Customer, l.Name+"/consumers")
+	}
+	cspIDs := make([]market.EntityID, len(cfg.Services))
+	for i, s := range cfg.Services {
+		cspIDs[i] = ledger.AddEntity(market.ContentProvider, s.Name)
+	}
+
+	econLMPs := make([]econ.LMP, len(cfg.LMPs))
+	totalMass := 0.0
+	for i, l := range cfg.LMPs {
+		econLMPs[i] = econ.LMP{Name: l.Name, Customers: l.Customers, Access: l.Access, Churn: l.Churn}
+		totalMass += l.Customers
+	}
+	if totalMass <= 0 {
+		return nil, fmt.Errorf("regimesim: zero consumer mass")
+	}
+
+	// Solve each service's regime outcome once (stationary).
+	outcomes := make([]econ.Outcome, len(cfg.Services))
+	for i, s := range cfg.Services {
+		out, err := econ.Evaluate(s.Demand, cfg.Regime, econLMPs)
+		if err != nil {
+			return nil, fmt.Errorf("regimesim: %s: %w", s.Name, err)
+		}
+		outcomes[i] = out
+	}
+
+	res := &Result{Regime: cfg.Regime, Ledger: ledger, PerService: outcomes}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		eo := EpochOutcome{Epoch: epoch}
+		for li, l := range cfg.LMPs {
+			// Consumers pay access.
+			access := l.Access * l.Customers
+			if err := ledger.Pay(custIDs[li], lmpIDs[li], market.LMPAccess, access, "access"); err != nil {
+				return nil, err
+			}
+			eo.AccessRev += access
+			for si := range cfg.Services {
+				out := outcomes[si]
+				// Mass of this LMP's consumers buying service si.
+				buyers := out.Demand * l.Customers
+				// Consumers pay the CSP.
+				if err := ledger.Pay(custIDs[li], cspIDs[si], market.ServiceFee,
+					out.Price*buyers, "subscriptions"); err != nil {
+					return nil, err
+				}
+				// CSP pays the termination fee when the regime has one.
+				if out.Fee > 0 {
+					if err := ledger.Pay(cspIDs[si], lmpIDs[li], market.TerminationFee,
+						out.Fee*buyers, "termination"); err != nil {
+						return nil, err
+					}
+					eo.LMPFees += out.Fee * buyers
+				}
+				// out.Welfare is per unit of consumer mass.
+				eo.Welfare += out.Welfare * l.Customers
+				eo.CSPRevenue += (out.Price - out.Fee) * buyers
+			}
+		}
+		ledger.CloseEpoch()
+		res.Epochs = append(res.Epochs, eo)
+	}
+	return res, nil
+}
+
+// Compare runs the same market under every regime and returns results
+// keyed by regime, for side-by-side welfare comparison.
+func Compare(services []Service, lmps []Provider, epochs int) (map[econ.Regime]*Result, error) {
+	out := map[econ.Regime]*Result{}
+	for _, regime := range []econ.Regime{econ.NN, econ.URBargain, econ.URUnilateral} {
+		r, err := Run(Config{Regime: regime, Services: services, LMPs: lmps, Epochs: epochs})
+		if err != nil {
+			return nil, err
+		}
+		out[regime] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package regimesim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/public-option/poc/internal/econ"
+	"github.com/public-option/poc/internal/market"
+)
+
+func fixture() ([]Service, []Provider) {
+	services := []Service{
+		{Name: "video", Demand: econ.Uniform{High: 100}},
+		{Name: "social", Demand: econ.Exponential{Mean: 30}},
+	}
+	lmps := []Provider{
+		{Name: "incumbent", Customers: 700, Access: 50, Churn: 0.10},
+		{Name: "entrant", Customers: 300, Access: 40, Churn: 0.45},
+	}
+	return services, lmps
+}
+
+func TestRunValidation(t *testing.T) {
+	s, l := fixture()
+	if _, err := Run(Config{Regime: econ.NN, LMPs: l}); err == nil {
+		t.Fatal("no services accepted")
+	}
+	if _, err := Run(Config{Regime: econ.NN, Services: s}); err == nil {
+		t.Fatal("no LMPs accepted")
+	}
+	if _, err := Run(Config{Regime: econ.NN, Services: s,
+		LMPs: []Provider{{Name: "x", Customers: 0}}}); err == nil {
+		t.Fatal("zero mass accepted")
+	}
+}
+
+func TestNNHasNoTerminationFees(t *testing.T) {
+	s, l := fixture()
+	res, err := Run(Config{Regime: econ.NN, Services: s, LMPs: l, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := res.Ledger.TotalsByKind(-1)[market.TerminationFee]; tot != 0 {
+		t.Fatalf("NN regime recorded termination fees: %v", tot)
+	}
+	for _, e := range res.Epochs {
+		if e.LMPFees != 0 {
+			t.Fatalf("epoch %d has LMP fees %v", e.Epoch, e.LMPFees)
+		}
+		if e.Welfare <= 0 {
+			t.Fatalf("epoch %d welfare %v", e.Epoch, e.Welfare)
+		}
+	}
+}
+
+func TestURRoutesFeesThroughLedger(t *testing.T) {
+	s, l := fixture()
+	res, err := Run(Config{Regime: econ.URUnilateral, Services: s, LMPs: l, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fees := res.Ledger.TotalsByKind(-1)[market.TerminationFee]
+	if fees <= 0 {
+		t.Fatal("UR regime recorded no termination fees")
+	}
+	if math.Abs(fees-res.Epochs[0].LMPFees) > 1e-6 {
+		t.Fatalf("ledger fees %v != outcome fees %v", fees, res.Epochs[0].LMPFees)
+	}
+}
+
+func TestLedgerConservation(t *testing.T) {
+	s, l := fixture()
+	for _, regime := range []econ.Regime{econ.NN, econ.URBargain, econ.URUnilateral} {
+		res, err := Run(Config{Regime: regime, Services: s, LMPs: l, Epochs: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := res.Ledger.Conservation(); math.Abs(c) > 1e-6 {
+			t.Fatalf("%v: conservation = %v", regime, c)
+		}
+	}
+}
+
+func TestCompareReproducesWelfareOrdering(t *testing.T) {
+	s, l := fixture()
+	results, err := Compare(s, l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wNN := results[econ.NN].TotalWelfare()
+	wBar := results[econ.URBargain].TotalWelfare()
+	wUni := results[econ.URUnilateral].TotalWelfare()
+	if !(wNN > wBar && wBar > wUni) {
+		t.Fatalf("welfare ordering broken: NN=%v bargain=%v unilateral=%v", wNN, wBar, wUni)
+	}
+	// The simulated welfare must match the closed-form expectation:
+	// Σ_s welfare_s × totalMass.
+	var want float64
+	for _, svc := range s {
+		out, err := econ.Evaluate(svc.Demand, econ.NN, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += out.Welfare * 1000
+	}
+	if math.Abs(wNN-want) > 1e-6*want {
+		t.Fatalf("simulated NN welfare %v != closed form %v", wNN, want)
+	}
+}
+
+func TestRevenueSplitShiftsUnderUR(t *testing.T) {
+	// Under UR, LMPs capture part of what CSPs earned under NN — the
+	// revenue-extraction mechanism §4.4 describes.
+	s, l := fixture()
+	results, err := Compare(s, l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cspNN := results[econ.NN].Epochs[0].CSPRevenue
+	cspUR := results[econ.URUnilateral].Epochs[0].CSPRevenue
+	feesUR := results[econ.URUnilateral].Epochs[0].LMPFees
+	if cspUR >= cspNN {
+		t.Fatalf("CSP revenue did not fall under UR: %v vs %v", cspUR, cspNN)
+	}
+	if feesUR <= 0 {
+		t.Fatal("no fee revenue under UR")
+	}
+}
+
+func TestDefaultEpochs(t *testing.T) {
+	s, l := fixture()
+	res, err := Run(Config{Regime: econ.NN, Services: s, LMPs: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(res.Epochs))
+	}
+}

@@ -1,0 +1,130 @@
+// Package stats provides the small set of summary statistics the
+// benchmark harness reports (distributions of PoB margins, latencies,
+// utilizations). Implementations are exact (sort-based percentiles
+// with linear interpolation), deterministic, and allocation-light.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean           float64
+	Stddev         float64
+	P25, P50, P75  float64
+	P90, P95, P99  float64
+	Zero, Negative int // counts of zero / negative samples
+}
+
+// Summarize computes the summary of xs. It returns a zero Summary for
+// an empty sample. NaN inputs panic: they indicate a bug upstream.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	for _, x := range s {
+		if math.IsNaN(x) {
+			panic("stats: NaN sample")
+		}
+	}
+	sort.Float64s(s)
+	out := Summary{N: len(s), Min: s[0], Max: s[len(s)-1]}
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+		if x == 0 {
+			out.Zero++
+		}
+		if x < 0 {
+			out.Negative++
+		}
+	}
+	out.Mean = sum / float64(len(s))
+	varsum := 0.0
+	for _, x := range s {
+		d := x - out.Mean
+		varsum += d * d
+	}
+	if len(s) > 1 {
+		out.Stddev = math.Sqrt(varsum / float64(len(s)-1))
+	}
+	out.P25 = quantileSorted(s, 0.25)
+	out.P50 = quantileSorted(s, 0.50)
+	out.P75 = quantileSorted(s, 0.75)
+	out.P90 = quantileSorted(s, 0.90)
+	out.P95 = quantileSorted(s, 0.95)
+	out.P99 = quantileSorted(s, 0.99)
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs with linear
+// interpolation. It panics on an empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g p50=%.3g p75=%.3g p95=%.3g max=%.3g mean=%.3g±%.3g",
+		s.N, s.Min, s.P25, s.P50, s.P75, s.P95, s.Max, s.Mean, s.Stddev)
+}
+
+// Gini returns the Gini coefficient of a non-negative sample — the
+// dispersion measure used to report how unevenly auction payments
+// spread across BPs. It panics on negative values and returns 0 for
+// samples with zero sum.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if s[0] < 0 {
+		panic("stats: Gini of negative sample")
+	}
+	var cum, total float64
+	for _, x := range s {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	// G = 1 - 2 * Σ_i (cumulative share weighted) — use the standard
+	// discrete formula G = (2 Σ i·x_i)/(n Σ x) − (n+1)/n with 1-based i.
+	for i, x := range s {
+		cum += float64(i+1) * x
+	}
+	n := float64(len(s))
+	return 2*cum/(n*total) - (n+1)/n
+}

@@ -1,0 +1,78 @@
+package topo
+
+// DefaultWorld returns the 60-city world map used by the synthetic
+// zoo. Coordinates are approximate city-center lat/lon; populations
+// are metro-area estimates in millions and feed the gravity traffic
+// model. The set is chosen to mirror the geographic spread of the
+// TopologyZoo networks: North America and Europe dense, plus the major
+// Asian, South American, African and Oceanian interconnection hubs.
+func DefaultWorld() *World {
+	return &World{Cities: []City{
+		// North America
+		{"NewYork", 40.71, -74.01, 19.8},
+		{"LosAngeles", 34.05, -118.24, 13.2},
+		{"Chicago", 41.88, -87.63, 9.5},
+		{"Dallas", 32.78, -96.80, 7.6},
+		{"Houston", 29.76, -95.37, 7.1},
+		{"WashingtonDC", 38.91, -77.04, 6.3},
+		{"Miami", 25.76, -80.19, 6.1},
+		{"Atlanta", 33.75, -84.39, 6.0},
+		{"Boston", 42.36, -71.06, 4.9},
+		{"Phoenix", 33.45, -112.07, 4.9},
+		{"SanFrancisco", 37.77, -122.42, 4.7},
+		{"Seattle", 47.61, -122.33, 4.0},
+		{"Denver", 39.74, -104.99, 3.0},
+		{"Toronto", 43.65, -79.38, 6.2},
+		{"Montreal", 45.50, -73.57, 4.3},
+		{"Vancouver", 49.28, -123.12, 2.6},
+		{"MexicoCity", 19.43, -99.13, 21.8},
+		// Europe
+		{"London", 51.51, -0.13, 14.3},
+		{"Paris", 48.86, 2.35, 12.3},
+		{"Frankfurt", 50.11, 8.68, 2.7},
+		{"Amsterdam", 52.37, 4.90, 2.5},
+		{"Madrid", 40.42, -3.70, 6.7},
+		{"Milan", 45.46, 9.19, 4.3},
+		{"Stockholm", 59.33, 18.07, 2.4},
+		{"Warsaw", 52.23, 21.01, 3.1},
+		{"Vienna", 48.21, 16.37, 2.9},
+		{"Zurich", 47.38, 8.54, 1.4},
+		{"Dublin", 53.35, -6.26, 1.4},
+		{"Brussels", 50.85, 4.35, 2.1},
+		{"Copenhagen", 55.68, 12.57, 2.1},
+		{"Prague", 50.08, 14.44, 2.7},
+		{"Lisbon", 38.72, -9.14, 2.9},
+		{"Athens", 37.98, 23.73, 3.2},
+		{"Istanbul", 41.01, 28.98, 15.5},
+		{"Moscow", 55.76, 37.62, 12.6},
+		{"Helsinki", 60.17, 24.94, 1.5},
+		{"Oslo", 59.91, 10.75, 1.1},
+		// Asia
+		{"Tokyo", 35.68, 139.69, 37.3},
+		{"Osaka", 34.69, 135.50, 19.1},
+		{"Seoul", 37.57, 126.98, 25.5},
+		{"Beijing", 39.90, 116.41, 20.9},
+		{"Shanghai", 31.23, 121.47, 27.8},
+		{"HongKong", 22.32, 114.17, 7.5},
+		{"Singapore", 1.35, 103.82, 5.9},
+		{"Taipei", 25.03, 121.57, 7.0},
+		{"Mumbai", 19.08, 72.88, 20.7},
+		{"Delhi", 28.70, 77.10, 31.2},
+		{"Bangkok", 13.76, 100.50, 10.7},
+		{"Jakarta", -6.21, 106.85, 10.6},
+		{"Dubai", 25.20, 55.27, 3.4},
+		{"TelAviv", 32.09, 34.78, 4.2},
+		// South America
+		{"SaoPaulo", -23.55, -46.63, 22.2},
+		{"BuenosAires", -34.60, -58.38, 15.2},
+		{"Santiago", -33.45, -70.67, 6.8},
+		{"Bogota", 4.71, -74.07, 11.0},
+		// Africa
+		{"Johannesburg", -26.20, 28.05, 10.0},
+		{"Cairo", 30.04, 31.24, 21.3},
+		{"Lagos", 6.52, 3.38, 14.9},
+		// Oceania
+		{"Sydney", -33.87, 151.21, 5.3},
+		{"Auckland", -36.85, 174.76, 1.7},
+	}}
+}

@@ -1,0 +1,273 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseGML reads a TopologyZoo-style GML document and returns the
+// network it describes, registering any new cities in w. Nodes need
+// "id", and should carry "label", "Latitude" and "Longitude";
+// nodes without coordinates are placed at (0,0). Edges need "source"
+// and "target" and may carry "LinkSpeed" (Gbps); missing speeds
+// default to defaultCapGbps.
+//
+// The parser handles the subset of GML that TopologyZoo uses: nested
+// key/value lists with string, int and float scalars. It is
+// intentionally strict about structure (unbalanced brackets are an
+// error) but lenient about unknown keys, which it skips.
+func ParseGML(w *World, r io.Reader, defaultCapGbps float64) (Network, error) {
+	toks, err := tokenizeGML(r)
+	if err != nil {
+		return Network{}, err
+	}
+	p := &gmlParser{toks: toks}
+	doc, err := p.parseList()
+	if err != nil {
+		return Network{}, err
+	}
+	if p.pos != len(p.toks) {
+		return Network{}, fmt.Errorf("topo: trailing tokens after GML document")
+	}
+	g, ok := findList(doc, "graph")
+	if !ok {
+		return Network{}, fmt.Errorf("topo: GML document has no graph block")
+	}
+
+	net := Network{Name: "gml"}
+	if lbl, ok := findScalar(g, "label"); ok {
+		net.Name = lbl
+	}
+	idToCity := map[int]int{}
+	for _, kv := range g {
+		switch kv.key {
+		case "node":
+			nodeList, ok := kv.val.([]gmlKV)
+			if !ok {
+				return Network{}, fmt.Errorf("topo: node is not a list")
+			}
+			idStr, ok := findScalar(nodeList, "id")
+			if !ok {
+				return Network{}, fmt.Errorf("topo: node without id")
+			}
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				return Network{}, fmt.Errorf("topo: bad node id %q", idStr)
+			}
+			label, _ := findScalar(nodeList, "label")
+			if label == "" {
+				label = fmt.Sprintf("%s-node%d", net.Name, id)
+			}
+			lat := parseFloatOr(nodeList, "Latitude", 0)
+			lon := parseFloatOr(nodeList, "Longitude", 0)
+			ci := w.CityIndex(label)
+			if ci < 0 {
+				w.Cities = append(w.Cities, City{Name: label, Lat: lat, Lon: lon, Population: 1})
+				ci = len(w.Cities) - 1
+			}
+			idToCity[id] = ci
+			net.Sites = append(net.Sites, ci)
+		case "edge":
+			edgeList, ok := kv.val.([]gmlKV)
+			if !ok {
+				return Network{}, fmt.Errorf("topo: edge is not a list")
+			}
+			srcS, ok1 := findScalar(edgeList, "source")
+			dstS, ok2 := findScalar(edgeList, "target")
+			if !ok1 || !ok2 {
+				return Network{}, fmt.Errorf("topo: edge without source/target")
+			}
+			src, err1 := strconv.Atoi(srcS)
+			dst, err2 := strconv.Atoi(dstS)
+			if err1 != nil || err2 != nil {
+				return Network{}, fmt.Errorf("topo: bad edge endpoints %q -> %q", srcS, dstS)
+			}
+			a, okA := idToCity[src]
+			b, okB := idToCity[dst]
+			if !okA || !okB {
+				return Network{}, fmt.Errorf("topo: edge references unknown node %d or %d", src, dst)
+			}
+			capGbps := parseFloatOr(edgeList, "LinkSpeed", defaultCapGbps)
+			if capGbps <= 0 {
+				capGbps = defaultCapGbps
+			}
+			net.Links = append(net.Links, PhysLink{A: a, B: b, Capacity: capGbps})
+		}
+	}
+	sort.Ints(net.Sites)
+	net.Sites = dedupInts(net.Sites)
+	return net, nil
+}
+
+// WriteGML emits the network in TopologyZoo-compatible GML, mapping
+// the network's city indices to sequential node IDs.
+func WriteGML(w *World, net Network, out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "graph [\n  label \"%s\"\n  directed 0\n", net.Name)
+	cityToID := map[int]int{}
+	for i, c := range net.Sites {
+		cityToID[c] = i
+		city := w.Cities[c]
+		fmt.Fprintf(bw, "  node [\n    id %d\n    label \"%s\"\n    Latitude %.4f\n    Longitude %.4f\n  ]\n",
+			i, city.Name, city.Lat, city.Lon)
+	}
+	for _, l := range net.Links {
+		a, okA := cityToID[l.A]
+		b, okB := cityToID[l.B]
+		if !okA || !okB {
+			return fmt.Errorf("topo: link endpoint %d or %d not among sites", l.A, l.B)
+		}
+		fmt.Fprintf(bw, "  edge [\n    source %d\n    target %d\n    LinkSpeed %.1f\n  ]\n", a, b, l.Capacity)
+	}
+	fmt.Fprintln(bw, "]")
+	return bw.Flush()
+}
+
+type gmlKV struct {
+	key string
+	val interface{} // string scalar or []gmlKV
+}
+
+type gmlParser struct {
+	toks []string
+	pos  int
+}
+
+// parseList parses "key value" pairs at the top level (EOF ends the
+// list; a stray ']' is an error).
+func (p *gmlParser) parseList() ([]gmlKV, error) {
+	return p.parse(false)
+}
+
+// parse parses key/value pairs. When requireClose is true the list
+// must end with ']'; otherwise it ends at EOF.
+func (p *gmlParser) parse(requireClose bool) ([]gmlKV, error) {
+	var out []gmlKV
+	for p.pos < len(p.toks) {
+		t := p.toks[p.pos]
+		if t == "]" {
+			if !requireClose {
+				return nil, fmt.Errorf("topo: unexpected ']' at top level")
+			}
+			p.pos++
+			return out, nil
+		}
+		if t == "[" {
+			return nil, fmt.Errorf("topo: unexpected '[' without key")
+		}
+		key := t
+		p.pos++
+		if p.pos >= len(p.toks) {
+			return nil, fmt.Errorf("topo: key %q without value", key)
+		}
+		v := p.toks[p.pos]
+		p.pos++
+		switch v {
+		case "[":
+			sub, err := p.parse(true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, gmlKV{key: key, val: sub})
+		case "]":
+			return nil, fmt.Errorf("topo: key %q without value before ']'", key)
+		default:
+			out = append(out, gmlKV{key: key, val: v})
+		}
+	}
+	if requireClose {
+		return nil, fmt.Errorf("topo: unterminated GML list")
+	}
+	return out, nil
+}
+
+func tokenizeGML(r io.Reader) ([]string, error) {
+	var toks []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		for len(line) > 0 {
+			line = strings.TrimLeft(line, " \t")
+			if line == "" {
+				break
+			}
+			switch line[0] {
+			case '"':
+				end := strings.IndexByte(line[1:], '"')
+				if end < 0 {
+					return nil, fmt.Errorf("topo: unterminated string in GML")
+				}
+				toks = append(toks, line[1:1+end])
+				line = line[end+2:]
+			case '[', ']':
+				toks = append(toks, string(line[0]))
+				line = line[1:]
+			default:
+				end := strings.IndexAny(line, " \t[]")
+				if end < 0 {
+					toks = append(toks, line)
+					line = ""
+				} else {
+					toks = append(toks, line[:end])
+					line = line[end:]
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return toks, nil
+}
+
+func findScalar(list []gmlKV, key string) (string, bool) {
+	for _, kv := range list {
+		if kv.key == key {
+			if s, ok := kv.val.(string); ok {
+				return s, true
+			}
+		}
+	}
+	return "", false
+}
+
+func findList(list []gmlKV, key string) ([]gmlKV, bool) {
+	for _, kv := range list {
+		if kv.key == key {
+			if l, ok := kv.val.([]gmlKV); ok {
+				return l, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func parseFloatOr(list []gmlKV, key string, def float64) float64 {
+	s, ok := findScalar(list, key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return def
+	}
+	return f
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

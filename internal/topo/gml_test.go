@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleGML = `
+graph [
+  label "TestNet"
+  directed 0
+  node [
+    id 0
+    label "Alpha"
+    Latitude 10.5
+    Longitude 20.25
+  ]
+  node [
+    id 1
+    label "Beta"
+    Latitude -5.0
+    Longitude 33.0
+  ]
+  node [
+    id 2
+    label "Gamma"
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed 40
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+]
+`
+
+func TestParseGML(t *testing.T) {
+	w := &World{}
+	net, err := ParseGML(w, strings.NewReader(sampleGML), 10)
+	if err != nil {
+		t.Fatalf("ParseGML: %v", err)
+	}
+	if net.Name != "TestNet" {
+		t.Errorf("name = %q, want TestNet", net.Name)
+	}
+	if len(net.Sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(net.Sites))
+	}
+	if len(net.Links) != 2 {
+		t.Fatalf("links = %d, want 2", len(net.Links))
+	}
+	if net.Links[0].Capacity != 40 {
+		t.Errorf("link 0 capacity = %v, want 40", net.Links[0].Capacity)
+	}
+	if net.Links[1].Capacity != 10 {
+		t.Errorf("link 1 capacity = %v, want default 10", net.Links[1].Capacity)
+	}
+	ai := w.CityIndex("Alpha")
+	if ai < 0 {
+		t.Fatal("Alpha not registered in world")
+	}
+	if w.Cities[ai].Lat != 10.5 || w.Cities[ai].Lon != 20.25 {
+		t.Errorf("Alpha coords = %v,%v", w.Cities[ai].Lat, w.Cities[ai].Lon)
+	}
+}
+
+func TestParseGMLReusesExistingCities(t *testing.T) {
+	w := &World{Cities: []City{{Name: "Alpha", Lat: 1, Lon: 2, Population: 5}}}
+	_, err := ParseGML(w, strings.NewReader(sampleGML), 10)
+	if err != nil {
+		t.Fatalf("ParseGML: %v", err)
+	}
+	count := 0
+	for _, c := range w.Cities {
+		if c.Name == "Alpha" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("Alpha registered %d times", count)
+	}
+}
+
+func TestParseGMLErrors(t *testing.T) {
+	cases := []struct {
+		name, doc string
+	}{
+		{"no graph", `foo "bar"`},
+		{"unterminated list", `graph [ node [ id 0 ]`},
+		{"node without id", `graph [ node [ label "x" ] ]`},
+		{"bad node id", `graph [ node [ id xyz ] ]`},
+		{"edge unknown node", `graph [ node [ id 0 ] edge [ source 0 target 7 ] ]`},
+		{"edge missing target", `graph [ node [ id 0 ] edge [ source 0 ] ]`},
+		{"stray bracket", `] graph [ ]`},
+		{"key without value", `graph [ node [ id ] ]`},
+		{"unterminated string", "graph [ label \"oops ]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := &World{}
+			if _, err := ParseGML(w, strings.NewReader(c.doc), 10); err == nil {
+				t.Fatalf("expected error for %q", c.doc)
+			}
+		})
+	}
+}
+
+func TestGMLRoundTrip(t *testing.T) {
+	w := DefaultWorld()
+	nets := GenerateZoo(w, DefaultZooConfig())
+	orig := nets[0]
+
+	var buf bytes.Buffer
+	if err := WriteGML(w, orig, &buf); err != nil {
+		t.Fatalf("WriteGML: %v", err)
+	}
+	w2 := &World{}
+	parsed, err := ParseGML(w2, &buf, 10)
+	if err != nil {
+		t.Fatalf("ParseGML(round trip): %v", err)
+	}
+	if parsed.Name != orig.Name {
+		t.Errorf("name = %q, want %q", parsed.Name, orig.Name)
+	}
+	if len(parsed.Sites) != len(orig.Sites) {
+		t.Errorf("sites = %d, want %d", len(parsed.Sites), len(orig.Sites))
+	}
+	if len(parsed.Links) != len(orig.Links) {
+		t.Errorf("links = %d, want %d", len(parsed.Links), len(orig.Links))
+	}
+	// Capacities survive.
+	for i := range parsed.Links {
+		if parsed.Links[i].Capacity != orig.Links[i].Capacity {
+			t.Errorf("link %d capacity = %v, want %v", i, parsed.Links[i].Capacity, orig.Links[i].Capacity)
+		}
+	}
+}
+
+func TestWriteGMLRejectsForeignLink(t *testing.T) {
+	w := DefaultWorld()
+	net := Network{Name: "x", Sites: []int{0, 1}, Links: []PhysLink{{A: 0, B: 5, Capacity: 1}}}
+	var buf bytes.Buffer
+	if err := WriteGML(w, net, &buf); err == nil {
+		t.Fatal("expected error for link endpoint outside sites")
+	}
+}
+
+func TestGMLCommentsAndWhitespace(t *testing.T) {
+	doc := `
+# a comment line
+graph [
+  label "C"   # trailing comment
+  node [ id 0 label "N0" ]
+  node [ id 1 label "N1" ]
+  edge [ source 0 target 1 LinkSpeed 100 ]
+]
+`
+	w := &World{}
+	net, err := ParseGML(w, strings.NewReader(doc), 10)
+	if err != nil {
+		t.Fatalf("ParseGML: %v", err)
+	}
+	if len(net.Sites) != 2 || len(net.Links) != 1 {
+		t.Fatalf("parsed %d sites %d links", len(net.Sites), len(net.Links))
+	}
+}

@@ -1,0 +1,96 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the matrix as "src,dst,gbps" rows (non-zero demands
+// only, row-major), preceded by a header line recording the size. The
+// format round-trips through ReadCSV and is handy for exporting a
+// scenario's demand to external tools.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# traffic-matrix n=%d\n", m.n); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "src,dst,gbps"); err != nil {
+		return err
+	}
+	var err error
+	m.Demands(func(src, dst int, gbps float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d,%d,%g\n", src, dst, gbps)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format. It validates the header, the
+// column count, index ranges and value signs, so a truncated or
+// hand-mangled file fails loudly rather than producing a silently
+// wrong matrix.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("traffic: empty input")
+	}
+	header := sc.Text()
+	var n int
+	if _, err := fmt.Sscanf(header, "# traffic-matrix n=%d", &n); err != nil {
+		return nil, fmt.Errorf("traffic: bad header %q", header)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive size %d", n)
+	}
+	if !sc.Scan() || sc.Text() != "src,dst,gbps" {
+		return nil, fmt.Errorf("traffic: missing column header")
+	}
+	m := NewMatrix(n)
+	line := 2
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("traffic: line %d: %d columns", line, len(parts))
+		}
+		src, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: src: %v", line, err)
+		}
+		dst, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: dst: %v", line, err)
+		}
+		g, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: gbps: %v", line, err)
+		}
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			return nil, fmt.Errorf("traffic: line %d: index out of range", line)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("traffic: line %d: self-demand", line)
+		}
+		if g < 0 {
+			return nil, fmt.Errorf("traffic: line %d: negative demand", line)
+		}
+		m.Set(src, dst, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

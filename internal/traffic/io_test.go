@@ -1,0 +1,78 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := Gravity(8, GravityConfig{TotalGbps: 100, Jitter: 0.3, Seed: 5}, unitMass, nil)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != m.Size() {
+		t.Fatalf("size = %d", got.Size())
+	}
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if math.Abs(got.At(i, j)-m.At(i, j)) > 1e-12*(1+m.At(i, j)) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCSVEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewMatrix(3).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 3 || got.Total() != 0 {
+		t.Fatalf("got %d / %v", got.Size(), got.Total())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"empty", ""},
+		{"bad header", "hello\nsrc,dst,gbps\n"},
+		{"zero size", "# traffic-matrix n=0\nsrc,dst,gbps\n"},
+		{"missing columns header", "# traffic-matrix n=2\nnope\n"},
+		{"wrong columns", "# traffic-matrix n=2\nsrc,dst,gbps\n0,1\n"},
+		{"bad src", "# traffic-matrix n=2\nsrc,dst,gbps\nx,1,1\n"},
+		{"bad dst", "# traffic-matrix n=2\nsrc,dst,gbps\n0,x,1\n"},
+		{"bad gbps", "# traffic-matrix n=2\nsrc,dst,gbps\n0,1,x\n"},
+		{"out of range", "# traffic-matrix n=2\nsrc,dst,gbps\n0,5,1\n"},
+		{"self demand", "# traffic-matrix n=2\nsrc,dst,gbps\n1,1,1\n"},
+		{"negative", "# traffic-matrix n=2\nsrc,dst,gbps\n0,1,-1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.doc)); err == nil {
+				t.Fatalf("accepted %q", c.doc)
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlanks(t *testing.T) {
+	doc := "# traffic-matrix n=2\nsrc,dst,gbps\n\n# comment\n0,1,2.5\n"
+	m, err := ReadCSV(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2.5 {
+		t.Fatalf("demand = %v", m.At(0, 1))
+	}
+}
