@@ -23,9 +23,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	poc "github.com/public-option/poc"
@@ -41,7 +44,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig2, nn, lemma1, fees, incumbent, collusion, market, peering, entry, regimes, baseline, all)")
 	scale := flag.Float64("scale", 0.35, "auction instance scale in (0,1]; 1 = paper scale")
 	checks := flag.Int("checks", 0, "winner-determination variant (see auction.Instance.MaxChecks)")
+	workers := flag.Int("workers", 0, "counterfactual winner-determination workers (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "time one auction per constraint and write ns/op, checks, cache hit rate and C(SL) to BENCH_auction.json")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := benchJSON(*scale, *checks, *workers); err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -66,6 +78,72 @@ func main() {
 	run("entry", entry)
 	run("regimes", regimes)
 	run("baseline", baseline)
+}
+
+// benchRow is one constraint's timed auction run in BENCH_auction.json.
+type benchRow struct {
+	Constraint   int     `json:"constraint"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	Checks       int     `json:"checks"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	TotalCost    float64 `json:"total_cost"`
+	Links        int     `json:"links"`
+	Surplus      float64 `json:"surplus"`
+}
+
+// benchJSON times one full auction (winner determination plus every
+// counterfactual) per constraint and writes the machine-readable rows
+// CI and the EXPERIMENTS.md tables consume.
+func benchJSON(scale float64, checks, workers int) error {
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale})
+	if err != nil {
+		return err
+	}
+	out := struct {
+		Scale      float64    `json:"scale"`
+		MaxChecks  int        `json:"max_checks"`
+		Workers    int        `json:"workers"`
+		GOMAXPROCS int        `json:"gomaxprocs"`
+		Rows       []benchRow `json:"rows"`
+	}{Scale: scale, MaxChecks: checks, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for c := poc.Constraint1; c <= poc.Constraint3; c++ {
+		inst := s.Instance(c, checks)
+		inst.Workers = workers
+		start := time.Now()
+		res, err := inst.Run()
+		if err != nil {
+			return fmt.Errorf("constraint#%d: %w", int(c), err)
+		}
+		elapsed := time.Since(start)
+		row := benchRow{
+			Constraint:  int(c),
+			NsPerOp:     elapsed.Nanoseconds(),
+			Checks:      res.Checks,
+			CacheHits:   res.CacheHits,
+			CacheMisses: res.CacheMisses,
+			TotalCost:   res.TotalCost,
+			Links:       len(res.Selected),
+			Surplus:     res.Surplus(),
+		}
+		if res.Checks > 0 {
+			row.CacheHitRate = float64(res.CacheHits) / float64(res.Checks)
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Printf("constraint#%d: %v, %d checks (%.1f%% cached), C(SL)=%.0f\n",
+			int(c), elapsed.Round(time.Millisecond), res.Checks, 100*row.CacheHitRate, res.TotalCost)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_auction.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_auction.json")
+	return nil
 }
 
 func baseline() error {

@@ -1,0 +1,117 @@
+package poc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAuctionDeterminismAcrossWorkers is the regression gate for the
+// parallel winner determination: the auction is a published algorithm
+// ("an open algorithm so that it cannot be accused of favoritism"), so
+// parallelism may only reorder work, never change answers. A serial
+// (Workers: 1) and a parallel (Workers: 4) run of the same instance
+// must agree bit for bit on the selection, its cost, every payment,
+// every counterfactual cost, and even the check count.
+func TestAuctionDeterminismAcrossWorkers(t *testing.T) {
+	s, err := NewScenario(ScenarioOptions{Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := Constraint1; c <= Constraint3; c++ {
+		serialInst := s.Instance(c, 0)
+		serialInst.Workers = 1
+		serial, err := serialInst.Run()
+		if err != nil {
+			t.Fatalf("%v serial: %v", c, err)
+		}
+
+		parInst := s.Instance(c, 0)
+		parInst.Workers = 4
+		par, err := parInst.Run()
+		if err != nil {
+			t.Fatalf("%v parallel: %v", c, err)
+		}
+
+		if len(serial.Selected) != len(par.Selected) {
+			t.Fatalf("%v: |SL| serial=%d parallel=%d", c, len(serial.Selected), len(par.Selected))
+		}
+		for id := range serial.Selected {
+			if !par.Selected[id] {
+				t.Fatalf("%v: link %d selected serially but not in parallel", c, id)
+			}
+		}
+		// Bit-for-bit: no epsilon. The parallel run must execute the
+		// exact same arithmetic.
+		if serial.TotalCost != par.TotalCost {
+			t.Fatalf("%v: C(SL) serial=%v parallel=%v", c, serial.TotalCost, par.TotalCost)
+		}
+		for a := range serial.Payments {
+			if serial.Payments[a] != par.Payments[a] {
+				t.Fatalf("%v: P_%d serial=%v parallel=%v", c, a, serial.Payments[a], par.Payments[a])
+			}
+			if serial.Alternative[a] != par.Alternative[a] {
+				t.Fatalf("%v: C(SL_-%d) serial=%v parallel=%v", c, a, serial.Alternative[a], par.Alternative[a])
+			}
+			if serial.BPCost[a] != par.BPCost[a] {
+				t.Fatalf("%v: C_%d serial=%v parallel=%v", c, a, serial.BPCost[a], par.BPCost[a])
+			}
+		}
+		if serial.Checks != par.Checks {
+			t.Fatalf("%v: checks serial=%d parallel=%d", c, serial.Checks, par.Checks)
+		}
+		if serial.VirtualCost != par.VirtualCost {
+			t.Fatalf("%v: virtual cost serial=%v parallel=%v", c, serial.VirtualCost, par.VirtualCost)
+		}
+	}
+}
+
+// TestAuctionCacheAblation verifies the feasibility memo never changes
+// outcomes: a run with the cache disabled must match a cached run bit
+// for bit, and the cached run must actually hit. The batch-refinement
+// variant (MaxChecks > 0) is the one that replays sets — it re-tries
+// the most expensive links round after round — so that is where the
+// hit assertion has teeth.
+func TestAuctionCacheAblation(t *testing.T) {
+	s, err := NewScenario(ScenarioOptions{Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxChecks = 48
+	cachedInst := s.Instance(Constraint1, maxChecks)
+	cached, err := cachedInst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawInst := s.Instance(Constraint1, maxChecks)
+	rawInst.NoCache = true
+	raw, err := rawInst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.TotalCost != raw.TotalCost || len(cached.Selected) != len(raw.Selected) {
+		t.Fatalf("cache changed the selection: C(SL) %v vs %v, |SL| %d vs %d",
+			cached.TotalCost, raw.TotalCost, len(cached.Selected), len(raw.Selected))
+	}
+	for a := range cached.Payments {
+		if cached.Payments[a] != raw.Payments[a] {
+			t.Fatalf("cache changed P_%d: %v vs %v", a, cached.Payments[a], raw.Payments[a])
+		}
+	}
+	if cached.Checks != raw.Checks {
+		t.Fatalf("cache changed the check count: %d vs %d (budget semantics must not depend on cache luck)",
+			cached.Checks, raw.Checks)
+	}
+	if cached.CacheHits+cached.CacheMisses != cached.Checks {
+		t.Fatalf("cache counters %d+%d don't cover the %d checks",
+			cached.CacheHits, cached.CacheMisses, cached.Checks)
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("feasibility cache never hit on a full auction run")
+	}
+	if raw.CacheHits != 0 || raw.CacheMisses != 0 {
+		t.Fatalf("NoCache run reported cache counters %d/%d", raw.CacheHits, raw.CacheMisses)
+	}
+	if hr := float64(cached.CacheHits) / float64(cached.Checks); math.IsNaN(hr) || hr < 0 || hr > 1 {
+		t.Fatalf("nonsense hit rate %v", hr)
+	}
+}

@@ -3,7 +3,9 @@ package auction
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/public-option/poc/internal/provision"
 	"github.com/public-option/poc/internal/topo"
@@ -43,6 +45,19 @@ type Instance struct {
 	// large re-introduces heuristic noise (negative pivots). Zero
 	// means the default of 0.75.
 	WarmBias float64
+	// Workers bounds how many counterfactual winner determinations run
+	// concurrently (the per-BP runs are mutually independent), and is
+	// forwarded to RouteOpts.Workers for Constraint2's failure-scenario
+	// sweep when that is unset. 0 means runtime.GOMAXPROCS(0); 1 forces
+	// the serial path. Parallelism only reorders work — every outcome
+	// (Selected, TotalCost, Payments, Checks) is bit-identical to the
+	// serial run, preserving the published-algorithm property.
+	Workers int
+	// NoCache disables the per-run feasibility memo (the serial seed
+	// behaviour, useful for ablation). The memo never changes outcomes
+	// — Check is deterministic, so a hit replays exactly what a fresh
+	// check would compute — it only skips redundant routing work.
+	NoCache bool
 }
 
 // Result reports the auction outcome.
@@ -64,8 +79,13 @@ type Result struct {
 	// VirtualCost is the contract cost of selected virtual links.
 	VirtualCost float64
 	// Checks counts feasibility checks spent across all winner
-	// determinations (SL and every SL_-a).
+	// determinations (SL and every SL_-a). Cached checks still count:
+	// the check budget (MaxChecks) must not depend on cache luck.
 	Checks int
+	// CacheHits/CacheMisses count feasibility-memo outcomes across the
+	// run; hits are checks answered without routing.
+	CacheHits   int
+	CacheMisses int
 }
 
 // PoB returns the payment-over-bid margin for BP a:
@@ -88,26 +108,44 @@ func (r *Result) Surplus() float64 {
 	return s
 }
 
+// priceMetric routes by declared lease price so that the routing —
+// and therefore the seed of the winner determination — prefers the
+// cheap links, which is what argmin C(L) wants.
+func priceMetric(price map[int]float64) func(l topo.LogicalLink) float64 {
+	return func(l topo.LogicalLink) float64 {
+		if p, ok := price[l.ID]; ok && !math.IsInf(p, 1) {
+			return p
+		}
+		return l.DistanceKm
+	}
+}
+
 // Run executes the auction: winner determination for SL, then one
 // counterfactual winner determination per participating BP to price
-// the Clarke pivots.
+// the Clarke pivots. The counterfactuals are mutually independent and
+// fan across Workers goroutines; every outcome is bit-identical to the
+// serial (Workers: 1) run.
 func (in *Instance) Run() (*Result, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
+	var sharedPrice map[int]float64
 	if in.RouteOpts.LinkCost == nil {
-		// Route by declared lease price so that the routing — and
-		// therefore the seed of the winner determination — prefers the
-		// cheap links, which is what argmin C(L) wants.
-		price := in.priceOfLink()
-		in.RouteOpts.LinkCost = func(l topo.LogicalLink) float64 {
-			if p, ok := price[l.ID]; ok && !math.IsInf(p, 1) {
-				return p
-			}
-			return l.DistanceKm
-		}
+		sharedPrice = in.priceOfLink()
+		in.RouteOpts.LinkCost = priceMetric(sharedPrice)
 	}
-	sel, err := in.selectLinks(-1, nil)
+	workers := in.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if in.RouteOpts.Workers == 0 {
+		in.RouteOpts.Workers = workers
+	}
+	var fc *provision.FeasibilityCache
+	if !in.NoCache {
+		fc = provision.NewFeasibilityCache()
+	}
+	sel, err := in.selectLinks(-1, nil, in.RouteOpts, fc)
 	if err != nil {
 		return nil, fmt.Errorf("auction: winner determination: %w", err)
 	}
@@ -120,6 +158,7 @@ func (in *Instance) Run() (*Result, error) {
 		Checks:      sel.checks,
 	}
 	perBP := in.linksByBP(sel.set)
+	var need []int
 	for a, bid := range in.Bids {
 		res.BPCost[a] = bid.Cost(perBP[a])
 		if len(perBP[a]) == 0 {
@@ -128,17 +167,58 @@ func (in *Instance) Run() (*Result, error) {
 			res.Alternative[a] = sel.cost
 			continue
 		}
-		// Counterfactual winner determination, warm-started from SL:
-		// the routing metric prefers links already in SL, so SL_-a
-		// reuses the main solution's structure and deviates only
-		// where BP a's links are missing. This keeps C(SL_-a)
-		// comparable to C(SL) — under exact optimization the pivot
-		// C(SL_-a) − C(SL) is non-negative, and the warm start makes
-		// the heuristic respect that in all but pathological cases.
-		alt, err := in.selectLinks(a, sel.set)
-		if err != nil {
-			return nil, fmt.Errorf("auction: A(OL−L_%d) empty: %w", a, err)
+		need = append(need, a)
+	}
+	// Counterfactual winner determinations, warm-started from SL: the
+	// routing metric prefers links already in SL, so SL_-a reuses the
+	// main solution's structure and deviates only where BP a's links
+	// are missing. This keeps C(SL_-a) comparable to C(SL) — under
+	// exact optimization the pivot C(SL_-a) − C(SL) is non-negative,
+	// and the warm start makes the heuristic respect that in all but
+	// pathological cases.
+	//
+	// The per-BP runs share no mutable state: each gets its own Options
+	// value (and, when the metric was auction-built, its own LinkCost
+	// over a private copy of the price map), and results land in
+	// per-index slots. Aggregation below walks the slots in BP order,
+	// so Checks and error selection match the serial run exactly.
+	alts := make([]selection, len(in.Bids))
+	errs := make([]error, len(in.Bids))
+	if workers <= 1 || len(need) <= 1 {
+		for _, a := range need {
+			alts[a], errs[a] = in.selectLinks(a, sel.set, in.RouteOpts, fc)
+			if errs[a] != nil {
+				break
+			}
 		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, a := range need {
+			a := a
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				opts := in.RouteOpts
+				if sharedPrice != nil {
+					price := make(map[int]float64, len(sharedPrice))
+					for id, p := range sharedPrice {
+						price[id] = p
+					}
+					opts.LinkCost = priceMetric(price)
+				}
+				alts[a], errs[a] = in.selectLinks(a, sel.set, opts, fc)
+			}()
+		}
+		wg.Wait()
+	}
+	for _, a := range need {
+		if errs[a] != nil {
+			return nil, fmt.Errorf("auction: A(OL−L_%d) empty: %w", a, errs[a])
+		}
+		alt := alts[a]
 		res.Checks += alt.checks
 		res.Alternative[a] = alt.cost
 		// Clarke pivot. The heuristic winner determination can in
@@ -154,6 +234,10 @@ func (in *Instance) Run() (*Result, error) {
 		if sel.set[v.LinkID] {
 			res.VirtualCost += v.ContractPrice
 		}
+	}
+	if fc != nil {
+		res.CacheHits = int(fc.Hits())
+		res.CacheMisses = int(fc.Misses())
 	}
 	return res, nil
 }
@@ -310,10 +394,20 @@ func (in *Instance) priceOfLink() map[int]float64 {
 // C(SL_-a) − C(SL) measures the BP's contribution rather than
 // heuristic noise. The whole pipeline is deterministic, so the POC
 // can publish it and every BP can reproduce the outcome.
-func (in *Instance) selectLinks(excludeBP int, warm map[int]bool) (selection, error) {
+//
+// opts is passed explicitly (not read from in.RouteOpts) so that
+// concurrent counterfactual runs each own their Options value. fc,
+// when non-nil, memoizes feasibility checks. Within one Run only two
+// routing metrics exist — the raw price metric (main run) and the
+// warm-biased one (every counterfactual warms towards the same SL) —
+// so entries are tagged with which of the two produced them: the
+// excluded BP is already captured by the include set in the key, and
+// sharing the warm tag lets counterfactuals reuse each other's checks.
+func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision.Options, fc *provision.FeasibilityCache) (selection, error) {
 	cur := in.offered(excludeBP)
-	opts := in.RouteOpts
+	metric := uint64(1) // raw price metric
 	if warm != nil {
+		metric = 2 // warm-biased metric, identical across counterfactuals
 		// Scale down the routing metric of links in the warm set so
 		// the constructive seed follows the main solution's structure.
 		bias := in.WarmBias
@@ -330,12 +424,32 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool) (selection, er
 		}
 	}
 	checks := 0
-	feasible := func(set map[int]bool) bool {
+	// Every query counts against checks whether or not the memo
+	// answers it: the MaxChecks budget must not depend on cache luck,
+	// so cached and uncached runs take identical decisions.
+	check := func(set map[int]bool, o provision.Options) bool {
 		checks++
-		ok, _ := provision.Check(in.Network, set, in.TM, in.Constraint, opts)
+		if fc != nil {
+			ok, _ := fc.Check(in.Network, set, in.TM, in.Constraint, o, metric)
+			return ok
+		}
+		ok, _ := provision.Check(in.Network, set, in.TM, in.Constraint, o)
 		return ok
 	}
-	if !feasible(cur) {
+	feasible := func(set map[int]bool) bool { return check(set, opts) }
+	// The acceptability check and the idle-link scan of pass 1 route the
+	// exact same instance; fuse them (CheckCore) so the full offer set —
+	// the most expensive instance the pipeline ever routes — is routed
+	// once instead of twice.
+	checkCore := func(set map[int]bool, o provision.Options) (bool, map[int]bool) {
+		checks++
+		if fc != nil {
+			return fc.CheckCore(in.Network, set, in.TM, in.Constraint, o, metric)
+		}
+		return provision.CheckCore(in.Network, set, in.TM, in.Constraint, o)
+	}
+	ok, core := checkCore(cur, opts)
+	if !ok {
 		// A tight offer set (e.g. a prior auction's minimal selection
 		// re-offered in the collusion experiment) can wedge the greedy
 		// packing even though a feasible packing exists; retry with
@@ -345,15 +459,13 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool) (selection, er
 		if boosted.MaxPaths <= 0 {
 			boosted.MaxPaths = 48
 		}
-		checks++
-		if ok, _ := provision.Check(in.Network, cur, in.TM, in.Constraint, boosted); !ok {
+		if ok, core = checkCore(cur, boosted); !ok {
 			return selection{}, fmt.Errorf("offered set is not acceptable under %v", in.Constraint)
 		}
 		opts = boosted
 	}
 
 	// Pass 1: drop every link idle under the constraint's scenarios.
-	core := provision.CoreLinks(in.Network, cur, in.TM, in.Constraint, opts)
 	var idle []int
 	for id := range cur {
 		if !core[id] {

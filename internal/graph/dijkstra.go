@@ -3,6 +3,7 @@ package graph
 import (
 	"container/heap"
 	"math"
+	"sync"
 )
 
 // pqItem is an entry in the Dijkstra priority queue.
@@ -66,6 +67,35 @@ func (t *ShortestTree) PathTo(g *Graph, dst NodeID) Path {
 // regardless of the filter.
 type EdgeFilter func(id EdgeID, e Edge) bool
 
+// pqPool recycles priority-queue backing arrays across one-shot
+// Dijkstra runs; the heap is the only scratch that does not escape to
+// the caller.
+var pqPool = sync.Pool{New: func() interface{} { return new(pq) }}
+
+// dijkstraInto runs the Dijkstra loop from src over t's Dist/Parent
+// slices (already sized and initialized) using q as heap scratch.
+func dijkstraInto(g *Graph, src NodeID, filter EdgeFilter, t *ShortestTree, q *pq) {
+	*q = append((*q)[:0], pqItem{node: src})
+	for len(*q) > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > t.Dist[it.node] {
+			continue // stale entry
+		}
+		for _, eid := range g.adj[it.node] {
+			e := g.edges[eid]
+			if e.Disabled || (filter != nil && !filter(eid, e)) {
+				continue
+			}
+			nd := it.dist + e.Cost
+			if nd < t.Dist[e.To] {
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = eid
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+}
+
 // Dijkstra computes single-source shortest paths from src using edge
 // costs. Edges rejected by filter (or disabled) are not traversed.
 func (g *Graph) Dijkstra(src NodeID, filter EdgeFilter) *ShortestTree {
@@ -81,25 +111,45 @@ func (g *Graph) Dijkstra(src NodeID, filter EdgeFilter) *ShortestTree {
 	}
 	t.Dist[src] = 0
 
-	q := pq{{node: src}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.dist > t.Dist[it.node] {
-			continue // stale entry
-		}
-		for _, eid := range g.adj[it.node] {
-			e := g.edges[eid]
-			if e.Disabled || (filter != nil && !filter(eid, e)) {
-				continue
-			}
-			nd := it.dist + e.Cost
-			if nd < t.Dist[e.To] {
-				t.Dist[e.To] = nd
-				t.Parent[e.To] = eid
-				heap.Push(&q, pqItem{node: e.To, dist: nd})
-			}
-		}
+	q := pqPool.Get().(*pq)
+	dijkstraInto(g, src, filter, t, q)
+	pqPool.Put(q)
+	return t
+}
+
+// TreeRouter computes single-source shortest-path trees with reusable
+// scratch (dist/parent/heap), avoiding per-call allocation across
+// repeated runs on the same graph. Not safe for concurrent use; use
+// one TreeRouter per goroutine.
+type TreeRouter struct {
+	g *Graph
+	t ShortestTree
+	q pq
+}
+
+// NewTreeRouter returns a reusable single-source engine bound to g.
+func NewTreeRouter(g *Graph) *TreeRouter { return &TreeRouter{g: g} }
+
+// Tree computes the shortest-path tree from src, identical to
+// g.Dijkstra(src, filter). The returned tree shares the router's
+// scratch buffers: it is valid only until the next Tree call and must
+// not be retained.
+func (tr *TreeRouter) Tree(src NodeID, filter EdgeFilter) *ShortestTree {
+	n := tr.g.NumNodes()
+	if cap(tr.t.Dist) < n {
+		tr.t.Dist = make([]float64, n)
+		tr.t.Parent = make([]EdgeID, n)
 	}
+	t := &tr.t
+	t.Source = src
+	t.Dist = t.Dist[:n]
+	t.Parent = t.Parent[:n]
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Parent[i] = Undefined
+	}
+	t.Dist[src] = 0
+	dijkstraInto(tr.g, src, filter, t, &tr.q)
 	return t
 }
 

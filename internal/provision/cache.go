@@ -1,0 +1,199 @@
+package provision
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// CacheSummary is the memoized outcome of one feasibility check.
+type CacheSummary struct {
+	Feasible bool
+	// Unplaced is the Gbps the base routing could not place (0 when
+	// the check passed its base routing).
+	Unplaced float64
+	// MaxUtilization is the highest used/capacity ratio of the base
+	// routing.
+	MaxUtilization float64
+}
+
+// FeasibilityCache memoizes Check outcomes across the near-identical
+// link sets the auction's winner determination probes: the batch
+// refinement re-tries the same expensive links round after round, and
+// every counterfactual run replays most of the main run's structure.
+// Check is deterministic, so replaying a hit is bit-identical to
+// recomputing.
+//
+// Keys are the exact canonical encoding of (include set, constraint,
+// the routing-relevant Options, traffic-matrix fingerprint, metric
+// tag) — no lossy hashing, so a hit can never return the answer for a
+// different set. Options.LinkCost is a function and cannot be encoded;
+// callers that vary the metric (e.g. the auction's warm-biased
+// counterfactuals) must pass a distinct metric tag per LinkCost so
+// entries never cross metrics.
+//
+// The cache is safe for concurrent use. It assumes the traffic
+// matrices it sees are not mutated while cached (their fingerprint is
+// computed once per *Matrix pointer).
+type FeasibilityCache struct {
+	mu sync.RWMutex
+	m  map[string]cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	tmMu sync.Mutex
+	tmFP map[*traffic.Matrix]uint64
+}
+
+// cacheEntry is one memoized check. core is non-nil only when the set
+// was feasible and a CheckCore call computed the used-link union; the
+// map is shared with every subsequent hit and must be treated as
+// read-only.
+type cacheEntry struct {
+	sum  CacheSummary
+	core map[int]bool
+}
+
+// NewFeasibilityCache returns an empty concurrency-safe cache.
+func NewFeasibilityCache() *FeasibilityCache {
+	return &FeasibilityCache{
+		m:    make(map[string]cacheEntry),
+		tmFP: make(map[*traffic.Matrix]uint64),
+	}
+}
+
+// Hits returns how many lookups were answered from the cache.
+func (fc *FeasibilityCache) Hits() int64 { return fc.hits.Load() }
+
+// Misses returns how many lookups fell through to a full Check.
+func (fc *FeasibilityCache) Misses() int64 { return fc.misses.Load() }
+
+// Len returns the number of memoized entries.
+func (fc *FeasibilityCache) Len() int {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return len(fc.m)
+}
+
+// Check is the memoized form of Check: same answer, same determinism,
+// but repeated queries for the same (set, constraint, options, matrix,
+// metric) are answered without routing. metric distinguishes
+// Options.LinkCost functions, which cannot be encoded into the key.
+func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, CacheSummary) {
+	opts = opts.withDefaults()
+	key := fc.key(p, include, tm, c, opts, metric)
+	fc.mu.RLock()
+	e, ok := fc.m[key]
+	fc.mu.RUnlock()
+	if ok {
+		fc.hits.Add(1)
+		return e.sum.Feasible, e.sum
+	}
+	fc.misses.Add(1)
+	feasible, r := Check(p, include, tm, c, opts)
+	sum := CacheSummary{Feasible: feasible, Unplaced: r.Unplaced, MaxUtilization: r.MaxUtilization(p)}
+	fc.store(key, cacheEntry{sum: sum})
+	return feasible, sum
+}
+
+// CheckCore is the memoized form of CheckCore. The returned core map
+// is shared with the cache and must be treated as read-only; it is nil
+// when the set is infeasible.
+func (fc *FeasibilityCache) CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, map[int]bool) {
+	opts = opts.withDefaults()
+	key := fc.key(p, include, tm, c, opts, metric)
+	fc.mu.RLock()
+	e, ok := fc.m[key]
+	fc.mu.RUnlock()
+	// A plain Check entry for a feasible set has no core: fall through
+	// and upgrade it.
+	if ok && (e.core != nil || !e.sum.Feasible) {
+		fc.hits.Add(1)
+		return e.sum.Feasible, e.core
+	}
+	fc.misses.Add(1)
+	feasible, core := CheckCore(p, include, tm, c, opts)
+	fc.store(key, cacheEntry{sum: CacheSummary{Feasible: feasible}, core: core})
+	return feasible, core
+}
+
+// store writes an entry, never downgrading one that already has a
+// core (two goroutines may race to fill the same key).
+func (fc *FeasibilityCache) store(key string, e cacheEntry) {
+	fc.mu.Lock()
+	if old, ok := fc.m[key]; !ok || old.core == nil {
+		fc.m[key] = e
+	}
+	fc.mu.Unlock()
+}
+
+// key builds the canonical, collision-free cache key.
+func (fc *FeasibilityCache) key(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) string {
+	buf := make([]byte, 0, 32+2*len(include))
+	buf = binary.AppendUvarint(buf, uint64(c))
+	buf = binary.AppendUvarint(buf, uint64(opts.MaxPaths))
+	buf = binary.AppendUvarint(buf, math.Float64bits(opts.Headroom))
+	buf = binary.AppendUvarint(buf, uint64(opts.FailureScenarios))
+	buf = binary.AppendUvarint(buf, metric)
+	buf = binary.AppendUvarint(buf, fc.matrixFP(tm))
+	if include == nil {
+		// nil means "all links": key on the universe size.
+		buf = append(buf, 0)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Links)))
+		return string(buf)
+	}
+	buf = append(buf, 1)
+	ids := make([]int, 0, len(include))
+	for id, ok := range include {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	prev := 0
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+	}
+	return string(buf)
+}
+
+// matrixFP fingerprints a traffic matrix once per pointer (FNV-1a over
+// the demand bits).
+func (fc *FeasibilityCache) matrixFP(tm *traffic.Matrix) uint64 {
+	fc.tmMu.Lock()
+	defer fc.tmMu.Unlock()
+	if fp, ok := fc.tmFP[tm]; ok {
+		return fp
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	n := tm.Size()
+	mix(uint64(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := tm.At(i, j); v != 0 {
+				mix(uint64(i)<<32 | uint64(j))
+				mix(math.Float64bits(v))
+			}
+		}
+	}
+	fc.tmFP[tm] = h
+	return h
+}

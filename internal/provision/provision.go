@@ -20,7 +20,10 @@ package provision
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/public-option/poc/internal/graph"
 	"github.com/public-option/poc/internal/topo"
@@ -71,8 +74,30 @@ type Options struct {
 	// LinkCost overrides the routing metric for a logical link. When
 	// nil, the link's physical distance is used. The auction sets
 	// this to the lease price so that routing — and therefore the
-	// seed of the winner determination — prefers cheap links.
+	// seed of the winner determination — prefers cheap links. With
+	// Workers > 1 the function is called from multiple goroutines and
+	// must be safe for concurrent use (pure functions over immutable
+	// data are).
 	LinkCost func(l topo.LogicalLink) float64
+	// Workers bounds how many goroutines Check may use to run
+	// Constraint2's independent failure scenarios. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. Parallelism
+	// only reorders the scenario sweep — the verdict is bit-identical
+	// to the serial one.
+	Workers int
+}
+
+// workerCount resolves the effective parallelism for n independent
+// work items.
+func (o Options) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +156,7 @@ type router struct {
 	p       *topo.POCNetwork
 	g       *graph.Graph
 	pr      *graph.PointRouter
+	tr      *graph.TreeRouter
 	edgeFor map[int][2]graph.EdgeID // logical link -> directed edge IDs
 	linkFor []int32                 // directed edge -> logical link
 	resid   []float64               // residual Gbps per logical link
@@ -168,7 +194,7 @@ func newRouter(p *topo.POCNetwork, include map[int]bool, opts Options) *router {
 	for id := range edgeFor {
 		resid[id] = p.Links[id].Capacity * (1 - opts.Headroom)
 	}
-	return &router{p: p, g: g, pr: graph.NewPointRouter(g), edgeFor: edgeFor, linkFor: linkFor, resid: resid, opts: opts}
+	return &router{p: p, g: g, pr: graph.NewPointRouter(g), tr: graph.NewTreeRouter(g), edgeFor: edgeFor, linkFor: linkFor, resid: resid, opts: opts}
 }
 
 // residFilter admits edges with at least want Gbps of residual
@@ -411,7 +437,7 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 	var phase2 []demand
 	usable := rt.residFilter(1e-9, nil)
 	for _, s := range srcs {
-		tree := rt.g.Dijkstra(graph.NodeID(s), usable)
+		tree := rt.tr.Tree(graph.NodeID(s), usable)
 		for _, d := range bySrc[s] {
 			pair := [2]int{d.src, d.dst}
 			if avoidPrimary != nil && avoidPrimary[pair] != nil {
@@ -565,8 +591,9 @@ func PrimaryPathsOpts(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matr
 		srcs = append(srcs, s)
 	}
 	sort.Ints(srcs)
+	tr := graph.NewTreeRouter(g)
 	for _, s := range srcs {
-		tree := g.Dijkstra(graph.NodeID(s), nil)
+		tree := tr.Tree(graph.NodeID(s), nil)
 		for _, d := range bySrc[s] {
 			if !tree.Reachable(graph.NodeID(d)) {
 				unreachable = append(unreachable, [2]int{s, d})
@@ -602,15 +629,44 @@ func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Const
 		if len(unreachable) > 0 {
 			return false, base
 		}
+		var scenarios []map[int]bool
 		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
-			failed := primaries[pair]
-			if len(failed) == 0 {
-				continue
+			if failed := primaries[pair]; len(failed) > 0 {
+				scenarios = append(scenarios, failed)
 			}
-			// Fail this pair's primary path for everyone.
+		}
+		// Each scenario fails one pair's primary path for everyone and
+		// re-routes from scratch — the scenarios share no mutable state,
+		// so they fan across workers. The verdict (all feasible?) is
+		// order-independent, which keeps the parallel sweep bit-identical
+		// to the serial one.
+		if workers := opts.workerCount(len(scenarios)); workers > 1 {
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			var infeasible atomic.Bool
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(scenarios) || infeasible.Load() {
+							return // done, or early abort on first failure
+						}
+						sub := subtract(include, scenarios[i], len(p.Links))
+						if !Route(p, sub, tm, opts, nil).Feasible() {
+							infeasible.Store(true)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			return !infeasible.Load(), base
+		}
+		for _, failed := range scenarios {
 			sub := subtract(include, failed, len(p.Links))
-			r := Route(p, sub, tm, opts, nil)
-			if !r.Feasible() {
+			if !Route(p, sub, tm, opts, nil).Feasible() {
 				return false, base
 			}
 		}
@@ -627,6 +683,100 @@ func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Const
 		}
 		r := Route(p, include, tm, opts, primaries)
 		return r.Feasible(), r
+
+	default:
+		panic(fmt.Sprintf("provision: unknown constraint %d", int(c)))
+	}
+}
+
+// CheckCore is Check fused with CoreLinks: it reports whether include
+// satisfies the constraint and, when it does, the union of links used
+// by the base and every degraded routing — sharing the routing work
+// that separate Check + CoreLinks calls would duplicate (both route
+// the base matrix and every failure scenario). On an infeasible set
+// the core is nil. The verdict is bit-identical to Check's and the
+// core bit-identical to CoreLinks's on feasible sets.
+func CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, map[int]bool) {
+	opts = opts.withDefaults()
+	core := map[int]bool{}
+	add := func(r *Routing) {
+		for id, used := range r.Used {
+			if used > 0 {
+				core[id] = true
+			}
+		}
+	}
+	base := Route(p, include, tm, opts, nil)
+	if !base.Feasible() {
+		return false, nil
+	}
+	add(base)
+	switch c {
+	case Constraint1:
+		return true, core
+
+	case Constraint2:
+		primaries, unreachable := PrimaryPathsOpts(p, include, tm, opts)
+		if len(unreachable) > 0 {
+			return false, nil
+		}
+		var scenarios []map[int]bool
+		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
+			if failed := primaries[pair]; len(failed) > 0 {
+				scenarios = append(scenarios, failed)
+			}
+		}
+		if workers := opts.workerCount(len(scenarios)); workers > 1 {
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var next atomic.Int64
+			var infeasible atomic.Bool
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(scenarios) || infeasible.Load() {
+							return
+						}
+						r := Route(p, subtract(include, scenarios[i], len(p.Links)), tm, opts, nil)
+						if !r.Feasible() {
+							infeasible.Store(true)
+							return
+						}
+						mu.Lock()
+						add(r)
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if infeasible.Load() {
+				return false, nil
+			}
+			return true, core
+		}
+		for _, failed := range scenarios {
+			r := Route(p, subtract(include, failed, len(p.Links)), tm, opts, nil)
+			if !r.Feasible() {
+				return false, nil
+			}
+			add(r)
+		}
+		return true, core
+
+	case Constraint3:
+		primaries, unreachable := PrimaryPathsOpts(p, include, tm, opts)
+		if len(unreachable) > 0 {
+			return false, nil
+		}
+		r := Route(p, include, tm, opts, primaries)
+		if !r.Feasible() {
+			return false, nil
+		}
+		add(r)
+		return true, core
 
 	default:
 		panic(fmt.Sprintf("provision: unknown constraint %d", int(c)))
@@ -653,11 +803,38 @@ func CoreLinks(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 	case Constraint1:
 	case Constraint2:
 		primaries, _ := PrimaryPathsOpts(p, include, tm, opts)
+		var scenarios []map[int]bool
 		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
-			failed := primaries[pair]
-			if len(failed) == 0 {
-				continue
+			if failed := primaries[pair]; len(failed) > 0 {
+				scenarios = append(scenarios, failed)
 			}
+		}
+		// The union of used links is order-independent, so the degraded
+		// routings can run concurrently with a mutex-guarded merge.
+		if workers := opts.workerCount(len(scenarios)); workers > 1 {
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var next atomic.Int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(scenarios) {
+							return
+						}
+						r := Route(p, subtract(include, scenarios[i], len(p.Links)), tm, opts, nil)
+						mu.Lock()
+						add(r)
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			break
+		}
+		for _, failed := range scenarios {
 			add(Route(p, subtract(include, failed, len(p.Links)), tm, opts, nil))
 		}
 	case Constraint3:
@@ -693,9 +870,18 @@ func heaviestPairs(tm *traffic.Matrix, n int) [][2]int {
 }
 
 // subtract returns include minus removed. A nil include means "all
-// links", so the result enumerates all links except removed.
+// links", so the result enumerates all links except removed. The
+// result is pre-sized: this runs once per feasibility scenario and
+// map growth shows up in alloc profiles.
 func subtract(include map[int]bool, removed map[int]bool, total int) map[int]bool {
-	out := make(map[int]bool)
+	size := len(include)
+	if include == nil {
+		size = total
+	}
+	if size > len(removed) {
+		size -= len(removed)
+	}
+	out := make(map[int]bool, size)
 	if include == nil {
 		for i := 0; i < total; i++ {
 			if !removed[i] {

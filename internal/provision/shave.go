@@ -49,6 +49,7 @@ type Shaver struct {
 	// Cached metric graph for primaryOf, invalidated when include
 	// changes.
 	pg        *graph.Graph
+	pgRouter  *graph.PointRouter
 	pgLinkFor map[graph.EdgeID]int
 	pgVersion int
 	version   int
@@ -178,9 +179,9 @@ func (s *Shaver) primaryOf(pair [2]int) (map[int]bool, bool) {
 			linkFor[p[0]] = id
 			linkFor[p[1]] = id
 		}
-		s.pg, s.pgLinkFor, s.pgVersion = g, linkFor, s.version
+		s.pg, s.pgRouter, s.pgLinkFor, s.pgVersion = g, graph.NewPointRouter(g), linkFor, s.version
 	}
-	path := s.pg.ShortestPath(graph.NodeID(pair[0]), graph.NodeID(pair[1]), nil)
+	path := s.pgRouter.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), nil)
 	if len(path.Edges) == 0 {
 		return nil, pair[0] == pair[1]
 	}
@@ -536,9 +537,14 @@ func sortPairs(pairs [][2]int) {
 	})
 }
 
-// cloneSet copies include; nil means all links.
+// cloneSet copies include; nil means all links. Pre-sized: it runs
+// per feasibility check and map growth shows up in alloc profiles.
 func cloneSet(include map[int]bool, total int) map[int]bool {
-	out := make(map[int]bool)
+	size := len(include)
+	if include == nil {
+		size = total
+	}
+	out := make(map[int]bool, size)
 	if include == nil {
 		for i := 0; i < total; i++ {
 			out[i] = true
