@@ -4,9 +4,17 @@
 // terms-of-service audit. It is the operational counterpart of the
 // experiment-oriented pocbench.
 //
+// With -chaos it instead runs the survivability experiment: the same
+// members and flows are deployed twice, once on a Constraint-1 core
+// and once on a Constraint-2 core, both are driven through the same
+// fault schedule (a single-BP outage, plus seeded random faults when
+// -seed is set) by the chaos engine, and the two survivability
+// reports are printed side by side.
+//
 // Usage:
 //
 //	pocsim [-scale 0.35] [-constraint 2] [-epochs 4] [-fail] [-v]
+//	pocsim -chaos [-scale 0.35] [-epochs 8] [-seed 7] [-policy reroute|recall|reauction]
 package main
 
 import (
@@ -26,10 +34,21 @@ func main() {
 	epochs := flag.Int("epochs", 4, "billing epochs to simulate (6h each)")
 	fail := flag.Bool("fail", false, "fail the busiest link halfway through")
 	verbose := flag.Bool("v", false, "print per-member billing detail")
+	chaosRun := flag.Bool("chaos", false, "run the C1-vs-C2 survivability experiment")
+	seed := flag.Int64("seed", 0, "chaos: add seeded random faults (0 = scripted outage only)")
+	policy := flag.String("policy", "reroute", "chaos: recovery policy (reroute, recall, reauction)")
 	flag.Parse()
 
 	if *constraint < 1 || *constraint > 3 {
 		log.Fatalf("constraint %d out of range", *constraint)
+	}
+	if *chaosRun {
+		ep := *epochs
+		if ep < 8 {
+			ep = 8
+		}
+		runChaos(*scale, *seed, *policy, ep)
+		return
 	}
 
 	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: *scale})
@@ -130,4 +149,147 @@ func main() {
 		fmt.Println("audit:    all attached LMPs compliant")
 	}
 	fmt.Printf("ledger:   conservation %.6f (must be 0)\n", op.Ledger().Conservation())
+}
+
+// goldClass is the premium QoS class used by the chaos experiment.
+var goldClass = poc.QoSClass{Name: "gold", Weight: 4, Price: 10}
+
+// chaosDeploy runs the lease lifecycle under one constraint and
+// admits a gold and a best-effort flow for every traffic-matrix pair:
+// gold at 25% of the provisioned demand, best-effort at 45%, so the
+// core runs near its provisioned load and a failure has to hurt
+// someone — the question the experiment answers is whom.
+func chaosDeploy(s *poc.Scenario, c poc.Constraint) (*poc.Operator, error) {
+	op, err := s.NewPOC(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range s.Bids {
+		if err := op.SubmitBid(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := op.AddVirtualLinks(s.Virtual); err != nil {
+		return nil, err
+	}
+	if _, err := op.RunAuction(); err != nil {
+		return nil, err
+	}
+	if err := op.Activate(); err != nil {
+		return nil, err
+	}
+	n := len(s.Network.Routers)
+	for r := 0; r < n; r++ {
+		if _, err := op.AttachLMP(fmt.Sprintf("m-%02d", r), r, poc.PeeringPolicy{}); err != nil {
+			return nil, err
+		}
+	}
+	var flowErr error
+	s.TM.Demands(func(src, dst int, gbps float64) {
+		if flowErr != nil || gbps <= 0 {
+			return
+		}
+		a, b := fmt.Sprintf("m-%02d", src), fmt.Sprintf("m-%02d", dst)
+		if _, err := op.StartFlow(a, b, 0.25*gbps, goldClass); err != nil {
+			flowErr = err
+			return
+		}
+		if _, err := op.StartFlow(a, b, 0.45*gbps, poc.BestEffort); err != nil {
+			flowErr = err
+		}
+	})
+	return op, flowErr
+}
+
+// goldCrossingBP returns, per BP, the gold Gbps crossing its selected
+// links on the given operator's fabric — the outage target ranking.
+func goldCrossingBP(op *poc.Operator) []float64 {
+	cross := make([]float64, len(op.Network().BPs))
+	for _, fl := range op.Fabric().Flows() {
+		if fl.Class.Name != goldClass.Name {
+			continue
+		}
+		for _, l := range fl.Links {
+			if bp := op.Network().Links[l].BP; bp >= 0 {
+				cross[bp] += fl.Allocated
+			}
+		}
+	}
+	return cross
+}
+
+// runChaos is the -chaos entry point: the paper's Constraint-2
+// promise ("previously admitted traffic will survive the failure",
+// §2.1) tested on a running fabric against the Constraint-1 core.
+func runChaos(scale float64, seed int64, policyName string, epochs int) {
+	pol, err := poc.ParseRecoveryPolicy(policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %s\n", s.Network.Summary())
+
+	c1, err := chaosDeploy(s, poc.Constraint1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := chaosDeploy(s, poc.Constraint2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Target the BP carrying the most gold traffic on the Constraint-1
+	// fabric: the outage Constraint 1 never planned for and Constraint
+	// 2 must survive.
+	cross := goldCrossingBP(c1)
+	target, most := -1, 0.0
+	for bp, g := range cross {
+		if g > most {
+			target, most = bp, g
+		}
+	}
+	if target < 0 {
+		log.Fatal("no BP carries gold traffic; nothing to fail")
+	}
+	repair := epochs - 3
+	sched := poc.SingleBPOutage(target, 2, repair)
+	if seed != 0 {
+		sched.Merge(poc.RandomChaos(seed, epochs, c1.Fabric().SelectedLinks(), 0.05, 2))
+	}
+	fmt.Printf("chaos:    BP %d dark at epoch 2 (%.0f Gbps gold crossing), repaired at %d, policy=%s, seed=%d\n",
+		target, most, repair, pol, seed)
+
+	run := func(label string, op *poc.Operator) *poc.SurvivabilityReport {
+		eng, err := poc.NewChaosEngine(op, sched, poc.RecoveryConfig{Policy: pol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := eng.Run(epochs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n%s", label, rep)
+		return rep
+	}
+	r1 := run("constraint #1 survivability", c1)
+	r2 := run("constraint #2 survivability", c2)
+
+	g1, g2 := r1.Class(goldClass.Name), r2.Class(goldClass.Name)
+	if g1 == nil || g2 == nil {
+		log.Fatal("missing gold timeline")
+	}
+	fmt.Printf("verdict:  gold delivered min: C1=%.6f C2=%.6f; restore: C1=%d C2=%d epochs\n",
+		g1.Delivered.Min(), g2.Delivered.Min(),
+		g1.Delivered.RestoreTime(0.999), g2.Delivered.RestoreTime(0.999))
+	switch {
+	case g2.Delivered.Min() >= 1 && g1.Delivered.Min() < 1:
+		fmt.Println("verdict:  constraint #2 sustained 100% gold through the outage; constraint #1 did not")
+	case g2.Delivered.Min() >= 1:
+		fmt.Println("verdict:  both cores sustained 100% gold (outage not binding at this scale)")
+	default:
+		fmt.Println("verdict:  constraint #2 core degraded gold traffic — survivability promise violated")
+	}
 }

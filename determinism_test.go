@@ -65,6 +65,88 @@ func TestAuctionDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// chaosSurvivabilityReport runs a fixed chaos experiment — seeded
+// stochastic cuts plus a scripted BP outage over a scenario-built POC
+// — and returns the rendered survivability report.
+func chaosSurvivabilityReport(t *testing.T, workers int) string {
+	t.Helper()
+	s, err := NewScenario(ScenarioOptions{Scale: 0.12, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.NewPOC(Constraint1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Bids {
+		if err := p.SubmitBid(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddVirtualLinks(s.Virtual); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	gold := QoSClass{Name: "gold", Weight: 4, Price: 10}
+	for i := 0; i < 4; i++ {
+		if _, err := p.AttachLMP(string(rune('a'+i)), i, PeeringPolicy{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var firstFlow *Flow
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			class := BestEffort
+			if (i+j)%2 == 1 {
+				class = gold
+			}
+			fl, err := p.StartFlow(string(rune('a'+i)), string(rune('a'+j)), 2+float64(i+j), class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if firstFlow == nil && len(fl.Links) > 0 {
+				firstFlow = fl
+			}
+		}
+	}
+	if firstFlow == nil {
+		t.Fatal("no flow took any links")
+	}
+	sched := RandomChaos(11, 8, p.Fabric().SelectedLinks(), 0.15, 2)
+	sched.Merge(SingleBPOutage(p.Network().Links[firstFlow.Links[0]].BP, 1, 5))
+	eng, err := NewChaosEngine(p, sched, RecoveryConfig{Policy: RecoverRecall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.String()
+}
+
+// TestChaosReportDeterminism is the survivability analogue of the
+// auction gate: the same chaos seed and schedule must render a
+// byte-identical report across runs and across Workers settings —
+// fault injection and recovery may never depend on scheduling luck.
+func TestChaosReportDeterminism(t *testing.T) {
+	base := chaosSurvivabilityReport(t, 1)
+	if base == "" {
+		t.Fatal("empty survivability report")
+	}
+	if again := chaosSurvivabilityReport(t, 1); again != base {
+		t.Fatalf("same seed, different reports:\n%s\n---\n%s", base, again)
+	}
+	if par := chaosSurvivabilityReport(t, 4); par != base {
+		t.Fatalf("report changed with Workers=4:\n%s\n---\n%s", base, par)
+	}
+}
+
 // TestAuctionCacheAblation verifies the feasibility memo never changes
 // outcomes: a run with the cache disabled must match a cached run bit
 // for bit, and the cached run must actually hit. The batch-refinement

@@ -1,0 +1,328 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/public-option/poc/internal/core"
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/topo"
+)
+
+// Engine drives an active POC through an epoch clock under a fault
+// schedule, applying the recovery ladder and recording the
+// survivability report. One engine runs one experiment.
+type Engine struct {
+	poc      *core.POC
+	schedule Schedule
+	recovery RecoveryConfig
+
+	// EpochSeconds is simulated wall time per epoch (default 3600);
+	// it is what BillEpoch advances each tick.
+	EpochSeconds float64
+
+	down           map[int]bool // links the schedule currently holds down
+	lastReauction  int
+	reauctionsUsed int
+}
+
+// New validates and assembles an engine over an active POC.
+func New(p *core.POC, schedule Schedule, recovery RecoveryConfig) (*Engine, error) {
+	if p == nil || p.Fabric() == nil {
+		return nil, fmt.Errorf("chaos: engine needs an active POC")
+	}
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	recovery = recovery.withDefaults()
+	if err := recovery.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		poc:          p,
+		schedule:     schedule,
+		recovery:     recovery,
+		EpochSeconds: 3600,
+	}, nil
+}
+
+// classAgg accumulates one class's demand and allocation.
+type classAgg struct {
+	weight        float64
+	demand, alloc float64
+}
+
+// measure sums demand and allocation per QoS class over the current
+// fabric. Names are returned sorted by descending weight, then name,
+// so every consumer iterates deterministically.
+func (e *Engine) measure() ([]string, map[string]*classAgg) {
+	aggs := map[string]*classAgg{}
+	for _, fl := range e.poc.Fabric().Flows() {
+		a := aggs[fl.Class.Name]
+		if a == nil {
+			a = &classAgg{weight: fl.Class.Weight}
+			aggs[fl.Class.Name] = a
+		}
+		a.demand += fl.Demand
+		a.alloc += fl.Allocated
+	}
+	names := make([]string, 0, len(aggs))
+	for n := range aggs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if aggs[names[i]].weight != aggs[names[j]].weight {
+			return aggs[names[i]].weight > aggs[names[j]].weight
+		}
+		return names[i] < names[j]
+	})
+	return names, aggs
+}
+
+// delivered returns a class's delivered fraction (1 for zero demand).
+func (a *classAgg) delivered() float64 {
+	if a.demand <= 0 {
+		return 1
+	}
+	d := a.alloc / a.demand
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// minDelivered is the fraction the recovery threshold is compared to.
+func (e *Engine) minDelivered() float64 {
+	names, aggs := e.measure()
+	min := 1.0
+	for _, n := range names {
+		if d := aggs[n].delivered(); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// apply executes one scheduled event against the fabric, maintaining
+// the engine's down-set, and returns the flows it moved.
+func (e *Engine) apply(ev Event) []netsim.FlowID {
+	fab := e.poc.Fabric()
+	net := e.poc.Network()
+	switch ev.Kind {
+	case CutLink:
+		if ev.Link < 0 || ev.Link >= len(net.Links) || e.poc.Recalled(ev.Link) {
+			return nil
+		}
+		e.down[ev.Link] = true
+		return fab.FailLink(ev.Link)
+	case RepairLink:
+		if e.poc.Recalled(ev.Link) {
+			// The BP took the link back mid-outage; there is nothing
+			// left to repair.
+			return nil
+		}
+		delete(e.down, ev.Link)
+		return fab.RepairLink(ev.Link)
+	case CutBP:
+		for _, l := range net.LinksOfBP(ev.BP) {
+			if fab.LinkFailed(l) || e.poc.Recalled(l) {
+				continue
+			}
+			e.down[l] = true
+		}
+		return fab.FailBP(ev.BP)
+	case RepairBP:
+		for _, l := range net.LinksOfBP(ev.BP) {
+			if !e.poc.Recalled(l) {
+				delete(e.down, l)
+			}
+		}
+		return fab.RepairBP(ev.BP)
+	case Correlated:
+		var cut []int
+		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
+			if e.poc.Recalled(l) {
+				continue
+			}
+			cut = append(cut, l)
+			e.down[l] = true
+		}
+		return fab.FailLinks(cut)
+	case RepairCorrelated:
+		var fix []int
+		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
+			if e.poc.Recalled(l) {
+				continue
+			}
+			fix = append(fix, l)
+			delete(e.down, l)
+		}
+		return fab.RepairLinks(fix)
+	}
+	return nil
+}
+
+// downSorted returns the engine's down-set as a sorted slice.
+func (e *Engine) downSorted() []int {
+	out := make([]int, 0, len(e.down))
+	for l := range e.down {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// recover climbs the policy ladder after a threshold breach and
+// appends any actions taken to the report.
+func (e *Engine) recover(epoch int, rep *Report) error {
+	if e.recovery.Policy >= Recall {
+		for _, l := range e.downSorted() {
+			if e.poc.Recalled(l) || e.poc.Network().Links[l].BP == topo.VirtualBP {
+				continue
+			}
+			rr, err := e.poc.RecallLink(l, e.recovery.PenaltyRate)
+			if err != nil {
+				// Not leased (e.g. a failed link outside the selection)
+				// — recall has nothing to relieve.
+				continue
+			}
+			delete(e.down, l)
+			rep.PenaltyIncome += rr.Penalty
+			rep.Actions = append(rep.Actions, Action{
+				Epoch: epoch, Kind: "recall",
+				Detail: fmt.Sprintf("link %d (monthly saving %.4f)", l, rr.MonthlySaving),
+				Cost:   -rr.Penalty,
+			})
+		}
+	}
+	if e.recovery.Policy >= Reauction &&
+		epoch-e.lastReauction >= e.recovery.BackoffEpochs &&
+		e.reauctionsUsed < e.recovery.MaxReauctions {
+		before := e.leaseTotal()
+		exclude := map[int]bool{}
+		for l := range e.down {
+			exclude[l] = true
+		}
+		ra, err := e.poc.ReauctionExcluding(e.poc.TrafficMatrix(), exclude)
+		e.lastReauction = epoch
+		e.reauctionsUsed++
+		if err != nil {
+			// No feasible selection without the down links; record the
+			// attempt (it still consumed a backoff window) and stay on
+			// the degraded fabric.
+			rep.Actions = append(rep.Actions, Action{
+				Epoch: epoch, Kind: "reauction", Detail: "infeasible, selection unchanged",
+			})
+			return nil
+		}
+		// The new fabric starts healthy; re-apply the outages the
+		// schedule still holds down.
+		e.poc.Fabric().FailLinks(e.downSorted())
+		rep.Reauctions++
+		rep.Actions = append(rep.Actions, Action{
+			Epoch: epoch, Kind: "reauction",
+			Detail: fmt.Sprintf("added=%v dropped=%v kept=%d degraded=%d lost=%d",
+				ra.Added, ra.Dropped, ra.FlowsKept, ra.FlowsDegraded, ra.FlowsLost),
+			Cost: e.leaseTotal() - before,
+		})
+	}
+	return nil
+}
+
+// leaseTotal is the POC's current monthly lease + contract cost.
+func (e *Engine) leaseTotal() float64 {
+	res := e.poc.AuctionResult()
+	total := res.VirtualCost
+	for _, p := range res.Payments {
+		total += p
+	}
+	return total
+}
+
+// Run plays the schedule for the given number of epochs (0 = the
+// schedule's horizon plus one settling epoch) and returns the
+// survivability report.
+func (e *Engine) Run(epochs int) (*Report, error) {
+	if epochs <= 0 {
+		epochs = e.schedule.Horizon() + 1
+	}
+	e.down = map[int]bool{}
+	e.lastReauction = -e.recovery.BackoffEpochs
+	e.reauctionsUsed = 0
+
+	rep := &Report{
+		Epochs:    epochs,
+		Policy:    e.recovery.Policy,
+		Threshold: e.recovery.Threshold,
+	}
+	series := map[string]*ClassTimeline{}
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		moved := map[netsim.FlowID]bool{}
+		for _, ev := range e.schedule.At(epoch) {
+			for _, id := range e.apply(ev) {
+				moved[id] = true
+			}
+		}
+		if e.minDelivered() < e.recovery.Threshold {
+			if err := e.recover(epoch, rep); err != nil {
+				return nil, err
+			}
+		}
+
+		// Classify the flows this epoch touched, post-recovery.
+		ids := make([]int, 0, len(moved))
+		for id := range moved {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		var rec EpochRecord
+		rec.Epoch = epoch
+		for _, id := range ids {
+			fl, err := e.poc.Fabric().Flow(netsim.FlowID(id))
+			if err != nil {
+				continue // lost during a reauction migration
+			}
+			switch {
+			case fl.Allocated >= fl.Demand-1e-9:
+				rec.Rerouted++
+			case fl.Allocated > 0:
+				rec.Degraded++
+			default:
+				rec.Dropped++
+			}
+		}
+
+		if _, err := e.poc.BillEpoch(e.EpochSeconds); err != nil {
+			return nil, fmt.Errorf("chaos: epoch %d: %w", epoch, err)
+		}
+
+		names, aggs := e.measure()
+		min := 1.0
+		for _, n := range names {
+			d := aggs[n].delivered()
+			if d < min {
+				min = d
+			}
+			tl := series[n]
+			if tl == nil {
+				tl = &ClassTimeline{Class: n, Weight: aggs[n].weight}
+				// Backfill epochs recorded before this class appeared.
+				for i := 0; i < epoch; i++ {
+					tl.Delivered.Record(1)
+				}
+				series[n] = tl
+			}
+			tl.Delivered.Record(d)
+		}
+		rec.FailedLinks = e.poc.Fabric().FailedLinks()
+		rec.Delivered = min
+		rep.Timeline = append(rep.Timeline, rec)
+	}
+
+	for _, tl := range series {
+		rep.Classes = append(rep.Classes, *tl)
+	}
+	sortClasses(rep.Classes)
+	return rep, nil
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import "fmt"
+
+// Policy selects how far up the recovery ladder the engine may climb
+// when delivered traffic drops below the threshold. Each level
+// includes the ones below it.
+type Policy int
+
+const (
+	// RerouteOnly relies entirely on the fabric's automatic rerouting:
+	// the engine observes but takes no economic action.
+	RerouteOnly Policy = iota
+	// Recall additionally recalls failed leased links via
+	// core.RecallLink — the POC stops paying for dead capacity and
+	// collects the contractual penalty.
+	Recall
+	// Reauction additionally re-runs the auction (excluding down and
+	// recalled links) to lease replacement capacity, bounded by the
+	// backoff window and MaxReauctions.
+	Reauction
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RerouteOnly:
+		return "reroute"
+	case Recall:
+		return "recall"
+	case Reauction:
+		return "reauction"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy name as accepted by pocsim -policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "reroute", "reroute-only":
+		return RerouteOnly, nil
+	case "recall":
+		return Recall, nil
+	case "reauction":
+		return Reauction, nil
+	}
+	return 0, fmt.Errorf("chaos: unknown policy %q (want reroute, recall, or reauction)", s)
+}
+
+// RecoveryConfig tunes the recovery controller.
+type RecoveryConfig struct {
+	// Policy is the highest ladder rung the engine may use.
+	Policy Policy
+	// Threshold is the delivered fraction (per QoS class; the minimum
+	// across classes is compared) below which the engine escalates.
+	// Default 0.999: anything measurably below full delivery.
+	Threshold float64
+	// BackoffEpochs is the minimum number of epochs between two
+	// reauctions — the anti-thrash bound. A flapping link can trigger
+	// at most one reauction per window. Default 4.
+	BackoffEpochs int
+	// MaxReauctions caps total reauctions per run. Default 8.
+	MaxReauctions int
+	// PenaltyRate is passed to core.RecallLink when recalling failed
+	// links. Default 0.25.
+	PenaltyRate float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 0.999
+	}
+	if c.BackoffEpochs == 0 {
+		c.BackoffEpochs = 4
+	}
+	if c.MaxReauctions == 0 {
+		c.MaxReauctions = 8
+	}
+	if c.PenaltyRate == 0 {
+		c.PenaltyRate = 0.25
+	}
+	return c
+}
+
+// validate rejects configurations the engine cannot honor.
+func (c RecoveryConfig) validate() error {
+	if c.Policy < RerouteOnly || c.Policy > Reauction {
+		return fmt.Errorf("chaos: unknown policy %d", int(c.Policy))
+	}
+	if c.Threshold < 0 || c.Threshold > 1 {
+		return fmt.Errorf("chaos: threshold %v out of [0,1]", c.Threshold)
+	}
+	if c.BackoffEpochs < 1 {
+		return fmt.Errorf("chaos: backoff %d epochs, want >= 1", c.BackoffEpochs)
+	}
+	if c.PenaltyRate < 0 {
+		return fmt.Errorf("chaos: negative penalty rate %v", c.PenaltyRate)
+	}
+	return nil
+}

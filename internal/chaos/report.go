@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/public-option/poc/internal/stats"
+)
+
+// ClassTimeline is the delivered-fraction history of one QoS class.
+type ClassTimeline struct {
+	Class     string
+	Weight    float64
+	Delivered stats.Timeline
+}
+
+// Action is one recovery step the engine took.
+type Action struct {
+	Epoch int
+	Kind  string // "recall" | "reauction"
+	Detail string
+	// Cost is the action's net cost to the POC: negative for recalls
+	// (the penalty is income), the monthly lease-cost delta for
+	// reauctions.
+	Cost float64
+}
+
+// EpochRecord is the per-epoch survivability row.
+type EpochRecord struct {
+	Epoch       int
+	FailedLinks []int // failed on the fabric at epoch end, sorted
+	Rerouted    int   // flows moved this epoch (full allocation kept)
+	Degraded    int   // flows left below demand but above zero
+	Dropped     int   // flows left with zero allocation
+	Delivered   float64 // min class delivered fraction at epoch end
+}
+
+// Report is the survivability report of one engine run. Its String
+// rendering is byte-identical for identical runs — the determinism
+// regression tests diff it directly.
+type Report struct {
+	Epochs    int
+	Policy    Policy
+	Threshold float64
+	Classes   []ClassTimeline // sorted by descending weight, then name
+	Timeline  []EpochRecord
+	Actions   []Action
+	// PenaltyIncome is the total recall penalty collected.
+	PenaltyIncome float64
+	// Reauctions counts how many times the auction re-ran.
+	Reauctions int
+}
+
+// Class returns the timeline of a named class, or nil.
+func (r *Report) Class(name string) *ClassTimeline {
+	for i := range r.Classes {
+		if r.Classes[i].Class == name {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// MinDelivered returns the lowest delivered fraction any class saw.
+func (r *Report) MinDelivered() float64 {
+	if len(r.Classes) == 0 {
+		return 1
+	}
+	min := 1.0
+	for i := range r.Classes {
+		if m := r.Classes[i].Delivered.Min(); m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// TimeToRestore returns the epochs from the first dip below the
+// threshold (across classes, using the per-epoch minimum) until
+// recovery, 0 if delivery never dipped.
+func (r *Report) TimeToRestore() int {
+	var tl stats.Timeline
+	for _, rec := range r.Timeline {
+		tl.Record(rec.Delivered)
+	}
+	return tl.RestoreTime(r.Threshold)
+}
+
+// String renders the survivability report deterministically.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "survivability: %d epochs, policy=%s, threshold=%.3f\n",
+		r.Epochs, r.Policy, r.Threshold)
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		fmt.Fprintf(&b, "class %-12s (weight %g): min=%.6f below-threshold=%d epochs\n",
+			c.Class, c.Weight, c.Delivered.Min(), c.Delivered.EpochsBelow(r.Threshold))
+		fmt.Fprintf(&b, "  %s\n", c.Delivered.Spark())
+	}
+	fmt.Fprintf(&b, "time-to-restore: %d epochs\n", r.TimeToRestore())
+	var rer, deg, drop int
+	for _, rec := range r.Timeline {
+		rer += rec.Rerouted
+		deg += rec.Degraded
+		drop += rec.Dropped
+		if len(rec.FailedLinks) > 0 || rec.Rerouted+rec.Degraded+rec.Dropped > 0 {
+			fmt.Fprintf(&b, "epoch %3d: failed=%v rerouted=%d degraded=%d dropped=%d delivered=%.6f\n",
+				rec.Epoch, rec.FailedLinks, rec.Rerouted, rec.Degraded, rec.Dropped, rec.Delivered)
+		}
+	}
+	for _, a := range r.Actions {
+		fmt.Fprintf(&b, "action epoch %3d: %s %s (cost %.4f)\n", a.Epoch, a.Kind, a.Detail, a.Cost)
+	}
+	fmt.Fprintf(&b, "totals: rerouted=%d degraded=%d dropped=%d reauctions=%d penalty-income=%.4f\n",
+		rer, deg, drop, r.Reauctions, r.PenaltyIncome)
+	return b.String()
+}
+
+// sortClasses orders class timelines by descending weight, then name.
+func sortClasses(cs []ClassTimeline) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Weight != cs[j].Weight {
+			return cs[i].Weight > cs[j].Weight
+		}
+		return cs[i].Class < cs[j].Class
+	})
+}

@@ -42,6 +42,9 @@ type Config struct {
 	// ReserveMargin in [0,1) pads the break-even price for
 	// contingencies; the POC is a nonprofit, not a charity (§1.2).
 	ReserveMargin float64
+	// Workers bounds auction parallelism (0 = auto). Results are
+	// bit-identical for any setting.
+	Workers int
 }
 
 // phase tracks lifecycle progress.
@@ -155,6 +158,7 @@ func (p *POC) RunAuction() (*auction.Result, error) {
 		Constraint: p.cfg.Constraint,
 		RouteOpts:  p.cfg.RouteOpts,
 		MaxChecks:  p.cfg.MaxChecks,
+		Workers:    p.cfg.Workers,
 	}
 	res, err := inst.Run()
 	if err != nil {
@@ -183,6 +187,15 @@ func (p *POC) AuctionResult() *auction.Result { return p.auctionResult }
 
 // Ledger exposes the POC's books for inspection.
 func (p *POC) Ledger() *market.Ledger { return p.ledger }
+
+// Network exposes the offer graph the POC was configured with.
+func (p *POC) Network() *topo.POCNetwork { return p.cfg.Network }
+
+// TrafficMatrix exposes the provisioning traffic matrix.
+func (p *POC) TrafficMatrix() *traffic.Matrix { return p.cfg.TM }
+
+// Recalled reports whether a link has been recalled by its BP.
+func (p *POC) Recalled(linkID int) bool { return p.recalled[linkID] }
 
 // AttachLMP admits a last-mile provider at a router, subject to the
 // §3.4 terms of service: the LMP's declared traffic policy must pass
@@ -300,7 +313,9 @@ func (p *POC) BillEpoch(seconds float64) (*EpochReport, error) {
 	if seconds <= 0 {
 		return nil, fmt.Errorf("core: non-positive epoch length")
 	}
-	p.fabric.Tick(seconds)
+	if err := p.fabric.Tick(seconds); err != nil {
+		return nil, err
+	}
 
 	const monthSeconds = 30 * 24 * 3600.0
 	frac := seconds / monthSeconds

@@ -39,6 +39,15 @@ type ReauctionReport struct {
 // links stay excluded. Billing for subsequent epochs uses the new
 // payments.
 func (p *POC) Reauction(tm *traffic.Matrix) (*ReauctionReport, error) {
+	return p.ReauctionExcluding(tm, nil)
+}
+
+// ReauctionExcluding is Reauction with an extra exclusion set: links
+// in exclude are withheld from every bid this cycle on top of the
+// recalled set. Recovery controllers use it to re-lease around links
+// that are currently down — a reauction that re-selects a dead link
+// would rebuild a fabric about to fail again.
+func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude map[int]bool) (*ReauctionReport, error) {
 	if p.phase != phaseActive {
 		return nil, fmt.Errorf("core: reauction requires an active POC")
 	}
@@ -50,13 +59,14 @@ func (p *POC) Reauction(tm *traffic.Matrix) (*ReauctionReport, error) {
 			tm.Size(), len(p.cfg.Network.Routers))
 	}
 
-	// Exclude recalled links from every bid: their owners took them
-	// back, so they are not on offer this cycle.
+	// Exclude recalled links from every bid (their owners took them
+	// back) along with any caller-supplied exclusions: neither is on
+	// offer this cycle.
 	bids := make([]auction.Bid, len(p.bids))
 	for i, b := range p.bids {
 		var keep []int
 		for _, id := range b.Links {
-			if !p.recalled[id] {
+			if !p.recalled[id] && !exclude[id] {
 				keep = append(keep, id)
 			}
 		}
@@ -71,6 +81,7 @@ func (p *POC) Reauction(tm *traffic.Matrix) (*ReauctionReport, error) {
 		Constraint: p.cfg.Constraint,
 		RouteOpts:  p.cfg.RouteOpts,
 		MaxChecks:  p.cfg.MaxChecks,
+		Workers:    p.cfg.Workers,
 	}
 	res, err := inst.Run()
 	if err != nil {

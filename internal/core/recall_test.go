@@ -95,6 +95,73 @@ func TestRecallValidation(t *testing.T) {
 	}
 }
 
+func TestRecallZeroPaymentShare(t *testing.T) {
+	// A winner can be non-pivotal under the Clarke pivot rule and owe
+	// nothing; recalling its link must then cost it nothing too.
+	p := activePOC(t)
+	link, _ := selectedLinkWithFlow(t, p)
+	bp := p.cfg.Network.Links[link].BP
+	p.auctionResult.Payments[bp] = 0
+
+	before := p.ledger.Balance(p.bpIDs[bp], -1)
+	rep, err := p.RecallLink(link, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Penalty != 0 || rep.MonthlySaving != 0 {
+		t.Fatalf("penalty = %v, saving = %v, want 0 for zero payment share", rep.Penalty, rep.MonthlySaving)
+	}
+	if after := p.ledger.Balance(p.bpIDs[bp], -1); after != before {
+		t.Fatalf("BP balance moved %v on a zero-share recall", before-after)
+	}
+	// The link is still recalled: flows rerouted, future bids exclude it.
+	if !p.Recalled(link) {
+		t.Fatal("link not marked recalled")
+	}
+}
+
+func TestRecallAlreadyFailedLink(t *testing.T) {
+	// Recalling a link that is already down on the fabric is the
+	// recovery-ladder case: the BP takes back dead capacity, the POC
+	// collects the penalty and stops paying, and no flow moves (they
+	// were already rerouted when the link failed).
+	p := activePOC(t)
+	link, fl := selectedLinkWithFlow(t, p)
+	bp := p.cfg.Network.Links[link].BP
+	if changed := p.Fabric().FailLink(link); len(changed) == 0 {
+		t.Fatal("failing the flow's link moved no flows")
+	}
+
+	before := p.ledger.Balance(p.bpIDs[bp], -1)
+	rep, err := p.RecallLink(link, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rerouted != 0 || rep.Degraded != 0 {
+		t.Fatalf("recall of a failed link reported flow movement: %+v", rep)
+	}
+	if rep.Penalty <= 0 {
+		t.Fatalf("penalty = %v, want > 0", rep.Penalty)
+	}
+	if after := p.ledger.Balance(p.bpIDs[bp], -1); math.Abs((before-after)-rep.Penalty) > 1e-9 {
+		t.Fatalf("BP balance moved %v, want %v", before-after, rep.Penalty)
+	}
+	// The earlier failure already rerouted the flow off the link.
+	got, err := p.Fabric().Flow(fl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range got.Links {
+		if l == link {
+			t.Fatal("flow still uses the failed, recalled link")
+		}
+	}
+	// Double recall still rejected after the failure path.
+	if _, err := p.RecallLink(link, 0.5); err == nil {
+		t.Fatal("double recall accepted")
+	}
+}
+
 func TestRecallReducesLeaseBilling(t *testing.T) {
 	p := activePOC(t)
 	link, _ := selectedLinkWithFlow(t, p)

@@ -1,8 +1,8 @@
 package netsim
 
 import (
-	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -12,13 +12,21 @@ import (
 // invariants checks the fabric's conservation laws:
 //
 //	(1) 0 <= resid[l] <= capacity[l] for every selected link;
-//	(2) capacity − resid equals the sum of allocations crossing l
-//	    (flows plus multicast trees);
+//	(2) resid[l] equals capacity[l] minus the ordered sum of
+//	    allocations crossing l (flows by ascending ID, then multicast
+//	    trees by ascending ID) — bit-for-bit, not within a tolerance,
+//	    because the fabric recomputes residuals as exactly this sum;
 //	(3) every flow's allocation is within [0, demand].
 func invariants(t *testing.T, f *Fabric) {
 	t.Helper()
 	used := make([]float64, len(f.net.Links))
-	for _, fl := range f.flows {
+	flowIDs := make([]int, 0, len(f.flows))
+	for id := range f.flows {
+		flowIDs = append(flowIDs, int(id))
+	}
+	sort.Ints(flowIDs)
+	for _, id := range flowIDs {
+		fl := f.flows[FlowID(id)]
 		if fl.Allocated < -1e-9 || fl.Allocated > fl.Demand+1e-9 {
 			t.Fatalf("flow %d allocation %v outside [0,%v]", fl.ID, fl.Allocated, fl.Demand)
 		}
@@ -26,9 +34,14 @@ func invariants(t *testing.T, f *Fabric) {
 			used[l] += fl.Allocated
 		}
 	}
-	for _, m := range f.mcasts {
-		for _, l := range m.TreeLinks {
-			used[l] += m.Gbps
+	mcastIDs := make([]int, 0, len(f.mcasts))
+	for id := range f.mcasts {
+		mcastIDs = append(mcastIDs, int(id))
+	}
+	sort.Ints(mcastIDs)
+	for _, id := range mcastIDs {
+		for _, l := range f.mcasts[MulticastID(id)].TreeLinks {
+			used[l] += f.mcasts[MulticastID(id)].Gbps
 		}
 	}
 	for id := range f.edgeFor {
@@ -36,9 +49,33 @@ func invariants(t *testing.T, f *Fabric) {
 		if f.resid[id] < -1e-9 || f.resid[id] > capacity+1e-9 {
 			t.Fatalf("link %d resid %v outside [0,%v]", id, f.resid[id], capacity)
 		}
-		if math.Abs((capacity-f.resid[id])-used[id]) > 1e-6 {
-			t.Fatalf("link %d: capacity-resid=%v but assignments sum to %v",
-				id, capacity-f.resid[id], used[id])
+		if f.resid[id] != capacity-used[id] {
+			t.Fatalf("link %d: resid=%v but capacity−assignments=%v (drift %g)",
+				id, f.resid[id], capacity-used[id], f.resid[id]-(capacity-used[id]))
+		}
+	}
+}
+
+// drain stops every flow and multicast, then asserts each link's
+// residual equals its capacity exactly: fail→repair→fail cycles must
+// conserve capacity bit-for-bit.
+func drain(t *testing.T, f *Fabric) {
+	t.Helper()
+	for _, fl := range f.Flows() {
+		if err := f.StopFlow(fl.ID); err != nil {
+			t.Fatalf("stop flow %d: %v", fl.ID, err)
+		}
+	}
+	for _, m := range f.Multicasts() {
+		if err := f.StopMulticast(m.ID); err != nil {
+			t.Fatalf("stop multicast %d: %v", m.ID, err)
+		}
+	}
+	for id := range f.edgeFor {
+		if f.resid[id] != f.net.Links[id].Capacity {
+			t.Fatalf("link %d: resid %v != capacity %v after draining (drift %g)",
+				id, f.resid[id], f.net.Links[id].Capacity,
+				f.resid[id]-f.net.Links[id].Capacity)
 		}
 	}
 }
@@ -104,11 +141,119 @@ func TestFuzzFailureInjection(t *testing.T) {
 			}
 			invariants(t, fab)
 		}
+		// Repair everything, tear everything down: capacity must be
+		// conserved bit-for-bit through the fail/repair history.
+		for l := range failed {
+			fab.RepairLink(l)
+		}
+		invariants(t, fab)
+		drain(t, fab)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestFuzzFailRepairCycles hammers the repair path specifically:
+// random fail→repair→fail cycles over the whole link set with live
+// flows, checking invariants at every step and exact capacity
+// conservation after teardown.
+func TestFuzzFailRepairCycles(t *testing.T) {
+	p := ringNet(50)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fab := New(p, nil)
+		var eps []EndpointID
+		for i, r := range []int{0, 1, 2, 3} {
+			id, err := fab.Attach(string(rune('a'+i)), LMPEndpoint, r)
+			if err != nil {
+				return false
+			}
+			eps = append(eps, id)
+		}
+		// Odd demands so allocations are not representable exactly in
+		// few bits — drift would show.
+		for i := 0; i < 6; i++ {
+			a, b := eps[rng.Intn(len(eps))], eps[rng.Intn(len(eps))]
+			if a == b {
+				continue
+			}
+			fab.StartFlow(a, b, 10.0/3.0+rng.Float64()*7, BestEffort)
+		}
+		for op := 0; op < 100; op++ {
+			l := rng.Intn(len(p.Links))
+			if fab.LinkFailed(l) {
+				fab.RepairLink(l)
+			} else {
+				fab.FailLink(l)
+			}
+			invariants(t, fab)
+		}
+		for _, l := range fab.FailedLinks() {
+			fab.RepairLink(l)
+		}
+		invariants(t, fab)
+		drain(t, fab)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzFabricOps is the native fuzz entry point (CI runs it briefly
+// with -fuzz). Each input byte drives one operation; invariants are
+// checked after every step and exact conservation after teardown.
+func FuzzFabricOps(f *testing.F) {
+	f.Add([]byte{0, 1, 30, 2, 40, 31, 3, 0, 32})
+	f.Add([]byte{30, 30, 31, 40, 41, 30, 0, 5})
+	p := ringNet(50)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		fab := New(p, nil)
+		var eps []EndpointID
+		for i, r := range []int{0, 1, 2, 3} {
+			id, err := fab.Attach(string(rune('a'+i)), LMPEndpoint, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps = append(eps, id)
+		}
+		var live []FlowID
+		for _, op := range ops {
+			switch {
+			case op < 30: // start a flow; the byte picks endpoints and demand
+				a := eps[int(op)%len(eps)]
+				b := eps[(int(op)/len(eps))%len(eps)]
+				if a == b {
+					continue
+				}
+				if fl, err := fab.StartFlow(a, b, 1+float64(op)/3.0, BestEffort); err == nil {
+					live = append(live, fl.ID)
+				}
+			case op < 40: // fail a link
+				fab.FailLink(int(op) % len(p.Links))
+			case op < 50: // repair a link
+				fab.RepairLink(int(op) % len(p.Links))
+			case op < 60: // stop the oldest live flow
+				if len(live) > 0 {
+					if err := fab.StopFlow(live[0]); err != nil {
+						t.Fatal(err)
+					}
+					live = live[1:]
+				}
+			default: // advance the clock
+				if err := fab.Tick(float64(op-60) * 0.25); err != nil {
+					t.Fatal(err)
+				}
+			}
+			invariants(t, fab)
+		}
+		for _, l := range fab.FailedLinks() {
+			fab.RepairLink(l)
+		}
+		drain(t, fab)
+	})
 }
 
 // TestFuzzMulticastLifecycle mixes multicast groups with unicast

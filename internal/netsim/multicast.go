@@ -49,8 +49,8 @@ func (f *Fabric) StartMulticast(src EndpointID, receivers []EndpointID, gbps flo
 	if err != nil {
 		return nil, err
 	}
-	if gbps <= 0 {
-		return nil, fmt.Errorf("netsim: non-positive multicast rate %v", gbps)
+	if gbps <= 0 || math.IsNaN(gbps) || math.IsInf(gbps, 0) {
+		return nil, fmt.Errorf("netsim: invalid multicast rate %v", gbps)
 	}
 	if len(receivers) == 0 {
 		return nil, fmt.Errorf("netsim: multicast needs at least one receiver")
@@ -141,9 +141,6 @@ func (f *Fabric) StartMulticast(src EndpointID, receivers []EndpointID, gbps flo
 			return nil, fmt.Errorf("netsim: multicast capacity raced on link %d", l)
 		}
 	}
-	for _, l := range links {
-		f.resid[l] -= gbps
-	}
 
 	m := &Multicast{
 		ID:        MulticastID(f.nextMcast),
@@ -158,6 +155,7 @@ func (f *Fabric) StartMulticast(src EndpointID, receivers []EndpointID, gbps flo
 		f.mcasts = map[MulticastID]*Multicast{}
 	}
 	f.mcasts[m.ID] = m
+	f.recompute(links)
 	_ = se
 	return m, nil
 }
@@ -168,10 +166,8 @@ func (f *Fabric) StopMulticast(id MulticastID) error {
 	if !ok {
 		return fmt.Errorf("netsim: unknown multicast %d", id)
 	}
-	for _, l := range m.TreeLinks {
-		f.resid[l] += m.Gbps
-	}
 	delete(f.mcasts, id)
+	f.recompute(m.TreeLinks)
 	return nil
 }
 

@@ -169,6 +169,20 @@ func (f *Fabric) usable(want float64) graph.EdgeFilter {
 	}
 }
 
+// findPath returns the cheapest path able to carry the full demand,
+// falling back to the cheapest path with any spare capacity at all
+// (the flow is then admitted degraded at the bottleneck). Demand-aware
+// placement is what makes repair meaningful: after a link comes back,
+// a degraded flow prefers a slightly longer path that restores its
+// full allocation over the short one that cannot.
+func (f *Fabric) findPath(a, b int, demand float64) graph.Path {
+	path := f.pr.Path(graph.NodeID(a), graph.NodeID(b), f.usable(demand))
+	if math.IsInf(path.Cost, 1) {
+		path = f.pr.Path(graph.NodeID(a), graph.NodeID(b), f.usable(1e-9))
+	}
+	return path
+}
+
 // StartFlow admits an aggregate flow between two endpoints. The flow
 // reserves min(demand, bottleneck) Gbps along the cheapest usable
 // path; a flow that can reserve nothing is rejected. The class must
@@ -182,10 +196,10 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 	if err != nil {
 		return nil, err
 	}
-	if demandGbps <= 0 {
-		return nil, fmt.Errorf("netsim: non-positive demand %v", demandGbps)
+	if demandGbps <= 0 || math.IsNaN(demandGbps) || math.IsInf(demandGbps, 0) {
+		return nil, fmt.Errorf("netsim: invalid demand %v", demandGbps)
 	}
-	if class.Weight < 1 {
+	if class.Weight < 1 || math.IsNaN(class.Weight) {
 		return nil, fmt.Errorf("netsim: class weight %v < 1", class.Weight)
 	}
 	if se.Router == de.Router {
@@ -197,7 +211,7 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 		f.flows[fl.ID] = fl
 		return fl, nil
 	}
-	path := f.pr.Path(graph.NodeID(se.Router), graph.NodeID(de.Router), f.usable(1e-9))
+	path := f.findPath(se.Router, de.Router, demandGbps)
 	if math.IsInf(path.Cost, 1) {
 		return nil, fmt.Errorf("netsim: no usable path %s→%s", se.Name, de.Name)
 	}
@@ -215,13 +229,11 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 	if alloc <= 1e-9 {
 		return nil, fmt.Errorf("netsim: no capacity on path %s→%s", se.Name, de.Name)
 	}
-	for _, l := range links {
-		f.resid[l] -= alloc
-	}
 	fl := &Flow{ID: f.nextFlow, Src: src, Dst: dst, Demand: demandGbps,
 		Allocated: alloc, Class: class, Links: links, LatencyKm: lat}
 	f.nextFlow++
 	f.flows[fl.ID] = fl
+	f.recompute(links)
 	return fl, nil
 }
 
@@ -231,11 +243,56 @@ func (f *Fabric) StopFlow(id FlowID) error {
 	if !ok {
 		return fmt.Errorf("netsim: unknown flow %d", id)
 	}
-	for _, l := range fl.Links {
-		f.resid[l] += fl.Allocated
-	}
+	links := fl.Links
 	delete(f.flows, id)
+	f.recompute(links)
 	return nil
+}
+
+// recompute rebuilds the residual capacity of the given logical links
+// from first principles: capacity minus the allocations crossing the
+// link, summed in ascending flow ID then multicast ID order. Keeping
+// the residuals as exact, deterministically-ordered sums (instead of
+// incrementally adding and subtracting float deltas) means fail →
+// repair → fail cycles conserve capacity bit for bit over arbitrarily
+// long simulations — a link whose last reservation is released reads
+// exactly Capacity again, with no accumulated rounding drift.
+func (f *Fabric) recompute(links []int) {
+	if len(links) == 0 {
+		return
+	}
+	flowIDs := make([]int, 0, len(f.flows))
+	for id := range f.flows {
+		flowIDs = append(flowIDs, int(id))
+	}
+	sort.Ints(flowIDs)
+	mcastIDs := make([]int, 0, len(f.mcasts))
+	for id := range f.mcasts {
+		mcastIDs = append(mcastIDs, int(id))
+	}
+	sort.Ints(mcastIDs)
+	for _, l := range links {
+		used := 0.0
+		for _, id := range flowIDs {
+			fl := f.flows[FlowID(id)]
+			for _, fl2 := range fl.Links {
+				if fl2 == l {
+					used += fl.Allocated
+					break
+				}
+			}
+		}
+		for _, id := range mcastIDs {
+			m := f.mcasts[MulticastID(id)]
+			for _, tl := range m.TreeLinks {
+				if tl == l {
+					used += m.Gbps
+					break
+				}
+			}
+		}
+		f.resid[l] = f.net.Links[l].Capacity - used
+	}
 }
 
 // Flow returns a snapshot of an admitted flow.
@@ -266,15 +323,30 @@ func (f *Fabric) Flows() []Flow {
 // first claim on the surviving capacity — an open, posted-price
 // property, not a per-source preference). Flows that cannot be
 // re-routed are degraded to zero allocation but stay registered so
-// the caller can observe the outage; RestoreLink re-admits them.
+// the caller can observe the outage; RepairLink re-admits them.
 func (f *Fabric) FailLink(link int) []FlowID {
-	if link < 0 || link >= len(f.net.Links) || f.failed[link] {
+	return f.FailLinks([]int{link})
+}
+
+// FailLinks fails a set of links atomically (one reroute pass after
+// all are marked down — a correlated fiber cut, not a sequence of
+// independent cuts). Out-of-range and already-failed entries are
+// skipped; nil is returned when nothing newly failed.
+func (f *Fabric) FailLinks(links []int) []FlowID {
+	newly := map[int]bool{}
+	for _, link := range links {
+		if link < 0 || link >= len(f.net.Links) || f.failed[link] {
+			continue
+		}
+		f.failed[link] = true
+		newly[link] = true
+	}
+	if len(newly) == 0 {
 		return nil
 	}
-	f.failed[link] = true
 	return f.rerouteCrossing(func(fl *Flow) bool {
 		for _, l := range fl.Links {
-			if l == link {
+			if newly[l] {
 				return true
 			}
 		}
@@ -282,13 +354,85 @@ func (f *Fabric) FailLink(link int) []FlowID {
 	})
 }
 
-// RestoreLink clears a failure and tries to re-admit degraded flows.
-func (f *Fabric) RestoreLink(link int) []FlowID {
-	if !f.failed[link] {
+// RepairLink clears a failure and re-upgrades previously degraded or
+// dropped flows: every flow below its demand is released and re-placed
+// in descending class-weight order (then admission order), so repaired
+// capacity flows back to the highest classes first, deterministically.
+func (f *Fabric) RepairLink(link int) []FlowID {
+	return f.RepairLinks([]int{link})
+}
+
+// RepairLinks repairs a set of links atomically with a single
+// re-upgrade pass. Entries that are not failed are skipped; nil is
+// returned when nothing was repaired.
+func (f *Fabric) RepairLinks(links []int) []FlowID {
+	repaired := false
+	for _, link := range links {
+		if link < 0 || link >= len(f.net.Links) || !f.failed[link] {
+			continue
+		}
+		delete(f.failed, link)
+		repaired = true
+	}
+	if !repaired {
 		return nil
 	}
-	delete(f.failed, link)
-	return f.rerouteCrossing(func(fl *Flow) bool { return fl.Allocated == 0 })
+	return f.rerouteCrossing(func(fl *Flow) bool { return fl.Allocated < fl.Demand-1e-9 })
+}
+
+// RestoreLink is RepairLink under its historical name.
+func (f *Fabric) RestoreLink(link int) []FlowID { return f.RepairLink(link) }
+
+// linksOfBP returns the fabric's selected links owned by bp, in ID
+// order. Virtual links (topo.VirtualBP) are addressed with bp = -1.
+func (f *Fabric) linksOfBP(bp int) []int {
+	var out []int
+	for id := range f.net.Links {
+		if f.net.Links[id].BP != bp {
+			continue
+		}
+		if _, ok := f.edgeFor[id]; !ok {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// FailBP takes down every selected link leased from one BP at once —
+// the paper's Constraint-#2 planning case ("any single BP failure")
+// realized on the running fabric. Flows are rerouted in one pass.
+func (f *Fabric) FailBP(bp int) []FlowID {
+	return f.FailLinks(f.linksOfBP(bp))
+}
+
+// RepairBP restores every failed link of one BP and re-upgrades
+// degraded flows in one pass.
+func (f *Fabric) RepairBP(bp int) []FlowID {
+	return f.RepairLinks(f.linksOfBP(bp))
+}
+
+// LinkFailed reports whether a link is currently marked failed.
+func (f *Fabric) LinkFailed(link int) bool { return f.failed[link] }
+
+// FailedLinks returns the currently failed link IDs, sorted.
+func (f *Fabric) FailedLinks() []int {
+	out := make([]int, 0, len(f.failed))
+	for l := range f.failed {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SelectedLinks returns the fabric's selected link IDs, sorted.
+func (f *Fabric) SelectedLinks() []int {
+	out := make([]int, 0, len(f.edgeFor))
+	for l := range f.edgeFor {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // rerouteCrossing releases and re-places every flow selected by sel.
@@ -311,19 +455,18 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 	for _, fl := range victims {
 		changed = append(changed, fl.ID)
 		// Release.
-		for _, l := range fl.Links {
-			f.resid[l] += fl.Allocated
-		}
+		released := fl.Links
 		fl.Links = nil
 		fl.Allocated = 0
 		fl.LatencyKm = 0
+		f.recompute(released)
 		// Re-place.
 		se := f.endpoints[fl.Src]
 		de := f.endpoints[fl.Dst]
 		if se.Router == de.Router {
 			fl.Allocated = fl.Demand
 		} else {
-			path := f.pr.Path(graph.NodeID(se.Router), graph.NodeID(de.Router), f.usable(1e-9))
+			path := f.findPath(se.Router, de.Router, fl.Demand)
 			if !math.IsInf(path.Cost, 1) {
 				alloc := fl.Demand
 				links := make([]int, len(path.Edges))
@@ -337,12 +480,10 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 					}
 				}
 				if alloc > 1e-9 {
-					for _, l := range links {
-						f.resid[l] -= alloc
-					}
 					fl.Links = links
 					fl.Allocated = alloc
 					fl.LatencyKm = lat
+					f.recompute(links)
 				}
 			}
 		}
@@ -352,14 +493,16 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 }
 
 // Tick advances simulated time, accumulating transferred volume:
-// allocated Gbps × seconds / 8 = GB.
-func (f *Fabric) Tick(seconds float64) {
-	if seconds < 0 {
-		panic("netsim: negative tick")
+// allocated Gbps × seconds / 8 = GB. Invalid durations are an error,
+// never a panic — a long-running simulation must survive bad input.
+func (f *Fabric) Tick(seconds float64) error {
+	if seconds < 0 || math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return fmt.Errorf("netsim: invalid tick duration %v", seconds)
 	}
 	for _, fl := range f.flows {
 		fl.TransferredGB += fl.Allocated * seconds / 8
 	}
+	return nil
 }
 
 // UsageByEndpoint returns each endpoint's total transferred GB,

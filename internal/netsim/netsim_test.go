@@ -265,6 +265,131 @@ func TestFailLinkPriorityOrder(t *testing.T) {
 	}
 }
 
+func TestFailRepairBP(t *testing.T) {
+	// Links 0 (0-1) and 4 (0-2) belong to BP 0 here; ring remainder to
+	// other BPs. Failing BP 0 must take both down in one pass.
+	p := ringNet(10)
+	p.Links[4].BP = 0
+	f := New(p, nil)
+	a, _ := f.Attach("a", LMPEndpoint, 0)
+	b, _ := f.Attach("b", LMPEndpoint, 2)
+	fl, err := f.StartFlow(a, b, 8, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := f.FailBP(0)
+	if len(changed) != 1 || changed[0] != fl.ID {
+		t.Fatalf("changed = %v", changed)
+	}
+	if !f.LinkFailed(0) || !f.LinkFailed(4) {
+		t.Fatal("BP 0 links not failed")
+	}
+	if got := f.FailedLinks(); len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("failed links = %v", got)
+	}
+	// The flow survives via 0-3-2.
+	got, _ := f.Flow(fl.ID)
+	if got.Allocated != 8 {
+		t.Fatalf("allocation = %v, want 8 via 0-3-2", got.Allocated)
+	}
+	// Repairing the BP clears both links; the flow is already at full
+	// demand, so nothing is re-placed.
+	if f.RepairBP(0); len(f.FailedLinks()) != 0 {
+		t.Fatal("BP repair left links failed")
+	}
+	// Unknown BP indexes are no-ops, never panics.
+	if f.FailBP(99) != nil || f.RepairBP(99) != nil || f.FailBP(-5) != nil {
+		t.Fatal("invalid BP index produced flow churn")
+	}
+}
+
+func TestRepairUpgradesDegradedFlowsByClass(t *testing.T) {
+	// Two flows, gold and best-effort, both squeezed onto a thin
+	// alternative after a failure; repairing must upgrade gold first.
+	p := ringNet(10)
+	sel := map[int]bool{0: true, 1: true, 4: true} // 0-1, 1-2, chord 0-2
+	f := New(p, sel)
+	a, _ := f.Attach("a", LMPEndpoint, 0)
+	b, _ := f.Attach("b", LMPEndpoint, 2)
+	gold := Class{Name: "gold", Weight: 4, Price: 100}
+	beFlow, _ := f.StartFlow(a, b, 8, BestEffort) // takes 0-1-2
+	goldFlow, _ := f.StartFlow(a, b, 8, gold)     // takes chord (2 left on 0-1-2)
+	f.FailLink(4)
+	g, _ := f.Flow(goldFlow.ID)
+	if g.Allocated != 2 {
+		t.Fatalf("gold degraded allocation = %v, want 2", g.Allocated)
+	}
+	changed := f.RepairLink(4)
+	if len(changed) == 0 {
+		t.Fatal("repair re-upgraded nothing")
+	}
+	g, _ = f.Flow(goldFlow.ID)
+	be, _ := f.Flow(beFlow.ID)
+	if g.Allocated != 8 {
+		t.Fatalf("gold post-repair allocation = %v, want 8", g.Allocated)
+	}
+	if be.Allocated != 8 {
+		t.Fatalf("best-effort post-repair allocation = %v, want 8", be.Allocated)
+	}
+	// Repairing a healthy link is a no-op.
+	if f.RepairLink(4) != nil || f.RepairLinks([]int{0, 1}) != nil {
+		t.Fatal("repair of healthy links produced churn")
+	}
+}
+
+func TestFailLinksAtomicCut(t *testing.T) {
+	// A correlated cut of 0-1 and 3-0 isolates router 0 except for the
+	// chord; the flow must land there in a single reroute pass.
+	f := New(ringNet(10), nil)
+	a, _ := f.Attach("a", LMPEndpoint, 0)
+	b, _ := f.Attach("b", LMPEndpoint, 2)
+	fl, _ := f.StartFlow(a, b, 5, BestEffort)
+	changed := f.FailLinks([]int{0, 3, 0, -1, 99}) // dups/invalid skipped
+	if len(changed) != 1 || changed[0] != fl.ID {
+		t.Fatalf("changed = %v", changed)
+	}
+	got, _ := f.Flow(fl.ID)
+	if len(got.Links) != 1 || got.Links[0] != 4 || got.Allocated != 5 {
+		t.Fatalf("flow after cut = %+v", got)
+	}
+	if f.FailLinks(nil) != nil {
+		t.Fatal("empty cut produced churn")
+	}
+}
+
+// TestFailRepairConservesCapacityExactly is the bit-for-bit
+// conservation gate: residuals are recomputed as exact ordered sums,
+// so any fail → repair → fail cycling returns every link to exactly
+// capacity − Σ allocations, and to exactly capacity once flows stop.
+func TestFailRepairConservesCapacityExactly(t *testing.T) {
+	f := New(ringNet(10), nil)
+	a, _ := f.Attach("a", LMPEndpoint, 0)
+	b, _ := f.Attach("b", LMPEndpoint, 2)
+	var flows []FlowID
+	for i := 0; i < 3; i++ {
+		if fl, err := f.StartFlow(a, b, 3.3333333333, BestEffort); err == nil {
+			flows = append(flows, fl.ID)
+		}
+	}
+	for cycle := 0; cycle < 50; cycle++ {
+		f.FailLink(cycle % 5)
+		f.FailLink((cycle + 2) % 5)
+		f.RepairLink(cycle % 5)
+		f.RepairLink((cycle + 2) % 5)
+	}
+	for _, id := range flows {
+		if err := f.StopFlow(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range f.SelectedLinks() {
+		if f.resid[l] != f.net.Links[l].Capacity {
+			t.Fatalf("link %d residual %v != capacity %v after full release (drift %g)",
+				l, f.resid[l], f.net.Links[l].Capacity, f.net.Links[l].Capacity-f.resid[l])
+		}
+	}
+}
+
 func TestTickAccumulatesUsage(t *testing.T) {
 	f := New(ringNet(10), nil)
 	lmp0, lmp2, csp := attach3(t, f)
@@ -285,13 +410,32 @@ func TestTickAccumulatesUsage(t *testing.T) {
 	}
 }
 
-func TestTickPanicsOnNegative(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestTickRejectsInvalidDurations(t *testing.T) {
+	f := New(ringNet(10), nil)
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := f.Tick(bad); err == nil {
+			t.Fatalf("Tick(%v) accepted", bad)
 		}
-	}()
-	New(ringNet(10), nil).Tick(-1)
+	}
+	if err := f.Tick(0); err != nil {
+		t.Fatalf("Tick(0): %v", err)
+	}
+}
+
+func TestStartFlowRejectsNonFiniteInput(t *testing.T) {
+	f := New(ringNet(10), nil)
+	lmp0, lmp2, _ := attach3(t, f)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := f.StartFlow(lmp0, lmp2, bad, BestEffort); err == nil {
+			t.Fatalf("demand %v accepted", bad)
+		}
+		if _, err := f.StartMulticast(lmp0, []EndpointID{lmp2}, bad); err == nil {
+			t.Fatalf("multicast rate %v accepted", bad)
+		}
+	}
+	if _, err := f.StartFlow(lmp0, lmp2, 1, Class{Weight: math.NaN()}); err == nil {
+		t.Fatal("NaN class weight accepted")
+	}
 }
 
 func TestFlowsSnapshotOrdered(t *testing.T) {

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Timeline is an epoch-indexed series of values — the survivability
+// view of a metric (Topology Bench, arXiv:2411.04160, measures
+// survivability as a timeline over injected faults, not a one-shot
+// feasibility bit). It is append-only and deterministic: the same
+// recorded values render to the same bytes.
+type Timeline struct {
+	Values []float64
+}
+
+// Record appends one epoch's value. NaN inputs panic: they indicate a
+// bug upstream, exactly as in Summarize.
+func (t *Timeline) Record(v float64) {
+	if math.IsNaN(v) {
+		panic("stats: NaN timeline value")
+	}
+	t.Values = append(t.Values, v)
+}
+
+// Len returns the number of recorded epochs.
+func (t *Timeline) Len() int { return len(t.Values) }
+
+// Min returns the lowest recorded value, or 0 for an empty timeline.
+func (t *Timeline) Min() float64 {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	min := t.Values[0]
+	for _, v := range t.Values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// EpochsBelow counts epochs with value strictly below the threshold.
+func (t *Timeline) EpochsBelow(threshold float64) int {
+	n := 0
+	for _, v := range t.Values {
+		if v < threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstBelow returns the first epoch with value strictly below the
+// threshold, or -1 if the timeline never dips.
+func (t *Timeline) FirstBelow(threshold float64) int {
+	for i, v := range t.Values {
+		if v < threshold {
+			return i
+		}
+	}
+	return -1
+}
+
+// RestoreTime returns the number of epochs from the first dip below
+// the threshold until the value is back at or above it — the
+// time-to-restore of the first incident. It returns 0 if the timeline
+// never dips, and the remaining timeline length if the value never
+// recovers.
+func (t *Timeline) RestoreTime(threshold float64) int {
+	start := t.FirstBelow(threshold)
+	if start < 0 {
+		return 0
+	}
+	for i := start + 1; i < len(t.Values); i++ {
+		if t.Values[i] >= threshold {
+			return i - start
+		}
+	}
+	return len(t.Values) - start
+}
+
+// String renders the timeline as fixed-point values, one per epoch —
+// byte-identical for identical inputs.
+func (t *Timeline) String() string {
+	if len(t.Values) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = fmt.Sprintf("%.6f", v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Spark renders the timeline as a compact bar chart over [0,1] — the
+// at-a-glance delivered-fraction view in survivability reports.
+// Values are clamped to [0,1]; the rendering is deterministic.
+func (t *Timeline) Spark() string {
+	const ramp = "▁▂▃▄▅▆▇█"
+	runes := []rune(ramp)
+	var b strings.Builder
+	for _, v := range t.Values {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v * float64(len(runes)-1))
+		b.WriteRune(runes[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimelineBasics(t *testing.T) {
+	var tl Timeline
+	if tl.Min() != 0 || tl.String() != "(empty)" || tl.Len() != 0 {
+		t.Fatalf("empty timeline: min=%v str=%q", tl.Min(), tl.String())
+	}
+	for _, v := range []float64{1, 1, 0.5, 0.25, 0.8, 1, 1} {
+		tl.Record(v)
+	}
+	if tl.Len() != 7 {
+		t.Fatalf("len = %d", tl.Len())
+	}
+	if tl.Min() != 0.25 {
+		t.Fatalf("min = %v", tl.Min())
+	}
+	if got := tl.EpochsBelow(1); got != 3 {
+		t.Fatalf("epochs below 1 = %d, want 3", got)
+	}
+	if got := tl.FirstBelow(1); got != 2 {
+		t.Fatalf("first below 1 = %d, want 2", got)
+	}
+	// Dips at epoch 2, recovers (>= 1) at epoch 5.
+	if got := tl.RestoreTime(1); got != 3 {
+		t.Fatalf("restore time = %d, want 3", got)
+	}
+	if got := tl.RestoreTime(0.1); got != 0 {
+		t.Fatalf("restore time below 0.1 = %d, want 0 (never dipped)", got)
+	}
+}
+
+func TestTimelineNeverRecovers(t *testing.T) {
+	var tl Timeline
+	for _, v := range []float64{1, 0.5, 0.5, 0.5} {
+		tl.Record(v)
+	}
+	if got := tl.RestoreTime(1); got != 3 {
+		t.Fatalf("restore time = %d, want 3 (to end of timeline)", got)
+	}
+}
+
+func TestTimelineDeterministicRendering(t *testing.T) {
+	var a, b Timeline
+	for _, v := range []float64{1, 0.333333, 0} {
+		a.Record(v)
+		b.Record(v)
+	}
+	if a.String() != b.String() || a.String() != "1.000000 0.333333 0.000000" {
+		t.Fatalf("rendering = %q", a.String())
+	}
+	if a.Spark() != "█▃▁" {
+		t.Fatalf("spark = %q", a.Spark())
+	}
+	// Out-of-range values clamp rather than panic.
+	a.Record(2)
+	a.Record(-1)
+	if got := a.Spark(); got != "█▃▁█▁" {
+		t.Fatalf("clamped spark = %q", got)
+	}
+}
+
+func TestTimelineNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var tl Timeline
+	tl.Record(math.NaN())
+}

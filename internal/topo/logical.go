@@ -160,6 +160,37 @@ func BuildPOCNetwork(w *World, nets []Network, numBPs, minColo, maxHops int) *PO
 	return p
 }
 
+// RouterLatLon returns the geographic coordinates of a POC router.
+// It panics only through the slice bounds check on a bad index; use
+// RouterIndex/len(Routers) to validate untrusted input first.
+func (p *POCNetwork) RouterLatLon(r int) (lat, lon float64) {
+	c := p.World.Cities[p.Routers[r]]
+	return c.Lat, c.Lon
+}
+
+// LinksNear returns, sorted, the IDs of the logical links with at
+// least one endpoint router within radiusKm of the given point — the
+// blast set of a geographically correlated failure (a fiber cut, a
+// natural disaster at a colocation site). Logical links are modeled
+// point-to-point, so a cut near either end severs the whole link.
+func (p *POCNetwork) LinksNear(lat, lon, radiusKm float64) []int {
+	if radiusKm < 0 || math.IsNaN(radiusKm) || math.IsNaN(lat) || math.IsNaN(lon) {
+		return nil
+	}
+	within := make([]bool, len(p.Routers))
+	for r := range p.Routers {
+		rl, ro := p.RouterLatLon(r)
+		within[r] = Haversine(lat, lon, rl, ro) <= radiusKm
+	}
+	var out []int
+	for _, l := range p.Links {
+		if within[l.A] || within[l.B] {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
 // Summary returns a one-line description of the POC network scale.
 func (p *POCNetwork) Summary() string {
 	return fmt.Sprintf("%d BPs, %d POC routers, %d logical links",

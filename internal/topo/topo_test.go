@@ -398,3 +398,46 @@ func TestQuickZooSeedSensitivity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLinksNearBlastRadius(t *testing.T) {
+	// Three routers: two close together (London, Paris ~344 km apart)
+	// and one far away (Tokyo). Links 0 (London-Paris), 1 (Paris-Tokyo),
+	// 2 (London-Tokyo).
+	w := DefaultWorld()
+	lon, par, tok := w.CityIndex("London"), w.CityIndex("Paris"), w.CityIndex("Tokyo")
+	if lon < 0 || par < 0 || tok < 0 {
+		t.Fatal("missing fixture city")
+	}
+	p := &POCNetwork{
+		World:   w,
+		Routers: []int{lon, par, tok},
+		Links: []LogicalLink{
+			{ID: 0, A: 0, B: 1, Capacity: 10},
+			{ID: 1, A: 1, B: 2, Capacity: 10},
+			{ID: 2, A: 0, B: 2, Capacity: 10},
+		},
+	}
+	lat0, lon0 := p.RouterLatLon(0)
+	if d := Haversine(lat0, lon0, w.Cities[lon].Lat, w.Cities[lon].Lon); d != 0 {
+		t.Fatalf("RouterLatLon(0) off by %v km", d)
+	}
+
+	// A 10 km cut at London severs every link touching London.
+	got := p.LinksNear(lat0, lon0, 10)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("cut at London = %v, want [0 2]", got)
+	}
+	// A 500 km cut at London also reaches Paris, severing all links.
+	got = p.LinksNear(lat0, lon0, 500)
+	if len(got) != 3 {
+		t.Fatalf("wide cut = %v, want all three links", got)
+	}
+	// A cut in the middle of nowhere severs nothing.
+	if got := p.LinksNear(0, 0, 10); got != nil {
+		t.Fatalf("remote cut = %v, want nil", got)
+	}
+	// Invalid inputs are rejected rather than panicking.
+	if p.LinksNear(lat0, lon0, -1) != nil || p.LinksNear(math.NaN(), lon0, 10) != nil {
+		t.Fatal("invalid LinksNear input should return nil")
+	}
+}

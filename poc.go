@@ -29,6 +29,7 @@ package poc
 
 import (
 	"github.com/public-option/poc/internal/auction"
+	"github.com/public-option/poc/internal/chaos"
 	"github.com/public-option/poc/internal/core"
 	"github.com/public-option/poc/internal/econ"
 	"github.com/public-option/poc/internal/edge"
@@ -136,6 +137,59 @@ type (
 
 // BestEffort is the default QoS class.
 var BestEffort = netsim.BestEffort
+
+// Chaos engineering (fault schedules, repair, recovery).
+type (
+	// ChaosEngine drives a POC through a fault schedule with recovery.
+	ChaosEngine = chaos.Engine
+	// ChaosSchedule is an ordered fault script over the epoch clock.
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one scheduled fault or repair.
+	ChaosEvent = chaos.Event
+	// RecoveryConfig tunes the recovery-policy ladder.
+	RecoveryConfig = chaos.RecoveryConfig
+	// RecoveryPolicy selects the highest ladder rung (reroute-only,
+	// recall, reauction).
+	RecoveryPolicy = chaos.Policy
+	// SurvivabilityReport is a chaos run's delivered-fraction
+	// timeline, recovery actions and totals.
+	SurvivabilityReport = chaos.Report
+)
+
+// The recovery ladder rungs.
+const (
+	RecoverReroute   = chaos.RerouteOnly
+	RecoverRecall    = chaos.Recall
+	RecoverReauction = chaos.Reauction
+)
+
+// NewChaosEngine assembles a chaos engine over an active operator.
+func NewChaosEngine(p *Operator, s ChaosSchedule, rc RecoveryConfig) (*ChaosEngine, error) {
+	return chaos.New(p, s, rc)
+}
+
+// ParseRecoveryPolicy parses a -policy flag value.
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) { return chaos.ParsePolicy(s) }
+
+// SingleBPOutage scripts one BP going dark and coming back.
+func SingleBPOutage(bp, failEpoch, repairEpoch int) ChaosSchedule {
+	return chaos.SingleBPOutage(bp, failEpoch, repairEpoch)
+}
+
+// FlappingLink scripts a link that alternates down and up.
+func FlappingLink(link, start, downEpochs, upEpochs, cycles int) ChaosSchedule {
+	return chaos.FlappingLink(link, start, downEpochs, upEpochs, cycles)
+}
+
+// CorrelatedCut scripts a geographic cut around a point.
+func CorrelatedCut(lat, lon, radiusKm float64, failEpoch, repairEpoch int) ChaosSchedule {
+	return chaos.CorrelatedCut(lat, lon, radiusKm, failEpoch, repairEpoch)
+}
+
+// RandomChaos generates a seeded stochastic fault schedule.
+func RandomChaos(seed int64, horizon int, links []int, failProb, mttrEpochs float64) ChaosSchedule {
+	return chaos.Random(seed, horizon, links, failProb, mttrEpochs)
+}
 
 // Peering / terms of service.
 type (

@@ -34,6 +34,9 @@ type ScenarioOptions struct {
 	// NoVirtualLinks omits the external ISP (used by the collusion
 	// ablation; production POCs always keep the fallback).
 	NoVirtualLinks bool
+	// Workers bounds auction parallelism for POCs built from this
+	// scenario (0 = auto). Any setting yields bit-identical results.
+	Workers int
 	// DenseVirtual attaches the external ISP at every router instead
 	// of the four major hubs, so the fallback mesh keeps every BP
 	// replaceable even when all non-SL links are withdrawn (the §3.3
@@ -168,5 +171,6 @@ func (s *Scenario) NewPOC(c Constraint) (*Operator, error) {
 		Constraint:    c,
 		RouteOpts:     s.RouteOptions(),
 		ReserveMargin: 0.02,
+		Workers:       s.Opts.Workers,
 	})
 }
