@@ -255,15 +255,19 @@ func runChaos(scale float64, seed int64, policyName string, epochs int) {
 		log.Fatal("no BP carries gold traffic; nothing to fail")
 	}
 	repair := epochs - 3
-	sched := poc.SingleBPOutage(target, 2, repair)
-	if seed != 0 {
-		sched.Merge(poc.RandomChaos(seed, epochs, c1.Fabric().SelectedLinks(), 0.05, 2))
-	}
 	fmt.Printf("chaos:    BP %d dark at epoch 2 (%.0f Gbps gold crossing), repaired at %d, policy=%s, seed=%d\n",
 		target, most, repair, pol, seed)
 
+	// Each core gets the same scripted outage plus random faults drawn
+	// (from the same seed) over its *own* leased links — a schedule
+	// generated over one core's selection would name links the other
+	// never leased.
 	run := func(label string, op *poc.Operator) *poc.SurvivabilityReport {
-		eng, err := poc.NewChaosEngine(op, sched, poc.RecoveryConfig{Policy: pol})
+		sched := poc.SingleBPOutage(target, 2, repair)
+		if seed != 0 {
+			sched.Merge(poc.RandomChaos(seed, epochs, op.Fabric().SelectedLinks(), 0.05, 2))
+		}
+		eng, err := poc.NewChaosEngine(op, sched, poc.DefaultRecoveryConfig(pol))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -119,7 +119,7 @@ func chaosSurvivabilityReport(t *testing.T, workers int) string {
 	}
 	sched := RandomChaos(11, 8, p.Fabric().SelectedLinks(), 0.15, 2)
 	sched.Merge(SingleBPOutage(p.Network().Links[firstFlow.Links[0]].BP, 1, 5))
-	eng, err := NewChaosEngine(p, sched, RecoveryConfig{Policy: RecoverRecall})
+	eng, err := NewChaosEngine(p, sched, DefaultRecoveryConfig(RecoverRecall))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,12 @@ type Engine struct {
 	down           map[int]bool // links the schedule currently holds down
 	lastReauction  int
 	reauctionsUsed int
+	// migrated/migratedLost describe a reauction that ran this epoch:
+	// the migration rebuilt the fabric and reassigned flow IDs, so the
+	// epoch's flows are classified from the whole new fabric plus the
+	// migration's lost count instead of by stale ID.
+	migrated     bool
+	migratedLost int
 }
 
 // New validates and assembles an engine over an active POC.
@@ -34,7 +40,6 @@ func New(p *core.POC, schedule Schedule, recovery RecoveryConfig) (*Engine, erro
 	if err := schedule.Validate(); err != nil {
 		return nil, err
 	}
-	recovery = recovery.withDefaults()
 	if err := recovery.validate(); err != nil {
 		return nil, err
 	}
@@ -104,13 +109,18 @@ func (e *Engine) minDelivered() float64 {
 }
 
 // apply executes one scheduled event against the fabric, maintaining
-// the engine's down-set, and returns the flows it moved.
+// the engine's down-set, and returns the flows it moved. Links the
+// fabric never leased are ignored (a schedule generated over one
+// core's selection may be replayed against another), and recalled
+// links are inert: a cut finds them already gone and a repair must
+// not resurrect capacity the POC formally returned to its BP.
 func (e *Engine) apply(ev Event) []netsim.FlowID {
 	fab := e.poc.Fabric()
 	net := e.poc.Network()
 	switch ev.Kind {
 	case CutLink:
-		if ev.Link < 0 || ev.Link >= len(net.Links) || e.poc.Recalled(ev.Link) {
+		if ev.Link < 0 || ev.Link >= len(net.Links) ||
+			!fab.LinkSelected(ev.Link) || e.poc.Recalled(ev.Link) {
 			return nil
 		}
 		e.down[ev.Link] = true
@@ -125,23 +135,26 @@ func (e *Engine) apply(ev Event) []netsim.FlowID {
 		return fab.RepairLink(ev.Link)
 	case CutBP:
 		for _, l := range net.LinksOfBP(ev.BP) {
-			if fab.LinkFailed(l) || e.poc.Recalled(l) {
+			if !fab.LinkSelected(l) || fab.LinkFailed(l) || e.poc.Recalled(l) {
 				continue
 			}
 			e.down[l] = true
 		}
 		return fab.FailBP(ev.BP)
 	case RepairBP:
+		var fix []int
 		for _, l := range net.LinksOfBP(ev.BP) {
-			if !e.poc.Recalled(l) {
-				delete(e.down, l)
+			if e.poc.Recalled(l) {
+				continue
 			}
+			fix = append(fix, l)
+			delete(e.down, l)
 		}
-		return fab.RepairBP(ev.BP)
+		return fab.RepairLinks(fix)
 	case Correlated:
 		var cut []int
 		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
-			if e.poc.Recalled(l) {
+			if !fab.LinkSelected(l) || e.poc.Recalled(l) {
 				continue
 			}
 			cut = append(cut, l)
@@ -218,6 +231,8 @@ func (e *Engine) recover(epoch int, rep *Report) error {
 		// The new fabric starts healthy; re-apply the outages the
 		// schedule still holds down.
 		e.poc.Fabric().FailLinks(e.downSorted())
+		e.migrated = true
+		e.migratedLost = ra.FlowsLost
 		rep.Reauctions++
 		rep.Actions = append(rep.Actions, Action{
 			Epoch: epoch, Kind: "reauction",
@@ -258,6 +273,7 @@ func (e *Engine) Run(epochs int) (*Report, error) {
 	series := map[string]*ClassTimeline{}
 
 	for epoch := 0; epoch < epochs; epoch++ {
+		e.migrated, e.migratedLost = false, 0
 		moved := map[netsim.FlowID]bool{}
 		for _, ev := range e.schedule.At(epoch) {
 			for _, id := range e.apply(ev) {
@@ -271,18 +287,9 @@ func (e *Engine) Run(epochs int) (*Report, error) {
 		}
 
 		// Classify the flows this epoch touched, post-recovery.
-		ids := make([]int, 0, len(moved))
-		for id := range moved {
-			ids = append(ids, int(id))
-		}
-		sort.Ints(ids)
 		var rec EpochRecord
 		rec.Epoch = epoch
-		for _, id := range ids {
-			fl, err := e.poc.Fabric().Flow(netsim.FlowID(id))
-			if err != nil {
-				continue // lost during a reauction migration
-			}
+		classify := func(fl netsim.Flow) {
 			switch {
 			case fl.Allocated >= fl.Demand-1e-9:
 				rec.Rerouted++
@@ -290,6 +297,30 @@ func (e *Engine) Run(epochs int) (*Report, error) {
 				rec.Degraded++
 			default:
 				rec.Dropped++
+			}
+		}
+		if e.migrated {
+			// A reauction rebuilt the fabric with fresh flow IDs, so
+			// the moved set cannot be looked up: every surviving flow
+			// was re-placed on the new core; the ones the migration
+			// could not re-admit are dropped.
+			rec.Dropped += e.migratedLost
+			for _, fl := range e.poc.Fabric().Flows() {
+				classify(fl)
+			}
+		} else {
+			ids := make([]int, 0, len(moved))
+			for id := range moved {
+				ids = append(ids, int(id))
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				fl, err := e.poc.Fabric().Flow(netsim.FlowID(id))
+				if err != nil {
+					rec.Dropped++ // gone from the fabric entirely
+					continue
+				}
+				classify(fl)
 			}
 		}
 
@@ -314,6 +345,21 @@ func (e *Engine) Run(epochs int) (*Report, error) {
 				series[n] = tl
 			}
 			tl.Delivered.Record(d)
+		}
+		// A class whose every flow was lost (a reauction migration
+		// could not re-admit them) vanishes from measure(); record
+		// zero so its timeline stays epoch-aligned instead of silently
+		// truncating.
+		var vanished []string
+		for n, tl := range series {
+			if aggs[n] == nil && tl.Delivered.Len() == epoch {
+				vanished = append(vanished, n)
+			}
+		}
+		sort.Strings(vanished)
+		for _, n := range vanished {
+			series[n].Delivered.Record(0)
+			min = 0
 		}
 		rec.FailedLinks = e.poc.Fabric().FailedLinks()
 		rec.Delivered = min

@@ -186,6 +186,11 @@ func TestEngineValidation(t *testing.T) {
 	if _, err := New(p, Schedule{}, RecoveryConfig{PenaltyRate: -1}); err == nil {
 		t.Fatal("negative penalty rate accepted")
 	}
+	// A reauction policy needs an explicit anti-thrash window: the
+	// zero value is honored (and rejected), not silently defaulted.
+	if _, err := New(p, Schedule{}, RecoveryConfig{Policy: Reauction}); err == nil {
+		t.Fatal("reauction policy with zero backoff accepted")
+	}
 	e, err := New(p, Schedule{}, RecoveryConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +256,9 @@ func TestRecoveryLadderSelfHeals(t *testing.T) {
 	// the dead link and reauction around it.
 	var s Schedule
 	s.Add(Event{Epoch: 1, Kind: CutBP, BP: bp})
-	e, err := New(p, s, RecoveryConfig{Policy: Reauction, PenaltyRate: 0.5})
+	cfg := DefaultRecovery(Reauction)
+	cfg.PenaltyRate = 0.5
+	e, err := New(p, s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +301,10 @@ func TestFlappingLinkBoundedByBackoff(t *testing.T) {
 	}
 	const backoff = 3
 	flap := FlappingLink(1, 0, 1, 1, 6) // cut/repair link 1 every epoch
-	e, err := New(p, flap, RecoveryConfig{Policy: Reauction, BackoffEpochs: backoff, MaxReauctions: 100})
+	cfg := DefaultRecovery(Reauction)
+	cfg.BackoffEpochs = backoff
+	cfg.MaxReauctions = 100
+	e, err := New(p, flap, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +336,10 @@ func TestMaxReauctionsCap(t *testing.T) {
 	if _, err := p.StartFlow("lmp-a", "lmp-b", 500, netsim.BestEffort); err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(p, Schedule{}, RecoveryConfig{Policy: Reauction, BackoffEpochs: 1, MaxReauctions: 2})
+	cfg := DefaultRecovery(Reauction)
+	cfg.BackoffEpochs = 1
+	cfg.MaxReauctions = 2
+	e, err := New(p, Schedule{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,12 +387,113 @@ func TestCorrelatedCutUsesGeography(t *testing.T) {
 	}
 }
 
+// TestRepairBPDoesNotResurrectRecalledLinks pins the recall/repair
+// invariant: once the recovery ladder recalls a failed link, a later
+// scheduled RepairBP must not un-fail it — the POC no longer leases
+// that capacity, so flows may never route over it again.
+func TestRepairBPDoesNotResurrectRecalledLinks(t *testing.T) {
+	p, gf, _ := activePOC(t, 0)
+	link := gf.Links[0]
+	bp := p.Network().Links[link].BP
+
+	// BP outage at epoch 1, scheduled repair at epoch 3 — but the
+	// recall policy takes the link back at epoch 1, before the repair.
+	e, err := New(p, SingleBPOutage(bp, 1, 3), DefaultRecovery(Recall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Recalled(link) {
+		t.Fatalf("failed link %d was not recalled:\n%s", link, rep)
+	}
+	if rep.PenaltyIncome <= 0 {
+		t.Fatalf("no recall penalty collected:\n%s", rep)
+	}
+	// The scheduled RepairBP at epoch 3 must leave the recalled link
+	// failed on the fabric, for the rest of the run.
+	if !p.Fabric().LinkFailed(link) {
+		t.Fatalf("scheduled RepairBP resurrected recalled link %d:\n%s", link, rep)
+	}
+	for _, rec := range rep.Timeline[3:] {
+		found := false
+		for _, l := range rec.FailedLinks {
+			if l == link {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("epoch %d no longer lists recalled link %d as failed: %v",
+				rec.Epoch, link, rec.FailedLinks)
+		}
+	}
+	// No flow may be riding the recalled capacity.
+	for _, fl := range p.Fabric().Flows() {
+		for _, l := range fl.Links {
+			if l == link {
+				t.Fatalf("flow %d routed over recalled link %d", fl.ID, link)
+			}
+		}
+	}
+}
+
+// TestZeroRecoveryValuesHonored pins that RecoveryConfig zero values
+// mean what they say: Threshold 0 never escalates, and PenaltyRate 0
+// is a penalty-free recall, not the defaults in disguise.
+func TestZeroRecoveryValuesHonored(t *testing.T) {
+	t.Run("threshold-zero-never-escalates", func(t *testing.T) {
+		p, gf, _ := activePOC(t, 0)
+		bp := p.Network().Links[gf.Links[0]].BP
+		cfg := DefaultRecovery(Recall)
+		cfg.Threshold = 0
+		e, err := New(p, SingleBPOutage(bp, 1, 3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Actions) != 0 || rep.PenaltyIncome != 0 {
+			t.Fatalf("threshold 0 still escalated: %+v", rep.Actions)
+		}
+		if p.Recalled(gf.Links[0]) {
+			t.Fatal("threshold 0 still recalled a link")
+		}
+	})
+	t.Run("penalty-rate-zero-recalls-free", func(t *testing.T) {
+		p, gf, _ := activePOC(t, 0)
+		link := gf.Links[0]
+		bp := p.Network().Links[link].BP
+		cfg := DefaultRecovery(Recall)
+		cfg.PenaltyRate = 0
+		var s Schedule
+		s.Add(Event{Epoch: 1, Kind: CutBP, BP: bp}) // permanent outage
+		e, err := New(p, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Recalled(link) {
+			t.Fatalf("dead link %d not recalled:\n%s", link, rep)
+		}
+		if rep.PenaltyIncome != 0 {
+			t.Fatalf("penalty-free recall collected %v", rep.PenaltyIncome)
+		}
+	})
+}
+
 func TestReportByteIdenticalAcrossRunsAndWorkers(t *testing.T) {
 	run := func(workers int) string {
 		p, _, _ := activePOC(t, workers)
 		sched := Random(7, 10, p.Fabric().SelectedLinks(), 0.3, 2)
 		sched.Merge(SingleBPOutage(0, 2, 5))
-		e, err := New(p, sched, RecoveryConfig{Policy: Reauction})
+		e, err := New(p, sched, DefaultRecovery(Reauction))
 		if err != nil {
 			t.Fatal(err)
 		}

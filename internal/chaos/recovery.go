@@ -1,6 +1,9 @@
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Policy selects how far up the recovery ladder the engine may climb
 // when delivered traffic drops below the threshold. Each level
@@ -46,40 +49,43 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("chaos: unknown policy %q (want reroute, recall, or reauction)", s)
 }
 
-// RecoveryConfig tunes the recovery controller.
+// RecoveryConfig tunes the recovery controller. Every field means
+// exactly what it says — zero values are honored, not treated as
+// unset (Threshold 0 never escalates; PenaltyRate 0 is a penalty-free
+// recall, which core.RecallLink explicitly supports). Start from
+// DefaultRecovery for the documented defaults and override fields
+// from there.
 type RecoveryConfig struct {
 	// Policy is the highest ladder rung the engine may use.
 	Policy Policy
 	// Threshold is the delivered fraction (per QoS class; the minimum
 	// across classes is compared) below which the engine escalates.
-	// Default 0.999: anything measurably below full delivery.
+	// 0 means never escalate.
 	Threshold float64
 	// BackoffEpochs is the minimum number of epochs between two
 	// reauctions — the anti-thrash bound. A flapping link can trigger
-	// at most one reauction per window. Default 4.
+	// at most one reauction per window. Must be >= 1 when Policy
+	// reaches Reauction.
 	BackoffEpochs int
-	// MaxReauctions caps total reauctions per run. Default 8.
+	// MaxReauctions caps total reauctions per run.
 	MaxReauctions int
 	// PenaltyRate is passed to core.RecallLink when recalling failed
-	// links. Default 0.25.
+	// links. 0 recalls without penalty.
 	PenaltyRate float64
 }
 
-// withDefaults fills zero fields with the documented defaults.
-func (c RecoveryConfig) withDefaults() RecoveryConfig {
-	if c.Threshold == 0 {
-		c.Threshold = 0.999
+// DefaultRecovery returns the documented default configuration for a
+// policy: escalate below 0.999 delivered (anything measurably short
+// of full delivery), at most one reauction per 4-epoch window, at
+// most 8 reauctions per run, recall penalty rate 0.25.
+func DefaultRecovery(p Policy) RecoveryConfig {
+	return RecoveryConfig{
+		Policy:        p,
+		Threshold:     0.999,
+		BackoffEpochs: 4,
+		MaxReauctions: 8,
+		PenaltyRate:   0.25,
 	}
-	if c.BackoffEpochs == 0 {
-		c.BackoffEpochs = 4
-	}
-	if c.MaxReauctions == 0 {
-		c.MaxReauctions = 8
-	}
-	if c.PenaltyRate == 0 {
-		c.PenaltyRate = 0.25
-	}
-	return c
 }
 
 // validate rejects configurations the engine cannot honor.
@@ -87,14 +93,19 @@ func (c RecoveryConfig) validate() error {
 	if c.Policy < RerouteOnly || c.Policy > Reauction {
 		return fmt.Errorf("chaos: unknown policy %d", int(c.Policy))
 	}
-	if c.Threshold < 0 || c.Threshold > 1 {
+	if c.Threshold < 0 || c.Threshold > 1 || math.IsNaN(c.Threshold) {
 		return fmt.Errorf("chaos: threshold %v out of [0,1]", c.Threshold)
 	}
-	if c.BackoffEpochs < 1 {
-		return fmt.Errorf("chaos: backoff %d epochs, want >= 1", c.BackoffEpochs)
-	}
-	if c.PenaltyRate < 0 {
+	if c.PenaltyRate < 0 || math.IsNaN(c.PenaltyRate) {
 		return fmt.Errorf("chaos: negative penalty rate %v", c.PenaltyRate)
+	}
+	if c.Policy >= Reauction {
+		if c.BackoffEpochs < 1 {
+			return fmt.Errorf("chaos: backoff %d epochs, want >= 1 for reauction policy", c.BackoffEpochs)
+		}
+		if c.MaxReauctions < 0 {
+			return fmt.Errorf("chaos: negative reauction cap %d", c.MaxReauctions)
+		}
 	}
 	return nil
 }

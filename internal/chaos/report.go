@@ -17,8 +17,8 @@ type ClassTimeline struct {
 
 // Action is one recovery step the engine took.
 type Action struct {
-	Epoch int
-	Kind  string // "recall" | "reauction"
+	Epoch  int
+	Kind   string // "recall" | "reauction"
 	Detail string
 	// Cost is the action's net cost to the POC: negative for recalls
 	// (the penalty is income), the monthly lease-cost delta for
@@ -29,10 +29,10 @@ type Action struct {
 // EpochRecord is the per-epoch survivability row.
 type EpochRecord struct {
 	Epoch       int
-	FailedLinks []int // failed on the fabric at epoch end, sorted
-	Rerouted    int   // flows moved this epoch (full allocation kept)
-	Degraded    int   // flows left below demand but above zero
-	Dropped     int   // flows left with zero allocation
+	FailedLinks []int   // failed on the fabric at epoch end, sorted
+	Rerouted    int     // flows moved this epoch (full allocation kept)
+	Degraded    int     // flows left below demand but above zero
+	Dropped     int     // flows left with zero allocation
 	Delivered   float64 // min class delivered fraction at epoch end
 }
 

@@ -65,10 +65,10 @@ func (k Kind) String() string {
 // its Kind are meaningful: Link for CutLink/RepairLink, BP for
 // CutBP/RepairBP, and Lat/Lon/RadiusKm for the correlated kinds.
 type Event struct {
-	Epoch int
-	Kind  Kind
-	Link  int
-	BP    int
+	Epoch              int
+	Kind               Kind
+	Link               int
+	BP                 int
 	Lat, Lon, RadiusKm float64
 }
 

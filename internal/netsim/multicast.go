@@ -155,6 +155,7 @@ func (f *Fabric) StartMulticast(src EndpointID, receivers []EndpointID, gbps flo
 		f.mcasts = map[MulticastID]*Multicast{}
 	}
 	f.mcasts[m.ID] = m
+	f.indexMcast(m)
 	f.recompute(links)
 	_ = se
 	return m, nil
@@ -166,6 +167,7 @@ func (f *Fabric) StopMulticast(id MulticastID) error {
 	if !ok {
 		return fmt.Errorf("netsim: unknown multicast %d", id)
 	}
+	f.unindexMcast(m)
 	delete(f.mcasts, id)
 	f.recompute(m.TreeLinks)
 	return nil

@@ -103,6 +103,13 @@ type Fabric struct {
 	anycast   map[string][]EndpointID
 	resid     []float64 // remaining Gbps per logical link
 
+	// Per-link crossing indexes: which flows / multicast trees hold a
+	// reservation on each logical link. recompute reads these instead
+	// of scanning every flow, so a reroute pass costs O(path × flows
+	// on the touched links) rather than O(path × all flows).
+	flowsOn  map[int]map[FlowID]struct{}
+	mcastsOn map[int]map[MulticastID]struct{}
+
 	g       *graph.Graph
 	pr      *graph.PointRouter
 	linkFor []int32
@@ -117,6 +124,8 @@ func New(p *topo.POCNetwork, selected map[int]bool) *Fabric {
 		failed:   map[int]bool{},
 		flows:    map[FlowID]*Flow{},
 		resid:    make([]float64, len(p.Links)),
+		flowsOn:  map[int]map[FlowID]struct{}{},
+		mcastsOn: map[int]map[MulticastID]struct{}{},
 	}
 	f.g, f.edgeFor = p.Graph(selected)
 	f.linkFor = make([]int32, f.g.NumEdges())
@@ -233,6 +242,7 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 		Allocated: alloc, Class: class, Links: links, LatencyKm: lat}
 	f.nextFlow++
 	f.flows[fl.ID] = fl
+	f.indexFlow(fl)
 	f.recompute(links)
 	return fl, nil
 }
@@ -244,9 +254,48 @@ func (f *Fabric) StopFlow(id FlowID) error {
 		return fmt.Errorf("netsim: unknown flow %d", id)
 	}
 	links := fl.Links
+	f.unindexFlow(fl)
 	delete(f.flows, id)
 	f.recompute(links)
 	return nil
+}
+
+// indexFlow records a flow's reservation on each link of its path.
+func (f *Fabric) indexFlow(fl *Flow) {
+	for _, l := range fl.Links {
+		set := f.flowsOn[l]
+		if set == nil {
+			set = map[FlowID]struct{}{}
+			f.flowsOn[l] = set
+		}
+		set[fl.ID] = struct{}{}
+	}
+}
+
+// unindexFlow removes a flow's reservation from each link of its path.
+func (f *Fabric) unindexFlow(fl *Flow) {
+	for _, l := range fl.Links {
+		delete(f.flowsOn[l], fl.ID)
+	}
+}
+
+// indexMcast records a multicast tree's reservation on each tree link.
+func (f *Fabric) indexMcast(m *Multicast) {
+	for _, l := range m.TreeLinks {
+		set := f.mcastsOn[l]
+		if set == nil {
+			set = map[MulticastID]struct{}{}
+			f.mcastsOn[l] = set
+		}
+		set[m.ID] = struct{}{}
+	}
+}
+
+// unindexMcast removes a multicast tree's reservation from each link.
+func (f *Fabric) unindexMcast(m *Multicast) {
+	for _, l := range m.TreeLinks {
+		delete(f.mcastsOn[l], m.ID)
+	}
 }
 
 // recompute rebuilds the residual capacity of the given logical links
@@ -256,40 +305,28 @@ func (f *Fabric) StopFlow(id FlowID) error {
 // incrementally adding and subtracting float deltas) means fail →
 // repair → fail cycles conserve capacity bit for bit over arbitrarily
 // long simulations — a link whose last reservation is released reads
-// exactly Capacity again, with no accumulated rounding drift.
+// exactly Capacity again, with no accumulated rounding drift. The
+// crossing indexes keep this cheap: only the flows actually on a
+// touched link are summed, in the same deterministic order a full
+// scan would have produced.
 func (f *Fabric) recompute(links []int) {
-	if len(links) == 0 {
-		return
-	}
-	flowIDs := make([]int, 0, len(f.flows))
-	for id := range f.flows {
-		flowIDs = append(flowIDs, int(id))
-	}
-	sort.Ints(flowIDs)
-	mcastIDs := make([]int, 0, len(f.mcasts))
-	for id := range f.mcasts {
-		mcastIDs = append(mcastIDs, int(id))
-	}
-	sort.Ints(mcastIDs)
 	for _, l := range links {
 		used := 0.0
-		for _, id := range flowIDs {
-			fl := f.flows[FlowID(id)]
-			for _, fl2 := range fl.Links {
-				if fl2 == l {
-					used += fl.Allocated
-					break
-				}
-			}
+		flowIDs := make([]int, 0, len(f.flowsOn[l]))
+		for id := range f.flowsOn[l] {
+			flowIDs = append(flowIDs, int(id))
 		}
+		sort.Ints(flowIDs)
+		for _, id := range flowIDs {
+			used += f.flows[FlowID(id)].Allocated
+		}
+		mcastIDs := make([]int, 0, len(f.mcastsOn[l]))
+		for id := range f.mcastsOn[l] {
+			mcastIDs = append(mcastIDs, int(id))
+		}
+		sort.Ints(mcastIDs)
 		for _, id := range mcastIDs {
-			m := f.mcasts[MulticastID(id)]
-			for _, tl := range m.TreeLinks {
-				if tl == l {
-					used += m.Gbps
-					break
-				}
-			}
+			used += f.mcasts[MulticastID(id)].Gbps
 		}
 		f.resid[l] = f.net.Links[l].Capacity - used
 	}
@@ -330,12 +367,17 @@ func (f *Fabric) FailLink(link int) []FlowID {
 
 // FailLinks fails a set of links atomically (one reroute pass after
 // all are marked down — a correlated fiber cut, not a sequence of
-// independent cuts). Out-of-range and already-failed entries are
-// skipped; nil is returned when nothing newly failed.
+// independent cuts). Out-of-range, already-failed, and unselected
+// entries are skipped — a link the fabric never leased has no
+// reservation to fail and must not appear in FailedLinks; nil is
+// returned when nothing newly failed.
 func (f *Fabric) FailLinks(links []int) []FlowID {
 	newly := map[int]bool{}
 	for _, link := range links {
 		if link < 0 || link >= len(f.net.Links) || f.failed[link] {
+			continue
+		}
+		if _, ok := f.edgeFor[link]; !ok {
 			continue
 		}
 		f.failed[link] = true
@@ -415,6 +457,13 @@ func (f *Fabric) RepairBP(bp int) []FlowID {
 // LinkFailed reports whether a link is currently marked failed.
 func (f *Fabric) LinkFailed(link int) bool { return f.failed[link] }
 
+// LinkSelected reports whether a link is part of the fabric's
+// selected (leased) link set.
+func (f *Fabric) LinkSelected(link int) bool {
+	_, ok := f.edgeFor[link]
+	return ok
+}
+
 // FailedLinks returns the currently failed link IDs, sorted.
 func (f *Fabric) FailedLinks() []int {
 	out := make([]int, 0, len(f.failed))
@@ -456,6 +505,7 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 		changed = append(changed, fl.ID)
 		// Release.
 		released := fl.Links
+		f.unindexFlow(fl)
 		fl.Links = nil
 		fl.Allocated = 0
 		fl.LatencyKm = 0
@@ -483,6 +533,7 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 					fl.Links = links
 					fl.Allocated = alloc
 					fl.LatencyKm = lat
+					f.indexFlow(fl)
 					f.recompute(links)
 				}
 			}

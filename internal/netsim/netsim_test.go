@@ -64,6 +64,31 @@ func TestAttachValidation(t *testing.T) {
 	}
 }
 
+// TestFailUnselectedLinkIsNoop: a fabric can only fail links it
+// leases — a schedule replayed against a core with a different
+// selection must not pollute FailedLinks with links this fabric never
+// carried.
+func TestFailUnselectedLinkIsNoop(t *testing.T) {
+	// Select the ring only; the chord (link 4) is not leased.
+	sel := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	f := New(ringNet(10), sel)
+	if f.LinkSelected(4) {
+		t.Fatal("chord reported selected")
+	}
+	if !f.LinkSelected(0) {
+		t.Fatal("ring link reported unselected")
+	}
+	if moved := f.FailLink(4); moved != nil {
+		t.Fatalf("failing unselected link moved flows: %v", moved)
+	}
+	if f.LinkFailed(4) {
+		t.Fatal("unselected link marked failed")
+	}
+	if got := f.FailedLinks(); len(got) != 0 {
+		t.Fatalf("FailedLinks = %v after failing an unselected link", got)
+	}
+}
+
 func TestStartFlowReservesShortestPath(t *testing.T) {
 	f := New(ringNet(10), nil)
 	lmp0, lmp2, _ := attach3(t, f)

@@ -171,6 +171,12 @@ func NewChaosEngine(p *Operator, s ChaosSchedule, rc RecoveryConfig) (*ChaosEngi
 // ParseRecoveryPolicy parses a -policy flag value.
 func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) { return chaos.ParsePolicy(s) }
 
+// DefaultRecoveryConfig returns the documented default recovery
+// tuning for a policy. RecoveryConfig fields mean exactly what they
+// say (a zero Threshold never escalates; a zero PenaltyRate recalls
+// penalty-free) — start from this and override.
+func DefaultRecoveryConfig(p RecoveryPolicy) RecoveryConfig { return chaos.DefaultRecovery(p) }
+
 // SingleBPOutage scripts one BP going dark and coming back.
 func SingleBPOutage(bp, failEpoch, repairEpoch int) ChaosSchedule {
 	return chaos.SingleBPOutage(bp, failEpoch, repairEpoch)
