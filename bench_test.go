@@ -65,6 +65,23 @@ func BenchmarkFigure2Constraint1(b *testing.B) { benchmarkAuction(b, Constraint1
 func BenchmarkFigure2Constraint2(b *testing.B) { benchmarkAuction(b, Constraint2) }
 func BenchmarkFigure2Constraint3(b *testing.B) { benchmarkAuction(b, Constraint3) }
 
+// Observability overhead gate (DESIGN.md §8): the same Constraint-1
+// auction with a metrics registry threaded through every layer.
+// Compare against BenchmarkFigure2Constraint1 (nil registry — the
+// instrumentation compiles to a nil check and must cost ~0%); the
+// observed run must stay within 5% of it.
+func BenchmarkFigure2Constraint1Observed(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := s.Instance(Constraint1, 0)
+		inst.Obs = NewObserver() // fresh ledger per run, as pocsim does
+		if _, err := inst.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // E2 (Figure 1): the fabric carries CSP→LMP flows edge to edge over
 // the auctioned link set; measures a full attach/flow/bill cycle.
 func BenchmarkFigure1Fabric(b *testing.B) {

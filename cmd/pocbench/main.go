@@ -29,6 +29,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	poc "github.com/public-option/poc"
@@ -46,10 +48,17 @@ func main() {
 	checks := flag.Int("checks", 0, "winner-determination variant (see auction.Instance.MaxChecks)")
 	workers := flag.Int("workers", 0, "counterfactual winner-determination workers (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "time one auction per constraint and write ns/op, checks, cache hit rate and C(SL) to BENCH_auction.json")
+	metrics := flag.String("metrics", "", "with -json: also write the poc-obs/v1 metrics ledger to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
+	stop := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
+	defer stop()
+
 	if *jsonOut {
-		if err := benchJSON(*scale, *checks, *workers); err != nil {
+		if err := benchJSON(*scale, *checks, *workers, *metrics); err != nil {
 			log.Fatalf("json: %v", err)
 		}
 		return
@@ -95,9 +104,15 @@ type benchRow struct {
 
 // benchJSON times one full auction (winner determination plus every
 // counterfactual) per constraint and writes the machine-readable rows
-// CI and the EXPERIMENTS.md tables consume.
-func benchJSON(scale float64, checks, workers int) error {
-	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale})
+// CI and the EXPERIMENTS.md tables consume. With a metrics path it
+// additionally threads an observability registry through all three
+// runs and writes the poc-obs/v1 ledger alongside the bench rows.
+func benchJSON(scale float64, checks, workers int, metrics string) error {
+	var reg *poc.Observer
+	if metrics != "" {
+		reg = poc.NewObserver()
+	}
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -143,7 +158,57 @@ func benchJSON(scale float64, checks, workers int) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_auction.json")
+	if metrics != "" {
+		if err := reg.WriteFile(metrics); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metrics)
+	}
 	return nil
+}
+
+// startDiagnostics enables the opt-in pprof/trace hooks and returns
+// the stop function to defer in main.
+func startDiagnostics(cpuprofile, memprofile, traceFile string) func() {
+	var stops []func()
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if memprofile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
 }
 
 func baseline() error {

@@ -11,9 +11,15 @@
 // -seed is set) by the chaos engine, and the two survivability
 // reports are printed side by side.
 //
+// With -metrics the run threads one deterministic observability
+// registry (see internal/obs) through every layer and writes the
+// poc-obs/v1 JSON ledger on exit; the file is byte-identical across
+// runs and across -workers settings. -cpuprofile, -memprofile and
+// -trace enable the standard runtime diagnostics.
+//
 // Usage:
 //
-//	pocsim [-scale 0.35] [-constraint 2] [-epochs 4] [-fail] [-v]
+//	pocsim [-scale 0.35] [-constraint 2] [-epochs 4] [-fail] [-v] [-metrics out.json]
 //	pocsim -chaos [-scale 0.35] [-epochs 8] [-seed 7] [-policy reroute|recall|reauction]
 package main
 
@@ -21,6 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 
 	poc "github.com/public-option/poc"
@@ -37,7 +47,20 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run the C1-vs-C2 survivability experiment")
 	seed := flag.Int64("seed", 0, "chaos: add seeded random faults (0 = scripted outage only)")
 	policy := flag.String("policy", "reroute", "chaos: recovery policy (reroute, recall, reauction)")
+	workers := flag.Int("workers", 0, "auction worker goroutines (0 = GOMAXPROCS; any value gives identical output)")
+	metrics := flag.String("metrics", "", "write the poc-obs/v1 metrics ledger to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stop := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
+	defer stop()
+
+	var reg *poc.Observer
+	if *metrics != "" {
+		reg = poc.NewObserver()
+	}
 
 	if *constraint < 1 || *constraint > 3 {
 		log.Fatalf("constraint %d out of range", *constraint)
@@ -47,11 +70,12 @@ func main() {
 		if ep < 8 {
 			ep = 8
 		}
-		runChaos(*scale, *seed, *policy, ep)
+		runChaos(*scale, *seed, *policy, ep, *workers, reg)
+		writeMetrics(reg, *metrics)
 		return
 	}
 
-	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: *scale})
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: *scale, Workers: *workers, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,6 +173,62 @@ func main() {
 		fmt.Println("audit:    all attached LMPs compliant")
 	}
 	fmt.Printf("ledger:   conservation %.6f (must be 0)\n", op.Ledger().Conservation())
+	writeMetrics(reg, *metrics)
+}
+
+// writeMetrics exports the observability ledger when -metrics is set.
+func writeMetrics(reg *poc.Observer, path string) {
+	if path == "" {
+		return
+	}
+	if err := reg.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics:  wrote %s\n", path)
+}
+
+// startDiagnostics enables the opt-in pprof/trace hooks and returns
+// the stop function to defer in main.
+func startDiagnostics(cpuprofile, memprofile, traceFile string) func() {
+	var stops []func()
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if memprofile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
 }
 
 // goldClass is the premium QoS class used by the chaos experiment.
@@ -221,12 +301,14 @@ func goldCrossingBP(op *poc.Operator) []float64 {
 // runChaos is the -chaos entry point: the paper's Constraint-2
 // promise ("previously admitted traffic will survive the failure",
 // §2.1) tested on a running fabric against the Constraint-1 core.
-func runChaos(scale float64, seed int64, policyName string, epochs int) {
+func runChaos(scale float64, seed int64, policyName string, epochs, workers int, reg *poc.Observer) {
 	pol, err := poc.ParseRecoveryPolicy(policyName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale})
+	// Both cores share one registry, so the exported ledger covers the
+	// whole experiment (C1 and C2 counters accumulate).
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale, Workers: workers, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}

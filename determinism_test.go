@@ -1,6 +1,7 @@
 package poc
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -144,6 +145,107 @@ func TestChaosReportDeterminism(t *testing.T) {
 	}
 	if par := chaosSurvivabilityReport(t, 4); par != base {
 		t.Fatalf("report changed with Workers=4:\n%s\n---\n%s", base, par)
+	}
+}
+
+// metricsExport runs a full observed lifecycle — auction, activation,
+// flows, a billing epoch, and the chaos experiment from
+// chaosSurvivabilityReport — with one registry threaded through every
+// layer, and returns the exported JSON ledger.
+func metricsExport(t *testing.T, workers int) []byte {
+	t.Helper()
+	reg := NewObserver()
+	s, err := NewScenario(ScenarioOptions{Scale: 0.12, Workers: workers, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.NewPOC(Constraint1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Bids {
+		if err := p.SubmitBid(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddVirtualLinks(s.Virtual); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	gold := QoSClass{Name: "gold", Weight: 4, Price: 10}
+	for i := 0; i < 4; i++ {
+		if _, err := p.AttachLMP(string(rune('a'+i)), i, PeeringPolicy{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var links []int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			class := BestEffort
+			if (i+j)%2 == 1 {
+				class = gold
+			}
+			fl, err := p.StartFlow(string(rune('a'+i)), string(rune('a'+j)), 2+float64(i+j), class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if links == nil && len(fl.Links) > 0 {
+				links = fl.Links
+			}
+		}
+	}
+	if _, err := p.BillEpoch(6 * 3600); err != nil {
+		t.Fatal(err)
+	}
+	sched := RandomChaos(11, 8, p.Fabric().SelectedLinks(), 0.15, 2)
+	sched.Merge(SingleBPOutage(p.Network().Links[links[0]].BP, 1, 5))
+	eng, err := NewChaosEngine(p, sched, DefaultRecoveryConfig(RecoverRecall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	out, err := reg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsExportDeterminism is the observability analogue of the
+// auction and chaos gates: the exported poc-obs/v1 ledger — counters,
+// histograms with float min/max, timelines, spans on the monotonic
+// step clock — must be byte-identical across runs and across Workers
+// settings. This is the strictest determinism check in the repo: any
+// wall-clock leakage, map-ordered float accumulation, or
+// scheduling-dependent counter anywhere in auction, provision, netsim,
+// core, or chaos shows up here as a byte diff.
+func TestMetricsExportDeterminism(t *testing.T) {
+	base := metricsExport(t, 1)
+	if len(base) == 0 || !bytes.Contains(base, []byte(`"schema":"poc-obs/v1"`)) {
+		t.Fatalf("implausible export:\n%s", base)
+	}
+	// The ledger must actually cover all four instrumented layers —
+	// an empty registry is trivially deterministic.
+	for _, key := range []string{
+		`"auction.runs"`, `"provision.check.computed.c1"`,
+		`"netsim.flows.admitted"`, `"core.epochs"`, `"chaos.escalations"`,
+	} {
+		if !bytes.Contains(base, []byte(key)) {
+			t.Fatalf("export missing %s:\n%s", key, base)
+		}
+	}
+	if again := metricsExport(t, 1); !bytes.Equal(base, again) {
+		t.Fatalf("same inputs, different metrics exports:\n%s\n---\n%s", base, again)
+	}
+	if par := metricsExport(t, 4); !bytes.Equal(base, par) {
+		t.Fatalf("metrics export changed with Workers=4:\n%s\n---\n%s", base, par)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/provision"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
@@ -58,6 +59,14 @@ type Instance struct {
 	// — Check is deterministic, so a hit replays exactly what a fresh
 	// check would compute — it only skips redundant routing work.
 	NoCache bool
+	// Obs, when non-nil, receives the auction's metrics and trace
+	// spans: run/counterfactual spans, check and memo counters, cost
+	// gauges, and per-BP payments. It is forwarded to
+	// RouteOpts.Obs (when that is unset) so feasibility checks record
+	// too. All recording happens in Run's serial sections or through
+	// commutative registry operations, so the export stays
+	// byte-identical across Workers settings.
+	Obs *obs.Registry
 }
 
 // Result reports the auction outcome.
@@ -141,11 +150,18 @@ func (in *Instance) Run() (*Result, error) {
 	if in.RouteOpts.Workers == 0 {
 		in.RouteOpts.Workers = workers
 	}
+	if in.RouteOpts.Obs == nil {
+		in.RouteOpts.Obs = in.Obs
+	}
 	var fc *provision.FeasibilityCache
 	if !in.NoCache {
 		fc = provision.NewFeasibilityCache()
 	}
+	run := in.Obs.StartSpan("auction.run")
+	defer run.End()
+	wd := in.Obs.StartSpan("auction.winner_determination")
 	sel, err := in.selectLinks(-1, nil, in.RouteOpts, fc)
+	wd.End()
 	if err != nil {
 		return nil, fmt.Errorf("auction: winner determination: %w", err)
 	}
@@ -184,6 +200,7 @@ func (in *Instance) Run() (*Result, error) {
 	// so Checks and error selection match the serial run exactly.
 	alts := make([]selection, len(in.Bids))
 	errs := make([]error, len(in.Bids))
+	cf := in.Obs.StartSpan("auction.counterfactuals")
 	if workers <= 1 || len(need) <= 1 {
 		for _, a := range need {
 			alts[a], errs[a] = in.selectLinks(a, sel.set, in.RouteOpts, fc)
@@ -214,6 +231,7 @@ func (in *Instance) Run() (*Result, error) {
 		}
 		wg.Wait()
 	}
+	cf.End()
 	for _, a := range need {
 		if errs[a] != nil {
 			return nil, fmt.Errorf("auction: A(OL−L_%d) empty: %w", a, errs[a])
@@ -239,7 +257,39 @@ func (in *Instance) Run() (*Result, error) {
 		res.CacheHits = int(fc.Hits())
 		res.CacheMisses = int(fc.Misses())
 	}
+	in.record(res, need, fc)
 	return res, nil
+}
+
+// paymentBuckets is the fixed layout for the per-BP payment histogram.
+var paymentBuckets = []float64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+
+// record publishes the auction outcome. It runs after the parallel
+// fan-in, so ordered operations (gauges, per-BP payments) are safe;
+// the memo counters use fc.Len() — the number of distinct link sets
+// checked — rather than the scheduling-dependent hit/miss tallies, so
+// the export is identical for any Workers value.
+func (in *Instance) record(res *Result, need []int, fc *provision.FeasibilityCache) {
+	if in.Obs == nil {
+		return
+	}
+	in.Obs.Add("auction.runs", 1)
+	in.Obs.Add("auction.counterfactuals", int64(len(need)))
+	in.Obs.Add("auction.checks", int64(res.Checks))
+	in.Obs.Set("auction.total_cost", res.TotalCost)
+	in.Obs.Set("auction.virtual_cost", res.VirtualCost)
+	in.Obs.Set("auction.surplus", res.Surplus())
+	in.Obs.Set("auction.selected_links", float64(len(res.Selected)))
+	for _, a := range need {
+		in.Obs.KeyedSet("auction.payment_by_bp", a, res.Payments[a])
+		in.Obs.Observe("auction.payments", paymentBuckets, res.Payments[a])
+	}
+	if fc != nil {
+		entries := int64(fc.Len())
+		in.Obs.Add("auction.memo.lookups", int64(res.Checks))
+		in.Obs.Add("auction.memo.entries", entries)
+		in.Obs.Add("auction.memo.replayed", int64(res.Checks)-entries)
+	}
 }
 
 func (in *Instance) validate() error {

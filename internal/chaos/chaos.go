@@ -6,6 +6,7 @@ import (
 
 	"github.com/public-option/poc/internal/core"
 	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/topo"
 )
 
@@ -16,6 +17,9 @@ type Engine struct {
 	poc      *core.POC
 	schedule Schedule
 	recovery RecoveryConfig
+	// obs is the POC's registry (nil when observability is off). The
+	// engine is strictly serial, so ordered operations are safe.
+	obs *obs.Registry
 
 	// EpochSeconds is simulated wall time per epoch (default 3600);
 	// it is what BillEpoch advances each tick.
@@ -47,6 +51,7 @@ func New(p *core.POC, schedule Schedule, recovery RecoveryConfig) (*Engine, erro
 		poc:          p,
 		schedule:     schedule,
 		recovery:     recovery,
+		obs:          p.Observer(),
 		EpochSeconds: 3600,
 	}, nil
 }
@@ -117,6 +122,7 @@ func (e *Engine) minDelivered() float64 {
 func (e *Engine) apply(ev Event) []netsim.FlowID {
 	fab := e.poc.Fabric()
 	net := e.poc.Network()
+	e.obs.Add("chaos.events."+ev.Kind.String(), 1)
 	switch ev.Kind {
 	case CutLink:
 		if ev.Link < 0 || ev.Link >= len(net.Links) ||
@@ -188,6 +194,7 @@ func (e *Engine) downSorted() []int {
 // recover climbs the policy ladder after a threshold breach and
 // appends any actions taken to the report.
 func (e *Engine) recover(epoch int, rep *Report) error {
+	e.obs.Add("chaos.escalations", 1)
 	if e.recovery.Policy >= Recall {
 		for _, l := range e.downSorted() {
 			if e.poc.Recalled(l) || e.poc.Network().Links[l].BP == topo.VirtualBP {
@@ -201,6 +208,8 @@ func (e *Engine) recover(epoch int, rep *Report) error {
 			}
 			delete(e.down, l)
 			rep.PenaltyIncome += rr.Penalty
+			e.obs.Add("chaos.recalls", 1)
+			e.obs.AddFloat("chaos.penalty_income", rr.Penalty)
 			rep.Actions = append(rep.Actions, Action{
 				Epoch: epoch, Kind: "recall",
 				Detail: fmt.Sprintf("link %d (monthly saving %.4f)", l, rr.MonthlySaving),
@@ -219,7 +228,9 @@ func (e *Engine) recover(epoch int, rep *Report) error {
 		ra, err := e.poc.ReauctionExcluding(e.poc.TrafficMatrix(), exclude)
 		e.lastReauction = epoch
 		e.reauctionsUsed++
+		e.obs.Add("chaos.reauctions.attempted", 1)
 		if err != nil {
+			e.obs.Add("chaos.reauctions.infeasible", 1)
 			// No feasible selection without the down links; record the
 			// attempt (it still consumed a backoff window) and stay on
 			// the degraded fabric.
@@ -234,6 +245,7 @@ func (e *Engine) recover(epoch int, rep *Report) error {
 		e.migrated = true
 		e.migratedLost = ra.FlowsLost
 		rep.Reauctions++
+		e.obs.Add("chaos.reauctions.succeeded", 1)
 		rep.Actions = append(rep.Actions, Action{
 			Epoch: epoch, Kind: "reauction",
 			Detail: fmt.Sprintf("added=%v dropped=%v kept=%d degraded=%d lost=%d",
@@ -364,6 +376,8 @@ func (e *Engine) Run(epochs int) (*Report, error) {
 		rec.FailedLinks = e.poc.Fabric().FailedLinks()
 		rec.Delivered = min
 		rep.Timeline = append(rep.Timeline, rec)
+		e.obs.Append("chaos.delivered_min", min)
+		e.obs.Append("chaos.failed_links", float64(len(rec.FailedLinks)))
 	}
 
 	for _, tl := range series {

@@ -19,6 +19,7 @@ import (
 	"github.com/public-option/poc/internal/edge"
 	"github.com/public-option/poc/internal/market"
 	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/peering"
 	"github.com/public-option/poc/internal/provision"
 	"github.com/public-option/poc/internal/topo"
@@ -45,6 +46,11 @@ type Config struct {
 	// Workers bounds auction parallelism (0 = auto). Results are
 	// bit-identical for any setting.
 	Workers int
+	// Obs, when non-nil, is the deployment's observability registry:
+	// it is threaded through the auction, the provisioned fabric, and
+	// every reauction, and receives per-epoch billing timelines. One
+	// registry per deployment yields one coherent exported ledger.
+	Obs *obs.Registry
 }
 
 // phase tracks lifecycle progress.
@@ -159,6 +165,7 @@ func (p *POC) RunAuction() (*auction.Result, error) {
 		RouteOpts:  p.cfg.RouteOpts,
 		MaxChecks:  p.cfg.MaxChecks,
 		Workers:    p.cfg.Workers,
+		Obs:        p.cfg.Obs,
 	}
 	res, err := inst.Run()
 	if err != nil {
@@ -175,12 +182,17 @@ func (p *POC) Activate() error {
 		return fmt.Errorf("core: activate requires a completed auction")
 	}
 	p.fabric = netsim.New(p.cfg.Network, p.auctionResult.Selected)
+	p.fabric.SetObserver(p.cfg.Obs)
 	p.phase = phaseActive
 	return nil
 }
 
 // Fabric exposes the active data plane (nil before Activate).
 func (p *POC) Fabric() *netsim.Fabric { return p.fabric }
+
+// Observer exposes the deployment's metrics registry (nil when
+// observability is off).
+func (p *POC) Observer() *obs.Registry { return p.cfg.Obs }
 
 // AuctionResult exposes the auction outcome (nil before RunAuction).
 func (p *POC) AuctionResult() *auction.Result { return p.auctionResult }
@@ -328,7 +340,12 @@ func (p *POC) BillEpoch(seconds float64) (*EpochReport, error) {
 	// Costs: prorated auction payments (minus the shares of links
 	// their BPs recalled) + virtual contracts.
 	recalledShare := make([]float64, len(p.auctionResult.Payments))
+	recalledIDs := make([]int, 0, len(p.recalled))
 	for id := range p.recalled {
+		recalledIDs = append(recalledIDs, id)
+	}
+	sort.Ints(recalledIDs)
+	for _, id := range recalledIDs {
 		recalledShare[p.cfg.Network.Links[id].BP] += p.linkPaymentShare(id)
 	}
 	for a, pay := range p.auctionResult.Payments {
@@ -348,11 +365,19 @@ func (p *POC) BillEpoch(seconds float64) (*EpochReport, error) {
 		rep.VirtualCost = vc
 	}
 
-	// Usage per member since the last billing run.
+	// Usage per member since the last billing run. Member-name order
+	// throughout: the usage total, the revenue sum and the ledger
+	// entries are all float-order-sensitive, and map iteration would
+	// make them drift at ULP scale run to run.
 	usage := p.fabric.UsageByEndpoint()
+	names := make([]string, 0, len(p.endpoints))
+	for name := range p.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for name, eid := range p.endpoints {
-		gb := usage[eid] - p.billedGB[name]
+	for _, name := range names {
+		gb := usage[p.endpoints[name]] - p.billedGB[name]
 		if gb < 0 {
 			gb = 0
 		}
@@ -366,7 +391,8 @@ func (p *POC) BillEpoch(seconds float64) (*EpochReport, error) {
 			return nil, err
 		}
 		rep.PricePerGB = plan.PerGB
-		for name, gb := range rep.UsageGB {
+		for _, name := range names {
+			gb := rep.UsageGB[name]
 			if gb == 0 {
 				continue
 			}
@@ -384,5 +410,14 @@ func (p *POC) BillEpoch(seconds float64) (*EpochReport, error) {
 	rep.POCNet = p.ledger.POCBalance(p.ledger.Epoch())
 	p.ledger.CloseEpoch()
 	p.epochs++
+	if o := p.cfg.Obs; o != nil {
+		o.Add("core.epochs", 1)
+		o.AddFloat("core.lease_cost_total", rep.LeaseCost+rep.VirtualCost)
+		o.AddFloat("core.revenue_total", rep.Revenue)
+		o.Append("core.epoch.cost", rep.LeaseCost+rep.VirtualCost)
+		o.Append("core.epoch.revenue", rep.Revenue)
+		o.Append("core.epoch.net", rep.POCNet)
+		o.Append("core.epoch.price_per_gb", rep.PricePerGB)
+	}
 	return rep, nil
 }

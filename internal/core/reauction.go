@@ -82,6 +82,7 @@ func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude map[int]bool) (*Rea
 		RouteOpts:  p.cfg.RouteOpts,
 		MaxChecks:  p.cfg.MaxChecks,
 		Workers:    p.cfg.Workers,
+		Obs:        p.cfg.Obs,
 	}
 	res, err := inst.Run()
 	if err != nil {
@@ -107,6 +108,7 @@ func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude map[int]bool) (*Rea
 	oldFabric := p.fabric
 	oldFlows := oldFabric.Flows()
 	newFabric := netsim.New(p.cfg.Network, res.Selected)
+	newFabric.SetObserver(p.cfg.Obs)
 
 	oldEndpoints := oldFabric.Endpoints()
 	idMap := make(map[netsim.EndpointID]netsim.EndpointID, len(oldEndpoints))
@@ -150,6 +152,12 @@ func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude map[int]bool) (*Rea
 	// volume must reset with them.
 	for name := range p.billedGB {
 		p.billedGB[name] = 0
+	}
+	if o := p.cfg.Obs; o != nil {
+		o.Add("core.reauctions", 1)
+		o.Add("core.reauction.flows_kept", int64(rep.FlowsKept))
+		o.Add("core.reauction.flows_degraded", int64(rep.FlowsDegraded))
+		o.Add("core.reauction.flows_lost", int64(rep.FlowsLost))
 	}
 	return rep, nil
 }

@@ -88,6 +88,11 @@ func (p *POC) RecallLink(linkID int, penaltyRate float64) (*RecallReport, error)
 			rep.Degraded++
 		}
 	}
+	if o := p.cfg.Obs; o != nil {
+		o.Add("core.recalls", 1)
+		o.AddFloat("core.recall_penalty_income", penalty)
+		o.AddFloat("core.recall_monthly_saving", share)
+	}
 	return rep, nil
 }
 

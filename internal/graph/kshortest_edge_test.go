@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestKShortestPathsEdgeCases pins Yen's behavior on the degenerate
+// inputs the provisioning engine can hand it: a k larger than the
+// number of loopless paths that exist, a disconnected source/sink
+// pair, a single-node graph, and parallel edges whose equal costs
+// force a tie-break. Every case runs twice and must return the exact
+// same edge sequences — the auction replays routing decisions, so a
+// tie resolved differently on a second call would change payments.
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+		src   NodeID
+		dst   NodeID
+		k     int
+		// wantEdges is the expected edge-ID sequence per path, in
+		// order. nil means "expect no paths at all".
+		wantEdges [][]EdgeID
+		wantCosts []float64
+	}{
+		{
+			// The diamond has exactly 2 loopless paths; asking for 10
+			// must return both and stop, not loop or pad.
+			name: "k exceeds available paths",
+			build: func() *Graph {
+				g := New(4)
+				g.AddEdge(0, 1, 1, 5) // e0
+				g.AddEdge(1, 3, 1, 5) // e1
+				g.AddEdge(0, 2, 2, 3) // e2
+				g.AddEdge(2, 3, 2, 3) // e3
+				return g
+			},
+			src: 0, dst: 3, k: 10,
+			wantEdges: [][]EdgeID{{0, 1}, {2, 3}},
+			wantCosts: []float64{2, 4},
+		},
+		{
+			name: "disconnected source and sink",
+			build: func() *Graph {
+				g := New(4)
+				g.AddEdge(0, 1, 1, 1) // component {0,1}
+				g.AddEdge(2, 3, 1, 1) // component {2,3}
+				return g
+			},
+			src: 0, dst: 3, k: 3,
+			wantEdges: nil,
+		},
+		{
+			// src == dst in a single-node graph: one trivial path with
+			// no edges and zero cost, regardless of k.
+			name:  "single-node graph",
+			build: func() *Graph { return New(1) },
+			src:   0, dst: 0, k: 5,
+			wantEdges: [][]EdgeID{{}},
+			wantCosts: []float64{0},
+		},
+		{
+			// Two parallel edges with identical cost: both are distinct
+			// loopless paths, and the tie must resolve to the
+			// lower-numbered edge first on every invocation.
+			name: "parallel edges with equal cost",
+			build: func() *Graph {
+				g := New(2)
+				g.AddEdge(0, 1, 3, 1) // e0
+				g.AddEdge(0, 1, 3, 1) // e1, same cost
+				return g
+			},
+			src: 0, dst: 1, k: 4,
+			wantEdges: [][]EdgeID{{0}, {1}},
+			wantCosts: []float64{3, 3},
+		},
+		{
+			// Parallel ties deeper in the graph: the spur step must
+			// surface the equal-cost sibling deterministically too.
+			name: "mid-path parallel tie",
+			build: func() *Graph {
+				g := New(3)
+				g.AddEdge(0, 1, 1, 1) // e0
+				g.AddEdge(1, 2, 2, 1) // e1
+				g.AddEdge(1, 2, 2, 1) // e2, same cost as e1
+				return g
+			},
+			src: 0, dst: 2, k: 4,
+			wantEdges: [][]EdgeID{{0, 1}, {0, 2}},
+			wantCosts: []float64{3, 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			for run := 0; run < 2; run++ {
+				ps := g.KShortestPaths(tc.src, tc.dst, tc.k, nil)
+				if len(ps) != len(tc.wantEdges) {
+					t.Fatalf("run %d: got %d paths, want %d", run, len(ps), len(tc.wantEdges))
+				}
+				for i, p := range ps {
+					if p.Cost != tc.wantCosts[i] {
+						t.Fatalf("run %d: path %d cost = %v, want %v", run, i, p.Cost, tc.wantCosts[i])
+					}
+					if len(p.Edges) != len(tc.wantEdges[i]) {
+						t.Fatalf("run %d: path %d edges = %v, want %v", run, i, p.Edges, tc.wantEdges[i])
+					}
+					for j, eid := range p.Edges {
+						if eid != tc.wantEdges[i][j] {
+							t.Fatalf("run %d: path %d edges = %v, want %v", run, i, p.Edges, tc.wantEdges[i])
+						}
+					}
+					if err := p.Validate(g); err != nil {
+						t.Fatalf("run %d: path %d invalid: %v", run, i, err)
+					}
+				}
+			}
+		})
+	}
+}

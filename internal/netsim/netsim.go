@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/topo"
 )
 
@@ -114,7 +115,20 @@ type Fabric struct {
 	pr      *graph.PointRouter
 	linkFor []int32
 	edgeFor map[int][2]graph.EdgeID
+
+	// obs, when non-nil, receives fabric metrics (flow admission and
+	// reroute outcomes, per-link peak utilization, crossing-index
+	// sizes). The fabric is single-threaded, so ordered registry
+	// operations are safe everywhere.
+	obs *obs.Registry
+	// nFlowIdx / nMcastIdx track the total entry counts of the
+	// crossing indexes so their peaks export without a full scan.
+	nFlowIdx  int
+	nMcastIdx int
 }
+
+// SetObserver attaches a metrics registry to the fabric (nil detaches).
+func (f *Fabric) SetObserver(r *obs.Registry) { f.obs = r }
 
 // New builds a fabric over the network's selected links (nil = all).
 func New(p *topo.POCNetwork, selected map[int]bool) *Fabric {
@@ -218,10 +232,13 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 			Allocated: demandGbps, Class: class}
 		f.nextFlow++
 		f.flows[fl.ID] = fl
+		f.obs.Add("netsim.flows.admitted", 1)
+		f.obs.Add("netsim.flows.local", 1)
 		return fl, nil
 	}
 	path := f.findPath(se.Router, de.Router, demandGbps)
 	if math.IsInf(path.Cost, 1) {
+		f.obs.Add("netsim.flows.rejected", 1)
 		return nil, fmt.Errorf("netsim: no usable path %s→%s", se.Name, de.Name)
 	}
 	alloc := demandGbps
@@ -236,6 +253,7 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 		}
 	}
 	if alloc <= 1e-9 {
+		f.obs.Add("netsim.flows.rejected", 1)
 		return nil, fmt.Errorf("netsim: no capacity on path %s→%s", se.Name, de.Name)
 	}
 	fl := &Flow{ID: f.nextFlow, Src: src, Dst: dst, Demand: demandGbps,
@@ -244,6 +262,7 @@ func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class)
 	f.flows[fl.ID] = fl
 	f.indexFlow(fl)
 	f.recompute(links)
+	f.obs.Add("netsim.flows.admitted", 1)
 	return fl, nil
 }
 
@@ -257,6 +276,7 @@ func (f *Fabric) StopFlow(id FlowID) error {
 	f.unindexFlow(fl)
 	delete(f.flows, id)
 	f.recompute(links)
+	f.obs.Add("netsim.flows.stopped", 1)
 	return nil
 }
 
@@ -270,6 +290,8 @@ func (f *Fabric) indexFlow(fl *Flow) {
 		}
 		set[fl.ID] = struct{}{}
 	}
+	f.nFlowIdx += len(fl.Links)
+	f.obs.SetMax("netsim.crossing.flow_entries_peak", float64(f.nFlowIdx))
 }
 
 // unindexFlow removes a flow's reservation from each link of its path.
@@ -277,6 +299,7 @@ func (f *Fabric) unindexFlow(fl *Flow) {
 	for _, l := range fl.Links {
 		delete(f.flowsOn[l], fl.ID)
 	}
+	f.nFlowIdx -= len(fl.Links)
 }
 
 // indexMcast records a multicast tree's reservation on each tree link.
@@ -289,6 +312,8 @@ func (f *Fabric) indexMcast(m *Multicast) {
 		}
 		set[m.ID] = struct{}{}
 	}
+	f.nMcastIdx += len(m.TreeLinks)
+	f.obs.SetMax("netsim.crossing.mcast_entries_peak", float64(f.nMcastIdx))
 }
 
 // unindexMcast removes a multicast tree's reservation from each link.
@@ -296,6 +321,7 @@ func (f *Fabric) unindexMcast(m *Multicast) {
 	for _, l := range m.TreeLinks {
 		delete(f.mcastsOn[l], m.ID)
 	}
+	f.nMcastIdx -= len(m.TreeLinks)
 }
 
 // recompute rebuilds the residual capacity of the given logical links
@@ -329,6 +355,9 @@ func (f *Fabric) recompute(links []int) {
 			used += f.mcasts[MulticastID(id)].Gbps
 		}
 		f.resid[l] = f.net.Links[l].Capacity - used
+		if f.obs != nil && used > 0 {
+			f.obs.KeyedMax("netsim.link_peak_util", l, used/f.net.Links[l].Capacity)
+		}
 	}
 }
 
@@ -386,6 +415,7 @@ func (f *Fabric) FailLinks(links []int) []FlowID {
 	if len(newly) == 0 {
 		return nil
 	}
+	f.obs.Add("netsim.links.failed", int64(len(newly)))
 	return f.rerouteCrossing(func(fl *Flow) bool {
 		for _, l := range fl.Links {
 			if newly[l] {
@@ -408,17 +438,18 @@ func (f *Fabric) RepairLink(link int) []FlowID {
 // re-upgrade pass. Entries that are not failed are skipped; nil is
 // returned when nothing was repaired.
 func (f *Fabric) RepairLinks(links []int) []FlowID {
-	repaired := false
+	repaired := 0
 	for _, link := range links {
 		if link < 0 || link >= len(f.net.Links) || !f.failed[link] {
 			continue
 		}
 		delete(f.failed, link)
-		repaired = true
+		repaired++
 	}
-	if !repaired {
+	if repaired == 0 {
 		return nil
 	}
+	f.obs.Add("netsim.links.repaired", int64(repaired))
 	return f.rerouteCrossing(func(fl *Flow) bool { return fl.Allocated < fl.Demand-1e-9 })
 }
 
@@ -539,6 +570,23 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 			}
 		}
 	}
+	if f.obs != nil && len(victims) > 0 {
+		var full, degraded, dropped int
+		for _, fl := range victims {
+			switch {
+			case fl.Allocated >= fl.Demand-1e-9:
+				full++
+			case fl.Allocated > 1e-9:
+				degraded++
+			default:
+				dropped++
+			}
+		}
+		f.obs.Add("netsim.reroutes.flows", int64(len(victims)))
+		f.obs.Add("netsim.reroutes.full", int64(full))
+		f.obs.Add("netsim.reroutes.degraded", int64(degraded))
+		f.obs.Add("netsim.reroutes.dropped", int64(dropped))
+	}
 	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
 	return changed
 }
@@ -561,8 +609,16 @@ func (f *Fabric) Tick(seconds float64) error {
 // (both sides' providers carry it, matching the paper's "paying for
 // all traffic carried from and to them").
 func (f *Fabric) UsageByEndpoint() map[EndpointID]float64 {
+	// Flow-ID order: the per-endpoint totals are float accumulations,
+	// and map order would shift them at ULP scale run to run.
+	ids := make([]int, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
 	out := map[EndpointID]float64{}
-	for _, fl := range f.flows {
+	for _, id := range ids {
+		fl := f.flows[FlowID(id)]
 		out[fl.Src] += fl.TransferredGB
 		out[fl.Dst] += fl.TransferredGB
 	}

@@ -1,0 +1,453 @@
+// Package obs is the zero-dependency observability layer: a metrics
+// registry (counters, gauges, histograms with fixed bucket layouts),
+// per-epoch timeline recorders, and lightweight trace spans.
+//
+// Everything in this package is built around one invariant: the
+// exported JSON must be byte-identical across runs and across Workers
+// settings. That rules out wall clocks, float accumulation order, and
+// anything scheduling-dependent. The rules, which every caller must
+// respect, are:
+//
+//   - Commutative operations — Add (integer counters), Observe
+//     (integer bucket increments plus min/max), SetMax, and KeyedMax —
+//     may be called from parallel sections: integer addition and max
+//     are order-independent, so any interleaving yields the same
+//     state.
+//   - Order-dependent operations — Set (gauges), AddFloat (float
+//     accumulators), Append (timelines), and StartSpan — must only be
+//     called from serial orchestration code. Float addition is not
+//     associative, timelines and spans are ordered.
+//   - Histograms store integer bucket counts, a total count, and a
+//     running min/max. They do not keep a float sum: summing float
+//     observations in scheduling order would break bit-identity.
+//   - Spans use a registry-level monotonic step counter instead of
+//     wall clocks, so traces order causally and replay identically.
+//   - Nothing derived from Workers, GOMAXPROCS, hostnames, or time
+//     may be recorded.
+//
+// Every method is nil-safe: a nil *Registry turns the entire layer
+// into no-ops costing one branch per call site, so instrumented hot
+// paths pay nothing when observability is off.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Schema identifies the export format; bump on breaking changes.
+const Schema = "poc-obs/v1"
+
+// Registry is one metrics namespace. A single registry is threaded
+// through every layer of a deployment so the export is one coherent
+// ledger. The zero value is ready to use; so is nil (as a no-op).
+type Registry struct {
+	mu sync.Mutex
+
+	counters map[string]*int64 // atomic adds, commutative
+	floats   map[string]float64
+	gauges   map[string]float64
+	maxima   map[string]float64
+	hists    map[string]*histogram
+	keyed    map[string]map[int]float64
+	lines    map[string][]float64
+	spans    []Span
+	step     uint64 // monotonic span clock
+	open     []int  // stack of open span indexes
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// histogram is a fixed-layout histogram: counts[i] counts
+// observations v <= buckets[i]; counts[len(buckets)] is the overflow
+// bucket. Only integers and min/max are kept — no float sum.
+type histogram struct {
+	buckets []float64
+	counts  []int64
+	count   int64
+	min     float64
+	max     float64
+}
+
+// Span is one trace interval on the registry's monotonic step clock.
+type Span struct {
+	Name  string `json:"name"`
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	Depth int    `json:"depth"`
+}
+
+// Add increments an integer counter. Commutative: safe from parallel
+// sections.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = make(map[string]*int64)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(int64)
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	atomic.AddInt64(c, delta)
+}
+
+// Counter returns a counter's current value (0 if never written).
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c)
+}
+
+// AddFloat accumulates into a float. Float addition is not
+// associative: serial sections only.
+func (r *Registry) AddFloat(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.floats == nil {
+		r.floats = make(map[string]float64)
+	}
+	r.floats[name] += v
+	r.mu.Unlock()
+}
+
+// Float returns a float accumulator's current value.
+func (r *Registry) Float(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.floats[name]
+}
+
+// Set writes a gauge (last write wins). Order-dependent: serial
+// sections only.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]float64)
+	}
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge returns a gauge's current value.
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// SetMax raises a running maximum. Max is commutative: safe from
+// parallel sections.
+func (r *Registry) SetMax(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.maxima == nil {
+		r.maxima = make(map[string]float64)
+	}
+	if old, ok := r.maxima[name]; !ok || v > old {
+		r.maxima[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Observe records a value into a fixed-layout histogram. The layout
+// is bound on the first call for a name; later calls must pass the
+// same layout (it is ignored). Bucket increments and min/max are
+// commutative: safe from parallel sections.
+func (r *Registry) Observe(name string, buckets []float64, v float64) {
+	if r == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		panic("obs: NaN observation for " + name)
+	}
+	r.mu.Lock()
+	if r.hists == nil {
+		r.hists = make(map[string]*histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &histogram{
+			buckets: append([]float64(nil), buckets...),
+			counts:  make([]int64, len(buckets)+1),
+			min:     math.Inf(1),
+			max:     math.Inf(-1),
+		}
+		r.hists[name] = h
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.count++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	r.mu.Unlock()
+}
+
+// KeyedMax raises a per-key running maximum (e.g. per-link peak
+// utilization). Commutative: safe from parallel sections.
+func (r *Registry) KeyedMax(name string, key int, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.keyed == nil {
+		r.keyed = make(map[string]map[int]float64)
+	}
+	m, ok := r.keyed[name]
+	if !ok {
+		m = make(map[int]float64)
+		r.keyed[name] = m
+	}
+	if old, ok := m[key]; !ok || v > old {
+		m[key] = v
+	}
+	r.mu.Unlock()
+}
+
+// KeyedSet writes a per-key value (last write wins), sharing storage
+// with KeyedMax — use exactly one of the two per name. Ordered:
+// serial sections only.
+func (r *Registry) KeyedSet(name string, key int, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.keyed == nil {
+		r.keyed = make(map[string]map[int]float64)
+	}
+	m, ok := r.keyed[name]
+	if !ok {
+		m = make(map[int]float64)
+		r.keyed[name] = m
+	}
+	m[key] = v
+	r.mu.Unlock()
+}
+
+// Append records the next point of a timeline (one value per epoch).
+// Ordered: serial sections only.
+func (r *Registry) Append(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		panic("obs: NaN timeline point for " + name)
+	}
+	r.mu.Lock()
+	if r.lines == nil {
+		r.lines = make(map[string][]float64)
+	}
+	r.lines[name] = append(r.lines[name], v)
+	r.mu.Unlock()
+}
+
+// Timeline returns a copy of a timeline's points.
+func (r *Registry) Timeline(name string) []float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.lines[name]...)
+}
+
+// SpanHandle closes one span opened by StartSpan.
+type SpanHandle struct {
+	r   *Registry
+	idx int
+}
+
+// StartSpan opens a trace span on the monotonic step clock and
+// returns a handle whose End closes it. Spans are ordered: serial
+// orchestration code only. Nest freely; End in LIFO order.
+func (r *Registry) StartSpan(name string) SpanHandle {
+	if r == nil {
+		return SpanHandle{}
+	}
+	r.mu.Lock()
+	r.step++
+	r.spans = append(r.spans, Span{Name: name, Start: r.step, Depth: len(r.open)})
+	idx := len(r.spans) - 1
+	r.open = append(r.open, idx)
+	r.mu.Unlock()
+	return SpanHandle{r: r, idx: idx}
+}
+
+// End closes the span. Safe on the zero handle (from a nil registry).
+func (s SpanHandle) End() {
+	if s.r == nil {
+		return
+	}
+	r := s.r
+	r.mu.Lock()
+	r.step++
+	r.spans[s.idx].End = r.step
+	if n := len(r.open); n > 0 && r.open[n-1] == s.idx {
+		r.open = r.open[:n-1]
+	}
+	r.mu.Unlock()
+}
+
+// histExport is the JSON shape of one histogram.
+type histExport struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []int64   `json:"counts"`
+	Count   int64     `json:"count"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+}
+
+// Export is the JSON shape of a registry snapshot. encoding/json
+// sorts map keys, so marshaling an Export is deterministic.
+type Export struct {
+	Schema     string                     `json:"schema"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+	Floats     map[string]float64         `json:"floats,omitempty"`
+	Gauges     map[string]float64         `json:"gauges,omitempty"`
+	Maxima     map[string]float64         `json:"maxima,omitempty"`
+	Histograms map[string]histExport      `json:"histograms,omitempty"`
+	Keyed      map[string]map[int]float64 `json:"keyed,omitempty"`
+	Timelines  map[string][]float64       `json:"timelines,omitempty"`
+	Spans      []Span                     `json:"spans,omitempty"`
+}
+
+// snapshot copies the registry into its export shape.
+func (r *Registry) snapshot() Export {
+	e := Export{Schema: Schema}
+	if r == nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		e.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			e.Counters[k] = atomic.LoadInt64(c)
+		}
+	}
+	if len(r.floats) > 0 {
+		e.Floats = make(map[string]float64, len(r.floats))
+		for k, v := range r.floats {
+			e.Floats[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		e.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			e.Gauges[k] = v
+		}
+	}
+	if len(r.maxima) > 0 {
+		e.Maxima = make(map[string]float64, len(r.maxima))
+		for k, v := range r.maxima {
+			e.Maxima[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		e.Histograms = make(map[string]histExport, len(r.hists))
+		for k, h := range r.hists {
+			he := histExport{
+				Buckets: append([]float64(nil), h.buckets...),
+				Counts:  append([]int64(nil), h.counts...),
+				Count:   h.count,
+			}
+			if h.count > 0 {
+				he.Min, he.Max = h.min, h.max
+			}
+			e.Histograms[k] = he
+		}
+	}
+	if len(r.keyed) > 0 {
+		e.Keyed = make(map[string]map[int]float64, len(r.keyed))
+		for k, m := range r.keyed {
+			cp := make(map[int]float64, len(m))
+			for key, v := range m {
+				cp[key] = v
+			}
+			e.Keyed[k] = cp
+		}
+	}
+	if len(r.lines) > 0 {
+		e.Timelines = make(map[string][]float64, len(r.lines))
+		for k, v := range r.lines {
+			e.Timelines[k] = append([]float64(nil), v...)
+		}
+	}
+	if len(r.spans) > 0 {
+		e.Spans = append([]Span(nil), r.spans...)
+	}
+	return e
+}
+
+// MarshalJSON renders the registry deterministically: identical
+// recorded state yields identical bytes.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.snapshot())
+}
+
+// WriteJSON writes the indented deterministic export.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.Marshal(r.snapshot())
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, b, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// WriteFile writes the export to a file.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close %s: %w", path, err)
+	}
+	return nil
+}

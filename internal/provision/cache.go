@@ -20,6 +20,9 @@ type CacheSummary struct {
 	// MaxUtilization is the highest used/capacity ratio of the base
 	// routing.
 	MaxUtilization float64
+	// Paths counts the path assignments of the routing the check kept
+	// (base routing, or the degraded routing for Constraint3).
+	Paths int
 }
 
 // FeasibilityCache memoizes Check outcomes across the near-identical
@@ -96,9 +99,17 @@ func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include map[int]bool, tm *
 		return e.sum.Feasible, e.sum
 	}
 	fc.misses.Add(1)
-	feasible, r := Check(p, include, tm, c, opts)
-	sum := CacheSummary{Feasible: feasible, Unplaced: r.Unplaced, MaxUtilization: r.MaxUtilization(p)}
-	fc.store(key, cacheEntry{sum: sum})
+	// Compute with Obs stripped: whether this goroutine or a racing
+	// one performs the routing is scheduling luck, so metrics are
+	// recorded per distinct memo entry (insert win) instead — the set
+	// of distinct keys probed is Workers-invariant.
+	stripped := opts
+	stripped.Obs = nil
+	feasible, r := Check(p, include, tm, c, stripped)
+	sum := summarize(p, feasible, r)
+	if fc.store(key, cacheEntry{sum: sum}) {
+		recordCheck(opts.Obs, c, sum)
+	}
 	return feasible, sum
 }
 
@@ -118,19 +129,27 @@ func (fc *FeasibilityCache) CheckCore(p *topo.POCNetwork, include map[int]bool, 
 		return e.sum.Feasible, e.core
 	}
 	fc.misses.Add(1)
-	feasible, core := CheckCore(p, include, tm, c, opts)
-	fc.store(key, cacheEntry{sum: CacheSummary{Feasible: feasible}, core: core})
+	stripped := opts
+	stripped.Obs = nil
+	feasible, core, sum := checkCore(p, include, tm, c, stripped)
+	if fc.store(key, cacheEntry{sum: sum, core: core}) {
+		recordCheck(opts.Obs, c, sum)
+	}
 	return feasible, core
 }
 
 // store writes an entry, never downgrading one that already has a
-// core (two goroutines may race to fill the same key).
-func (fc *FeasibilityCache) store(key string, e cacheEntry) {
+// core (two goroutines may race to fill the same key). It reports
+// whether the key was new — the metrics layer records exactly once
+// per distinct entry, so racing double-computes never double-count.
+func (fc *FeasibilityCache) store(key string, e cacheEntry) bool {
 	fc.mu.Lock()
-	if old, ok := fc.m[key]; !ok || old.core == nil {
+	old, existed := fc.m[key]
+	if !existed || old.core == nil {
 		fc.m[key] = e
 	}
 	fc.mu.Unlock()
+	return !existed
 }
 
 // key builds the canonical, collision-free cache key.

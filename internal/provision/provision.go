@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
 )
@@ -85,6 +86,15 @@ type Options struct {
 	// only reorders the scenario sweep — the verdict is bit-identical
 	// to the serial one.
 	Workers int
+	// Obs, when non-nil, receives per-check metrics (verdict counts
+	// per constraint, base-routing headroom and path-count
+	// histograms). Recording uses only commutative registry
+	// operations, so checks running in parallel counterfactuals stay
+	// deterministic. The FeasibilityCache strips Obs before computing
+	// and records once per distinct memo entry instead, keeping the
+	// exported counts independent of cache hit/miss scheduling. Obs
+	// never enters cache keys.
+	Obs *obs.Registry
 }
 
 // workerCount resolves the effective parallelism for n independent
@@ -555,8 +565,17 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 			res.Assignments[pair] = kept
 		}
 	}
-	for _, asgs := range res.Assignments {
-		for _, a := range asgs {
+	// Deterministic pair order: Used is a float accumulation, and map
+	// iteration order would perturb the sums at ULP scale run to run —
+	// invisible to feasibility verdicts, but it leaks into exported
+	// utilization metrics, which must be byte-identical.
+	pairs := make([][2]int, 0, len(res.Assignments))
+	for pair := range res.Assignments {
+		pairs = append(pairs, pair)
+	}
+	sortPairs(pairs)
+	for _, pair := range pairs {
+		for _, a := range res.Assignments[pair] {
 			for _, l := range a.Links {
 				res.Used[l] += a.Gbps
 			}
@@ -610,11 +629,60 @@ func PrimaryPathsOpts(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matr
 	return primaries, unreachable
 }
 
+// headroomBuckets is the fixed layout for the capacity-headroom
+// histogram (1 − max link utilization of the routing a check kept).
+var headroomBuckets = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// pathsBuckets is the fixed layout for the paths-per-check histogram.
+var pathsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// recordCheck publishes one feasibility verdict to the registry using
+// commutative operations only (safe from parallel counterfactuals).
+func recordCheck(r *obs.Registry, c Constraint, sum CacheSummary) {
+	if r == nil {
+		return
+	}
+	tag := fmt.Sprintf("c%d", int(c))
+	r.Add("provision.check.computed."+tag, 1)
+	if sum.Feasible {
+		r.Add("provision.check.feasible."+tag, 1)
+		r.Observe("provision.check.headroom", headroomBuckets, 1-sum.MaxUtilization)
+		r.Observe("provision.check.paths", pathsBuckets, float64(sum.Paths))
+	} else {
+		r.Add("provision.check.infeasible."+tag, 1)
+	}
+}
+
+// summarize condenses a check's verdict and kept routing into the
+// memo/metrics summary.
+func summarize(p *topo.POCNetwork, feasible bool, r *Routing) CacheSummary {
+	paths := 0
+	for _, asgs := range r.Assignments {
+		paths += len(asgs)
+	}
+	return CacheSummary{
+		Feasible:       feasible,
+		Unplaced:       r.Unplaced,
+		MaxUtilization: r.MaxUtilization(p),
+		Paths:          paths,
+	}
+}
+
 // Check reports whether the link subset include satisfies the given
 // constraint for tm. The returned Routing is the base (no-failure)
 // routing; for Constraint3 it is the degraded routing.
 func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
 	opts = opts.withDefaults()
+	ok, r := checkRouting(p, include, tm, c, opts)
+	if opts.Obs != nil {
+		recordCheck(opts.Obs, c, summarize(p, ok, r))
+	}
+	return ok, r
+}
+
+// checkRouting is Check without metrics recording; opts must already
+// have defaults applied.
+func checkRouting(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
 	switch c {
 	case Constraint1:
 		r := Route(p, include, tm, opts, nil)
@@ -698,6 +766,18 @@ func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Const
 // core bit-identical to CoreLinks's on feasible sets.
 func CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, map[int]bool) {
 	opts = opts.withDefaults()
+	ok, core, sum := checkCore(p, include, tm, c, opts)
+	if opts.Obs != nil {
+		recordCheck(opts.Obs, c, sum)
+	}
+	return ok, core
+}
+
+// checkCore is CheckCore without metrics recording, additionally
+// returning the same summary a Check on this key would produce (the
+// memo stores it so hits answer either entry point). opts must
+// already have defaults applied.
+func checkCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, map[int]bool, CacheSummary) {
 	core := map[int]bool{}
 	add := func(r *Routing) {
 		for id, used := range r.Used {
@@ -708,17 +788,17 @@ func CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 	}
 	base := Route(p, include, tm, opts, nil)
 	if !base.Feasible() {
-		return false, nil
+		return false, nil, summarize(p, false, base)
 	}
 	add(base)
 	switch c {
 	case Constraint1:
-		return true, core
+		return true, core, summarize(p, true, base)
 
 	case Constraint2:
 		primaries, unreachable := PrimaryPathsOpts(p, include, tm, opts)
 		if len(unreachable) > 0 {
-			return false, nil
+			return false, nil, summarize(p, false, base)
 		}
 		var scenarios []map[int]bool
 		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
@@ -753,30 +833,30 @@ func CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 			}
 			wg.Wait()
 			if infeasible.Load() {
-				return false, nil
+				return false, nil, summarize(p, false, base)
 			}
-			return true, core
+			return true, core, summarize(p, true, base)
 		}
 		for _, failed := range scenarios {
 			r := Route(p, subtract(include, failed, len(p.Links)), tm, opts, nil)
 			if !r.Feasible() {
-				return false, nil
+				return false, nil, summarize(p, false, base)
 			}
 			add(r)
 		}
-		return true, core
+		return true, core, summarize(p, true, base)
 
 	case Constraint3:
 		primaries, unreachable := PrimaryPathsOpts(p, include, tm, opts)
 		if len(unreachable) > 0 {
-			return false, nil
+			return false, nil, summarize(p, false, base)
 		}
 		r := Route(p, include, tm, opts, primaries)
 		if !r.Feasible() {
-			return false, nil
+			return false, nil, summarize(p, false, r)
 		}
 		add(r)
-		return true, core
+		return true, core, summarize(p, true, r)
 
 	default:
 		panic(fmt.Sprintf("provision: unknown constraint %d", int(c)))

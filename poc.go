@@ -37,6 +37,7 @@ import (
 	"github.com/public-option/poc/internal/interdomain"
 	"github.com/public-option/poc/internal/market"
 	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/peering"
 	"github.com/public-option/poc/internal/provision"
 	"github.com/public-option/poc/internal/regimesim"
@@ -86,6 +87,22 @@ const (
 	Constraint2 = provision.Constraint2
 	Constraint3 = provision.Constraint3
 )
+
+// Observability.
+type (
+	// Observer is the deterministic metrics registry: one instance is
+	// threaded through every layer of a deployment (auction,
+	// provisioning, fabric, billing, chaos) and exports a
+	// byte-identical JSON ledger across runs and Workers settings.
+	Observer = obs.Registry
+	// TraceSpan is one exported trace interval on the monotonic step
+	// clock.
+	TraceSpan = obs.Span
+)
+
+// NewObserver returns an empty metrics registry ready to pass via
+// ScenarioOptions.Obs or OperatorConfig.Obs.
+func NewObserver() *Observer { return obs.New() }
 
 // Auction.
 type (

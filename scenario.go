@@ -44,6 +44,11 @@ type ScenarioOptions struct {
 	// ISPs "attach to the POC in multiple locations" and uses them as
 	// the bound on collusion gains).
 	DenseVirtual bool
+	// Obs, when non-nil, is threaded through every layer built from
+	// this scenario — auctions, POC deployments, their fabrics and
+	// chaos engines — so one registry collects the whole experiment.
+	// Nil (the default) makes the entire observability layer a no-op.
+	Obs *Observer
 }
 
 // Scenario is an assembled experiment: topology, demand, bids and
@@ -148,6 +153,7 @@ func (s *Scenario) Instance(c Constraint, maxChecks int) *AuctionInstance {
 		Constraint: c,
 		RouteOpts:  s.RouteOptions(),
 		MaxChecks:  maxChecks,
+		Obs:        s.Opts.Obs,
 	}
 }
 
@@ -172,5 +178,6 @@ func (s *Scenario) NewPOC(c Constraint) (*Operator, error) {
 		RouteOpts:     s.RouteOptions(),
 		ReserveMargin: 0.02,
 		Workers:       s.Opts.Workers,
+		Obs:           s.Opts.Obs,
 	})
 }
