@@ -34,6 +34,7 @@ import (
 	"time"
 
 	poc "github.com/public-option/poc"
+	"github.com/public-option/poc/internal/analysis"
 	"github.com/public-option/poc/internal/econ"
 	"github.com/public-option/poc/internal/interdomain"
 	"github.com/public-option/poc/internal/peering"
@@ -57,8 +58,10 @@ func main() {
 	stop := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
 	defer stop()
 
+	w := newStopwatch()
+
 	if *jsonOut {
-		if err := benchJSON(*scale, *checks, *workers, *metrics); err != nil {
+		if err := benchJSON(w, *scale, *checks, *workers, *metrics); err != nil {
 			log.Fatalf("json: %v", err)
 		}
 		return
@@ -69,11 +72,11 @@ func main() {
 			return
 		}
 		fmt.Printf("==== %s ====\n", name)
-		start := time.Now()
+		w.lap()
 		if err := fn(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", name, w.lap().Round(time.Millisecond))
 	}
 
 	run("fig2", func() error { return fig2(*scale, *checks) })
@@ -87,6 +90,29 @@ func main() {
 	run("entry", entry)
 	run("regimes", regimes)
 	run("baseline", baseline)
+}
+
+// stopwatch derives every wall-time report in the command from one
+// captured time.Now pair: a single start sample, with each lap and the
+// total read as time.Since deltas against it. Wall time is reporting
+// only — it never feeds experiment state or the metrics ledger
+// (poclint's walltime analyzer holds that line in internal/).
+type stopwatch struct {
+	start time.Time
+	last  time.Duration
+}
+
+func newStopwatch() *stopwatch { return &stopwatch{start: time.Now()} }
+
+// total returns the wall time since the watch started.
+func (w *stopwatch) total() time.Duration { return time.Since(w.start) }
+
+// lap returns the wall time since the previous lap (or the start).
+func (w *stopwatch) lap() time.Duration {
+	now := w.total()
+	d := now - w.last
+	w.last = now
+	return d
 }
 
 // benchRow is one constraint's timed auction run in BENCH_auction.json.
@@ -107,31 +133,34 @@ type benchRow struct {
 // CI and the EXPERIMENTS.md tables consume. With a metrics path it
 // additionally threads an observability registry through all three
 // runs and writes the poc-obs/v1 ledger alongside the bench rows.
-func benchJSON(scale float64, checks, workers int, metrics string) error {
+func benchJSON(w *stopwatch, scale float64, checks, workers int, metrics string) error {
 	var reg *poc.Observer
 	if metrics != "" {
 		reg = poc.NewObserver()
+		reg.SetMeta("poclint", analysis.Version)
 	}
 	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale, Obs: reg})
 	if err != nil {
 		return err
 	}
 	out := struct {
+		Poclint    string     `json:"poclint"`
 		Scale      float64    `json:"scale"`
 		MaxChecks  int        `json:"max_checks"`
 		Workers    int        `json:"workers"`
 		GOMAXPROCS int        `json:"gomaxprocs"`
+		WallMs     int64      `json:"wall_ms"`
 		Rows       []benchRow `json:"rows"`
-	}{Scale: scale, MaxChecks: checks, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}{Poclint: analysis.Version, Scale: scale, MaxChecks: checks, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for c := poc.Constraint1; c <= poc.Constraint3; c++ {
 		inst := s.Instance(c, checks)
 		inst.Workers = workers
-		start := time.Now()
+		w.lap()
 		res, err := inst.Run()
 		if err != nil {
 			return fmt.Errorf("constraint#%d: %w", int(c), err)
 		}
-		elapsed := time.Since(start)
+		elapsed := w.lap()
 		row := benchRow{
 			Constraint:  int(c),
 			NsPerOp:     elapsed.Nanoseconds(),
@@ -149,6 +178,7 @@ func benchJSON(scale float64, checks, workers int, metrics string) error {
 		fmt.Printf("constraint#%d: %v, %d checks (%.1f%% cached), C(SL)=%.0f\n",
 			int(c), elapsed.Round(time.Millisecond), res.Checks, 100*row.CacheHitRate, res.TotalCost)
 	}
+	out.WallMs = w.total().Milliseconds()
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

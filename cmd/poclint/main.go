@@ -1,0 +1,20 @@
+// Command poclint is the repo's invariant checker: a go vet tool
+// whose analyzers mechanize the determinism and safety rules the
+// evaluation pipeline depends on (byte-identical output across runs
+// and Workers settings). Run it over the tree with
+//
+//	go build -o /tmp/poclint ./cmd/poclint
+//	go vet -vettool=/tmp/poclint ./...
+//
+// which is exactly what the CI lint job does. The analyzers —
+// mapordfloat, seededrand, walltime, obsguard, floatsum — are
+// documented in DESIGN.md §9 and implemented in internal/analysis.
+// Sanctioned exceptions carry a `//lint:allow <analyzer> <reason>`
+// comment on or above the flagged line.
+package main
+
+import "github.com/public-option/poc/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All...)
+}

@@ -32,10 +32,26 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"sort"
+	"time"
 
 	poc "github.com/public-option/poc"
+	"github.com/public-option/poc/internal/analysis"
 	"github.com/public-option/poc/internal/provision"
 )
+
+// stopwatch derives every wall-time report in the command from one
+// captured time.Now pair: a single start sample, with the total read
+// as a time.Since delta against it. Wall time is reporting only — it
+// never feeds simulation state or the metrics ledger (poclint's
+// walltime analyzer holds that line in internal/).
+type stopwatch struct {
+	start time.Time
+}
+
+func newStopwatch() *stopwatch { return &stopwatch{start: time.Now()} }
+
+// total returns the wall time since the watch started.
+func (w *stopwatch) total() time.Duration { return time.Since(w.start) }
 
 func main() {
 	log.SetFlags(0)
@@ -57,9 +73,15 @@ func main() {
 	stop := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
 	defer stop()
 
+	w := newStopwatch()
+
 	var reg *poc.Observer
 	if *metrics != "" {
 		reg = poc.NewObserver()
+		// Tag the ledger with the lint baseline the tree passed when
+		// this binary was built — a constant, so the export stays
+		// byte-identical across runs.
+		reg.SetMeta("poclint", analysis.Version)
 	}
 
 	if *constraint < 1 || *constraint > 3 {
@@ -72,6 +94,7 @@ func main() {
 		}
 		runChaos(*scale, *seed, *policy, ep, *workers, reg)
 		writeMetrics(reg, *metrics)
+		fmt.Printf("wall:     %v\n", w.total().Round(time.Millisecond))
 		return
 	}
 
@@ -174,6 +197,7 @@ func main() {
 	}
 	fmt.Printf("ledger:   conservation %.6f (must be 0)\n", op.Ledger().Conservation())
 	writeMetrics(reg, *metrics)
+	fmt.Printf("wall:     %v\n", w.total().Round(time.Millisecond))
 }
 
 // writeMetrics exports the observability ledger when -metrics is set.

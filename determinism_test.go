@@ -4,6 +4,11 @@ import (
 	"bytes"
 	"math"
 	"testing"
+
+	"github.com/public-option/poc/internal/federation"
+	"github.com/public-option/poc/internal/interdomain"
+	"github.com/public-option/poc/internal/netsim"
+	"github.com/public-option/poc/internal/topo"
 )
 
 // TestAuctionDeterminismAcrossWorkers is the regression gate for the
@@ -246,6 +251,125 @@ func TestMetricsExportDeterminism(t *testing.T) {
 	}
 	if par := metricsExport(t, 4); !bytes.Equal(base, par) {
 		t.Fatalf("metrics export changed with Workers=4:\n%s\n---\n%s", base, par)
+	}
+}
+
+// TestSortedIterationDeterminism pins the poclint mapordfloat fixes
+// that changed bytes: interdomain.TransitBill and
+// federation.SegmentUsage now accumulate in sorted-ID order instead of
+// map order. Each result must be bit-identical to a reference sum
+// folded explicitly in ascending ID order AND bit-identical across
+// repeated calls — with ULP-sensitive addends, either reverting to map
+// iteration almost surely breaks one of the two. (The third fixed
+// accumulation, core.linkPaymentShare, is covered byte-wise by
+// TestChaosReportDeterminism through the RecoverRecall ladder.)
+func TestSortedIterationDeterminism(t *testing.T) {
+	// interdomain: a star AS graph — src and 24 stubs all buy transit
+	// from AS 100, so every destination rides a billable provider route.
+	it := interdomain.NewTopology()
+	src := interdomain.ASN(1)
+	if err := it.AddCustomerProvider(src, 100); err != nil {
+		t.Fatal(err)
+	}
+	volume := map[interdomain.ASN]float64{}
+	for i := 0; i < 24; i++ {
+		dst := interdomain.ASN(200 + i)
+		if err := it.AddCustomerProvider(dst, 100); err != nil {
+			t.Fatal(err)
+		}
+		// Non-dyadic addends whose float sum depends on fold order.
+		volume[dst] = 0.1*float64(i+1) + 0.013/float64(i+3)
+	}
+	const price = 0.37
+	ref := 0.0
+	for i := 0; i < 24; i++ {
+		ref += volume[interdomain.ASN(200+i)] * price
+	}
+	bill, err := it.TransitBill(src, volume, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill != ref {
+		t.Fatalf("TransitBill = %v, want ascending-ASN fold %v (iteration order regressed)", bill, ref)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := it.TransitBill(src, volume, price)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != bill {
+			t.Fatalf("TransitBill drifted between calls: %v then %v", bill, again)
+		}
+	}
+
+	// federation: two line POCs, several ULP-sensitive cross flows.
+	line := func() *netsim.Fabric {
+		p := &topo.POCNetwork{
+			World:   &topo.World{Cities: make([]topo.City, 3)},
+			BPs:     make([]topo.BP, 2),
+			Routers: []int{0, 1, 2},
+		}
+		for i := 0; i < 2; i++ {
+			p.Links = append(p.Links, topo.LogicalLink{
+				ID: i, BP: i, A: i, B: i + 1, Capacity: 10, DistanceKm: 100,
+			})
+		}
+		return netsim.New(p, nil)
+	}
+	fa, fb := line(), line()
+	srcEp, err := fa.Attach("lmp-west", netsim.LMPEndpoint, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstEp, err := fb.Attach("lmp-east", netsim.LMPEndpoint, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := federation.New()
+	a, err := fed.AddMember("poc-a", fa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fed.AddMember("poc-b", fb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Connect(a, 2, b, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, gbps := range []float64{0.7, 1.1, 1.3, 1.7, 2.3} {
+		if _, err := fed.StartCrossFlow(a, srcEp, b, dstEp, gbps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa.Tick(137)
+	fb.Tick(137)
+	// Reference: fold transferred GB explicitly in flow-ID order (what
+	// CrossFlows returns), per member.
+	refUsage := map[federation.MemberID]float64{}
+	ma, _ := fed.Member(a)
+	mb, _ := fed.Member(b)
+	for _, cf := range fed.CrossFlows() {
+		if fl, err := ma.Fabric.Flow(cf.SrcSegment); err == nil {
+			refUsage[cf.SrcMember] += fl.TransferredGB
+		}
+		if fl, err := mb.Fabric.Flow(cf.DstSegment); err == nil {
+			refUsage[cf.DstMember] += fl.TransferredGB
+		}
+	}
+	base := fed.SegmentUsage()
+	for m, want := range refUsage {
+		if base[m] != want {
+			t.Fatalf("SegmentUsage[%d] = %v, want flow-ID-order fold %v (iteration order regressed)", m, base[m], want)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		again := fed.SegmentUsage()
+		for m, v := range base {
+			if again[m] != v {
+				t.Fatalf("SegmentUsage[%d] drifted between calls: %v then %v", m, v, again[m])
+			}
+		}
 	}
 }
 

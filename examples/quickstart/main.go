@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	poc "github.com/public-option/poc"
 )
@@ -87,8 +88,13 @@ func main() {
 	}
 	fmt.Printf("billing:  lease cost %.2f, revenue %.2f, POC net %.2f (price %.5f/GB)\n",
 		rep.LeaseCost+rep.VirtualCost, rep.Revenue, rep.POCNet, rep.PricePerGB)
-	for name, gb := range rep.UsageGB {
-		if gb > 0 {
+	names := make([]string, 0, len(rep.UsageGB))
+	for name := range rep.UsageGB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if gb := rep.UsageGB[name]; gb > 0 {
 			fmt.Printf("  %-10s %8.0f GB → charged %.2f\n", name, gb, rep.MemberCharge[name])
 		}
 	}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// parseAllows extracts every //lint:allow directive from files.
+// Malformed directives (no analyzer, or no reason) are returned
+// separately so the driver can report them: an exception without a
+// recorded reason is itself an invariant violation.
+func parseAllows(fset *token.FileSet, files []*ast.File) (ok []allowDirective, malformed []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, found := strings.CutPrefix(c.Text, "//lint:allow")
+				if !found {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					malformed = append(malformed, Diagnostic{
+						Pos: pos, Analyzer: "poclint",
+						Message: "malformed //lint:allow: missing analyzer name",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos: pos, Analyzer: "poclint",
+						Message: "//lint:allow " + fields[0] + " needs a reason",
+					})
+					continue
+				}
+				ok = append(ok, allowDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return ok, malformed
+}
+
+// applyAllows drops diagnostics sanctioned by a //lint:allow directive
+// for the same analyzer on the same line or the line directly above,
+// appends diagnostics for malformed directives, and returns the result
+// sorted by position.
+func applyAllows(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	allows, malformed := parseAllows(fset, files)
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	idx := make(map[key]bool, len(allows))
+	for _, a := range allows {
+		idx[key{a.file, a.line, a.analyzer}] = true
+	}
+	type at struct {
+		file      string
+		line, col int
+		analyzer  string
+	}
+	seen := map[at]bool{}
+	kept := diags[:0]
+	for _, d := range diags {
+		if idx[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			idx[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		// Overlapping checks within one analyzer (e.g. a channel-range
+		// accumulator inside a goroutine) may hit the same statement
+		// twice; report each site once.
+		k := at{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, d)
+	}
+	kept = append(kept, malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}

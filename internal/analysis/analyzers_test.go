@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each analyzer gets a testdata package holding positive cases (pinned
+// by // want comments), negative cases (sanctioned idioms with no
+// want, which the harness rejects if they trigger), and //lint:allow
+// suppressions. The maplab package deliberately encodes the three PR 3
+// map-order bugs (provision.Route used-capacity, netsim
+// UsageByEndpoint, core.BillEpoch) so that re-introducing any of them
+// is caught by shape, not by memory.
+
+func TestMapOrdFloat(t *testing.T) { expectWants(t, MapOrdFloat, "maplab") }
+
+func TestSeededRand(t *testing.T) { expectWants(t, SeededRand, "seedlab") }
+
+func TestSeededRandExemptsCmd(t *testing.T) { expectClean(t, SeededRand, "cmd/seedfree") }
+
+func TestWallTime(t *testing.T) { expectWants(t, WallTime, "internal/walllab") }
+
+func TestWallTimeOnlyInternal(t *testing.T) { expectClean(t, WallTime, "clocksok") }
+
+func TestObsGuardPackage(t *testing.T) { expectWants(t, ObsGuard, "obslab/obs") }
+
+func TestObsGuardConsumer(t *testing.T) { expectWants(t, ObsGuard, "obslab/consumer") }
+
+func TestFloatSum(t *testing.T) { expectWants(t, FloatSum, "floatlab") }
+
+// TestAllowDirectiveErrors pins the directive grammar: missing
+// analyzer and missing reason are diagnostics in their own right
+// (attributed to "poclint", not to any analyzer), while the
+// well-formed directive in the same package suppresses its finding.
+func TestAllowDirectiveErrors(t *testing.T) {
+	diags, _ := runAnalyzer(t, MapOrdFloat, "allowlab")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-directive reports:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "poclint" {
+			t.Errorf("%s: attributed to %q, want poclint", d, d.Analyzer)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "missing analyzer name") {
+		t.Errorf("first diagnostic %q, want missing-analyzer report", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "needs a reason") {
+		t.Errorf("second diagnostic %q, want missing-reason report", diags[1].Message)
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum flags float reductions whose term order is decided by the
+// scheduler rather than by data: accumulating into captured state
+// from inside a `go func` literal, ranging over a channel into a
+// float accumulator, and folding channel receives directly into a
+// float. Even under a mutex the result is race-free yet
+// nondeterministic — float addition is not associative, so the sum
+// lands on different ULPs depending on which goroutine got there
+// first, exactly the drift the Workers-invariance gate forbids.
+//
+// The sanctioned shape is the one the auction's parallel winner
+// determination uses: give each goroutine its own index slot
+// (results[i] = …, a plain assignment, never flagged) and reduce the
+// slice serially in index order after wg.Wait().
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "float reduction in goroutine/channel order is scheduler-dependent; merge per-index results serially",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineBody(pass, lit)
+				}
+			case *ast.RangeStmt:
+				if isChanType(pass.TypeOf(x.X)) {
+					checkChanRangeBody(pass, x)
+				}
+			case *ast.AssignStmt:
+				checkRecvFold(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody flags compound float assignment to variables
+// captured from outside the goroutine's function literal.
+func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[st.Tok] {
+			return true
+		}
+		for _, lhs := range st.Lhs {
+			if !isFloat(pass.TypeOf(lhs)) {
+				continue
+			}
+			if pass.declaredWithin(lhs, lit.Pos(), lit.End()) {
+				continue // goroutine-local accumulator
+			}
+			pass.Reportf(st.Pos(),
+				"float accumulation into captured %s from a goroutine is scheduling-ordered (even under a lock); write a per-goroutine index slot and reduce serially",
+				exprString(lhs))
+		}
+		return true
+	})
+}
+
+// checkChanRangeBody flags float accumulation inside `for v := range ch`.
+func checkChanRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[st.Tok] {
+			return true
+		}
+		for _, lhs := range st.Lhs {
+			if !isFloat(pass.TypeOf(lhs)) {
+				continue
+			}
+			if pass.declaredWithin(lhs, rs.Pos(), rs.End()) {
+				continue
+			}
+			pass.Reportf(st.Pos(),
+				"float accumulation into %s in channel-receive order is scheduler-dependent; collect into index slots and reduce serially",
+				exprString(lhs))
+		}
+		return true
+	})
+}
+
+// checkRecvFold flags `x op= <-ch` and `x = x + <-ch` folds.
+func checkRecvFold(pass *Pass, st *ast.AssignStmt) {
+	fold := compoundOps[st.Tok]
+	if !fold && st.Tok == token.ASSIGN && len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		if bin, ok := st.Rhs[0].(*ast.BinaryExpr); ok && arithmeticOp(bin.Op) &&
+			(sameExpr(bin.X, st.Lhs[0]) || sameExpr(bin.Y, st.Lhs[0])) {
+			fold = true
+		}
+	}
+	if !fold || len(st.Lhs) == 0 || !isFloat(pass.TypeOf(st.Lhs[0])) {
+		return
+	}
+	for _, rhs := range st.Rhs {
+		if containsChanRecv(rhs) {
+			pass.Reportf(st.Pos(),
+				"folding channel receives into %s sums in arrival order; collect into index slots and reduce serially",
+				exprString(st.Lhs[0]))
+			return
+		}
+	}
+}
+
+func containsChanRecv(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrdFloat flags statements whose result depends on Go's randomized
+// map iteration order in a way that perturbs float values or emitted
+// bytes: the exact bug class PR 3 had to hunt by hand in
+// provision.Route (per-link used-capacity), netsim.UsageByEndpoint
+// (per-endpoint totals) and core.BillEpoch (billing sums).
+//
+// Inside the body of a `for ... range m` over a map it reports:
+//
+//   - compound float accumulation (+=, -=, *=, /=, or x = x ± ...)
+//     into state declared outside the loop. Float addition is not
+//     associative, so the sum shifts at ULP scale with key order —
+//     invisible to verdicts, fatal to byte-identical exports.
+//   - append of float-typed values to a slice declared outside the
+//     loop: the element order (and any later reduction or emission of
+//     it) inherits map order.
+//   - fmt print calls (Print/Printf/Println/Fprint*…): emitted bytes
+//     inherit map order directly.
+//
+// The sanctioned pattern is to collect the keys, sort, and range over
+// the sorted slice — which is not a map range and so is never
+// flagged. Writes of the form m2[k] op= v where k is exactly the
+// range key are also exempt: each key is touched once, so no
+// cross-iteration float op ever reorders.
+var MapOrdFloat = &Analyzer{
+	Name: "mapordfloat",
+	Doc:  "float accumulation or output ordered by map iteration breaks byte-determinism",
+	Run:  runMapOrdFloat,
+}
+
+func runMapOrdFloat(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, ok := typeAsMap(pass.TypeOf(rs.X)); !ok {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true // nested map ranges report their own bodies
+		})
+	}
+	return nil
+}
+
+func typeAsMap(t types.Type) (*types.Map, bool) {
+	if t == nil {
+		return nil, false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return m, ok
+}
+
+// checkMapRangeBody walks one map-range body (excluding nested map
+// ranges, which are inspected as their own roots).
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	keyObj := rangeKeyObj(pass, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs {
+			if _, isMap := typeAsMap(pass.TypeOf(inner.X)); isMap {
+				return false
+			}
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, keyObj, st)
+		case *ast.CallExpr:
+			if name, ok := fmtPrintCall(pass, st); ok {
+				pass.Reportf(st.Pos(),
+					"fmt.%s inside range over map: output order follows map iteration; range over sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// rangeKeyObj returns the object bound to the range key, if it is a
+// plain identifier.
+func rangeKeyObj(pass *Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+func checkAssign(pass *Pass, rs *ast.RangeStmt, keyObj types.Object, st *ast.AssignStmt) {
+	// append(outerFloats, ...) in any assignment position.
+	for _, rhs := range st.Rhs {
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && len(call.Args) > 0 {
+			slice := call.Args[0]
+			// Only slices that resolve to state declared outside the
+			// loop accumulate order; fresh slices ([]float64(nil),
+			// make(...)) and loop-locals are rebuilt per iteration.
+			root := rootIdent(slice)
+			if root == nil || pass.ObjectOf(root) == nil {
+				continue
+			}
+			if elemIsFloat(pass.TypeOf(slice)) && !pass.declaredWithin(slice, rs.Pos(), rs.End()) {
+				pass.Reportf(st.Pos(),
+					"append to float slice %s inside range over map: element order follows map iteration; range over sorted keys instead",
+					exprString(slice))
+			}
+		}
+	}
+
+	switch {
+	case compoundOps[st.Tok]:
+		for _, lhs := range st.Lhs {
+			reportFloatAccum(pass, rs, keyObj, st, lhs)
+		}
+	case st.Tok == token.ASSIGN && len(st.Lhs) == 1 && len(st.Rhs) == 1:
+		// x = x ± expr (and expr ± x): spelled-out accumulation.
+		if bin, ok := st.Rhs[0].(*ast.BinaryExpr); ok && arithmeticOp(bin.Op) {
+			if sameExpr(bin.X, st.Lhs[0]) || sameExpr(bin.Y, st.Lhs[0]) {
+				reportFloatAccum(pass, rs, keyObj, st, st.Lhs[0])
+			}
+		}
+	}
+}
+
+func reportFloatAccum(pass *Pass, rs *ast.RangeStmt, keyObj types.Object, st *ast.AssignStmt, lhs ast.Expr) {
+	if !isFloat(pass.TypeOf(lhs)) {
+		return // integer ops are associative; only floats drift
+	}
+	if pass.declaredWithin(lhs, rs.Pos(), rs.End()) {
+		return // loop-local accumulator, reset every iteration
+	}
+	// m2[k] op= v with k the range key: one write per key, no
+	// cross-iteration reordering.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+		if id, ok := ix.Index.(*ast.Ident); ok && pass.ObjectOf(id) == keyObj {
+			return
+		}
+	}
+	pass.Reportf(st.Pos(),
+		"float accumulation into %s ordered by map iteration drifts at ULP scale; range over sorted keys instead",
+		exprString(lhs))
+}
+
+func arithmeticOp(op token.Token) bool {
+	return op == token.ADD || op == token.SUB || op == token.MUL || op == token.QUO
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func elemIsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isFloat(s.Elem())
+}
+
+// fmtPrintCall reports calls to fmt's byte-emitting functions.
+func fmtPrintCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name, ok := pass.pkgFunc(sel.Sel, "fmt")
+	if !ok {
+		return "", false
+	}
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return name, true
+	}
+	return "", false
+}
+
+// sameExpr reports whether two expressions are syntactically
+// identical identifier/selector/index chains (enough to recognize
+// `x = x + v` accumulators; anything fancier is out of scope).
+func sameExpr(a, b ast.Expr) bool {
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(x.X, y.X) && sameExpr(x.Index, y.Index)
+	case *ast.ParenExpr:
+		return sameExpr(x.X, b)
+	}
+	if y, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(a, y.X)
+	}
+	return false
+}
+
+// exprString renders a short lvalue for the message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(…)"
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	}
+	return "expression"
+}

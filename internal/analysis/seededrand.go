@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeededRand flags use of math/rand's process-global generator in
+// library code. The global source is seeded per process (randomly
+// since Go 1.20), so any draw from it makes output differ run to run.
+// Deterministic code must thread an explicitly seeded *rand.Rand from
+// configuration (the topo.ZooConfig.Seed / chaos schedule pattern):
+// rand.New(rand.NewSource(seed)) is the sanctioned constructor and is
+// not flagged, and methods on a *rand.Rand value are always fine.
+//
+// cmd/ and examples/ are exempt: binaries may roll dice, the fabric
+// may not.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "math/rand globals are process-seeded; thread an explicitly seeded *rand.Rand",
+	Applies: func(path string) bool {
+		return !hasSegment(path, "cmd") && !hasSegment(path, "examples")
+	},
+	Run: runSeededRand,
+}
+
+// randAllowed are the package-level constructors that produce an
+// explicitly seeded generator rather than drawing from the global one.
+var randAllowed = map[string]bool{
+	// math/rand
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := pass.pkgFunc(sel.Sel, pkg); ok && !randAllowed[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global source; thread an explicitly seeded *rand.Rand from config", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

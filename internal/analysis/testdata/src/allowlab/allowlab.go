@@ -1,0 +1,19 @@
+// Package allowlab exercises the //lint:allow directive grammar: a
+// directive without an analyzer name or without a reason is itself a
+// diagnostic (exceptions must be attributable), while a well-formed
+// directive suppresses exactly its analyzer on its line.
+package allowlab
+
+//lint:allow
+// the bare directive above is missing its analyzer name
+
+//lint:allow mapordfloat
+// the directive above names an analyzer but gives no reason
+
+func total(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v //lint:allow mapordfloat demo tolerance recorded here
+	}
+	return t
+}

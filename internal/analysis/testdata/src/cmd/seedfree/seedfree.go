@@ -1,0 +1,9 @@
+// Package main sits under a cmd/ path segment, where seededrand does
+// not apply: binaries may roll dice.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Int()
+}

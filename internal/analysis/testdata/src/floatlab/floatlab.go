@@ -1,0 +1,71 @@
+// Package floatlab exercises the floatsum analyzer: scheduler-ordered
+// float reductions are flagged, the per-index-slot merge pattern the
+// auction uses is not.
+package floatlab
+
+import "sync"
+
+func goroutineAccum(vals []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		for _, v := range vals {
+			sum += v // want "scheduling-ordered"
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+func chanAccum(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch {
+		total += v // want "channel-receive order"
+	}
+	return total
+}
+
+func recvFold(ch chan float64, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += <-ch // want "arrival order"
+	}
+	return total
+}
+
+func spelledFold(ch chan float64) float64 {
+	total := 0.0
+	total = total + <-ch // want "arrival order"
+	return total
+}
+
+// indexSlots is the sanctioned shape: one slot per goroutine, plain
+// assignment, serial reduction after the barrier.
+func indexSlots(parts [][]float64) float64 {
+	results := make([]float64, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := 0.0
+			for _, v := range parts[i] {
+				local += v // goroutine-local accumulator
+			}
+			results[i] = local // index slot, never flagged
+		}(i)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, v := range results {
+		total += v // serial slice reduction
+	}
+	return total
+}
+
+func allowed(ch chan float64) float64 {
+	t := 0.0
+	t += <-ch //lint:allow floatsum single producer, arrival order fixed by protocol
+	return t
+}

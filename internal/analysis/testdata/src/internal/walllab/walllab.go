@@ -1,0 +1,29 @@
+// Package walllab sits under an internal/ path segment, so walltime
+// applies: clock reads are flagged, duration arithmetic is not.
+package walllab
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().Unix() // want "wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall clock"
+}
+
+func ticker() {
+	_ = time.NewTicker(time.Second) // want "wall clock"
+}
+
+func scale(d time.Duration) time.Duration {
+	return 2 * d // duration arithmetic stays legal
+}
+
+func parse(s string) (time.Duration, error) {
+	return time.ParseDuration(s) // not a clock read
+}
+
+func allowed() time.Time {
+	return time.Now() //lint:allow walltime boundary shim, value never reaches exported state
+}

@@ -1,0 +1,24 @@
+// Package consumer exercises obsguard's consumer side: dereferencing
+// a pointer to an obs type copies its mutex and panics when
+// observability is off; calling its nil-safe methods is the sanctioned
+// pattern.
+package consumer
+
+import "obslab/obs"
+
+func copyRegistry(r *obs.Registry) obs.Registry {
+	return *r // want "copies its mutex"
+}
+
+func instrument(r *obs.Registry) int64 {
+	r.Add(1)
+	return r.Count()
+}
+
+func derefOther(p *int) int {
+	return *p // not an obs type
+}
+
+func allowed(r *obs.Registry) obs.Registry {
+	return *r //lint:allow obsguard caller proved r non-nil two lines up
+}

@@ -1,0 +1,55 @@
+// Package obs mimics the real observability registry's nil-safety
+// contract for the obsguard testdata: a nil *Registry is "observability
+// off", so every exported pointer method must guard the receiver or
+// delegate to a method that does.
+package obs
+
+import "sync"
+
+// Registry is the convention type: Add anchors the nil-safety
+// convention with its leading guard.
+type Registry struct {
+	mu   sync.Mutex
+	n    int64
+	name string
+}
+
+// Add guards the nil receiver before first use — the convention anchor.
+func (r *Registry) Add(delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.n += delta
+	r.mu.Unlock()
+}
+
+// Count is transitively safe: its only receiver use delegates to a
+// guarded sibling (the MarshalJSON → snapshot pattern).
+func (r *Registry) Count() int64 {
+	return r.total()
+}
+
+func (r *Registry) total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Name touches the receiver with no guard and no safe delegation.
+func (r *Registry) Name() string { // want "uses the receiver without a nil guard"
+	return r.name
+}
+
+// Snapshot has a value receiver: calling it through a nil pointer
+// dereferences the pointer before the body can guard anything.
+func (r Registry) Snapshot() int64 { // want "value receiver on a nil-safe type"
+	return r.n
+}
+
+// reset is unguarded but unexported: call sites inside the package own
+// the nil check, so it is not flagged.
+func (r *Registry) reset() {
+	r.n = 0
+}

@@ -1,0 +1,34 @@
+// Package seedlab exercises the seededrand analyzer: global draws are
+// flagged, explicitly seeded generators and their methods are not.
+package seedlab
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10) // want "process-global source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global source"
+}
+
+func norm() float64 {
+	return rand.NormFloat64() // want "process-global source"
+}
+
+// seeded is the sanctioned pattern: an explicit source from config,
+// then methods on the local generator.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func zipf(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.2, 1, 100)
+	return z.Uint64()
+}
+
+func allowed() int {
+	return rand.Int() //lint:allow seededrand jitter only affects log spacing, not state
+}

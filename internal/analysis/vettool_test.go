@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVetToolCleanTree is the meta-gate: it builds cmd/poclint and
+// runs it over the whole module through the real `go vet -vettool`
+// protocol, asserting the tree is invariant-clean. This is the same
+// invocation CI runs; a reverted map-order fix or a new wall-clock
+// read in internal/ fails this test locally before it fails the lint
+// job.
+func TestVetToolCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module and vets every package")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+	bin := filepath.Join(t.TempDir(), "poclint")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/poclint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building poclint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=poclint ./... failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallTime flags wall-clock reads in internal/ packages. Simulated
+// time advances through BillEpoch/Tick arguments and the obs
+// registry's monotonic step counter is the only sanctioned trace
+// clock; a time.Now anywhere in the fabric, auction, billing, chaos
+// or export paths would leak scheduling time into state that must be
+// byte-identical across runs. cmd/ and examples/ report wall time to
+// humans and are exempt (gated by path, not by this analyzer).
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall clocks in internal/ break run-to-run determinism; use epoch args or the obs step clock",
+	Applies: func(path string) bool {
+		return hasSegment(path, "internal")
+	},
+	Run: runWallTime,
+}
+
+// wallClockFuncs are time's wall/monotonic-clock reads. Duration
+// arithmetic and constants remain legal; only sampling the clock is
+// not.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "After": true, "AfterFunc": true,
+}
+
+func runWallTime(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pass.pkgFunc(sel.Sel, "time"); ok && wallClockFuncs[name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in deterministic code; advance simulated time explicitly or use the obs step clock", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

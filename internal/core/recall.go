@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/public-option/poc/internal/edge"
 	"github.com/public-option/poc/internal/market"
@@ -102,8 +103,15 @@ func (p *POC) linkPaymentShare(linkID int) float64 {
 	link := p.cfg.Network.Links[linkID]
 	bp := link.BP
 	weight := func(l topo.LogicalLink) float64 { return l.Capacity * l.DistanceKm }
-	total := 0.0
+	// Link-ID order: the share denominator is a float accumulation,
+	// and map iteration would perturb payment splits at ULP scale.
+	ids := make([]int, 0, len(p.auctionResult.Selected))
 	for id := range p.auctionResult.Selected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	total := 0.0
+	for _, id := range ids {
 		l := p.cfg.Network.Links[id]
 		if l.BP == bp && !p.recalled[id] {
 			total += weight(l)

@@ -256,8 +256,16 @@ func (f *Federation) CrossFlows() []CrossFlow {
 // federation flows (each member bills its own customers for its own
 // carriage).
 func (f *Federation) SegmentUsage() map[MemberID]float64 {
+	// Flow-ID order: per-member totals are float accumulations, and
+	// map iteration would shift them at ULP scale run to run.
+	ids := make([]int, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
 	out := map[MemberID]float64{}
-	for _, cf := range f.flows {
+	for _, id := range ids {
+		cf := f.flows[CrossFlowID(id)]
 		if fl, err := f.members[cf.SrcMember].Fabric.Flow(cf.SrcSegment); err == nil {
 			out[cf.SrcMember] += fl.TransferredGB
 		}

@@ -266,8 +266,17 @@ func (t *Topology) Reachable(src ASN) []ASN {
 // CustomerOf) cost money; customer and peer routes are revenue/free —
 // the §2.1 economics of the status quo.
 func (t *Topology) TransitBill(src ASN, volume map[ASN]float64, pricePerUnit float64) (float64, error) {
+	// Destination-ASN order: the bill is a float accumulation, and map
+	// iteration would drift it at ULP scale run to run.
+	dsts := make([]int, 0, len(volume))
+	for dst := range volume {
+		dsts = append(dsts, int(dst))
+	}
+	sort.Ints(dsts)
 	total := 0.0
-	for dst, v := range volume {
+	for _, d := range dsts {
+		dst := ASN(d)
+		v := volume[dst]
 		if v < 0 {
 			return 0, fmt.Errorf("interdomain: negative volume to AS %d", dst)
 		}

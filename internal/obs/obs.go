@@ -51,6 +51,7 @@ const Schema = "poc-obs/v1"
 type Registry struct {
 	mu sync.Mutex
 
+	meta     map[string]string // static run labels, set from serial code
 	counters map[string]*int64 // atomic adds, commutative
 	floats   map[string]float64
 	gauges   map[string]float64
@@ -83,6 +84,22 @@ type Span struct {
 	Start uint64 `json:"start"`
 	End   uint64 `json:"end"`
 	Depth int    `json:"depth"`
+}
+
+// SetMeta attaches a static label to the export (tool versions, lint
+// baselines). Values must themselves be deterministic — never a
+// timestamp or hostname. Last write per key wins; set from serial
+// orchestration code only.
+func (r *Registry) SetMeta(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.meta == nil {
+		r.meta = make(map[string]string)
+	}
+	r.meta[key] = value
+	r.mu.Unlock()
 }
 
 // Add increments an integer counter. Commutative: safe from parallel
@@ -337,6 +354,7 @@ type histExport struct {
 // sorts map keys, so marshaling an Export is deterministic.
 type Export struct {
 	Schema     string                     `json:"schema"`
+	Meta       map[string]string          `json:"meta,omitempty"`
 	Counters   map[string]int64           `json:"counters,omitempty"`
 	Floats     map[string]float64         `json:"floats,omitempty"`
 	Gauges     map[string]float64         `json:"gauges,omitempty"`
@@ -355,6 +373,12 @@ func (r *Registry) snapshot() Export {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.meta) > 0 {
+		e.Meta = make(map[string]string, len(r.meta))
+		for k, v := range r.meta {
+			e.Meta[k] = v
+		}
+	}
 	if len(r.counters) > 0 {
 		e.Counters = make(map[string]int64, len(r.counters))
 		for k, c := range r.counters {

@@ -113,9 +113,16 @@ func newLive(p *topo.POCNetwork, include, failed map[int]bool, avoid map[[2]int]
 		lr.banned[id] = true
 	}
 	// Rebuild residuals from the assignments (the throwaway router
-	// inside Route owned the originals).
-	for _, asgs := range r.Assignments {
-		for _, a := range asgs {
+	// inside Route owned the originals). Deterministic pair order:
+	// the residuals are float accumulations, and map iteration would
+	// perturb every later packing decision at ULP scale.
+	pairs := make([][2]int, 0, len(r.Assignments))
+	for pair := range r.Assignments {
+		pairs = append(pairs, pair)
+	}
+	sortPairs(pairs)
+	for _, pair := range pairs {
+		for _, a := range r.Assignments[pair] {
 			for _, l := range a.Links {
 				lr.rt.resid[l] -= a.Gbps
 			}
@@ -219,10 +226,19 @@ type repairUndo struct {
 	added   map[[2]int]int
 }
 
-// rollback undoes the repair.
+// rollback undoes the repair. Pair order is sorted on both passes:
+// the residual rebuilds are float accumulations, and rolling back in
+// map order would leave resid at different ULPs than the forward
+// repair path computed, compounding across repair attempts.
 func (u *repairUndo) rollback() {
 	lr := u.lr
-	for pair, n := range u.added {
+	added := make([][2]int, 0, len(u.added))
+	for pair := range u.added {
+		added = append(added, pair)
+	}
+	sortPairs(added)
+	for _, pair := range added {
+		n := u.added[pair]
 		asgs := lr.asg[pair]
 		for _, a := range asgs[len(asgs)-n:] {
 			for _, l := range a.Links {
@@ -231,8 +247,13 @@ func (u *repairUndo) rollback() {
 		}
 		lr.asg[pair] = asgs[:len(asgs)-n]
 	}
-	for pair, removed := range u.removed {
-		for _, a := range removed {
+	removedPairs := make([][2]int, 0, len(u.removed))
+	for pair := range u.removed {
+		removedPairs = append(removedPairs, pair)
+	}
+	sortPairs(removedPairs)
+	for _, pair := range removedPairs {
+		for _, a := range u.removed[pair] {
 			for _, l := range a.Links {
 				lr.rt.resid[l] -= a.Gbps
 			}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -92,7 +93,7 @@ func ParseGML(w *World, r io.Reader, defaultCapGbps float64) (Network, error) {
 				return Network{}, fmt.Errorf("topo: edge references unknown node %d or %d", src, dst)
 			}
 			capGbps := parseFloatOr(edgeList, "LinkSpeed", defaultCapGbps)
-			if capGbps <= 0 {
+			if capGbps <= 0 || math.IsNaN(capGbps) {
 				capGbps = defaultCapGbps
 			}
 			net.Links = append(net.Links, PhysLink{A: a, B: b, Capacity: capGbps})

@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzGMLParse drives ParseGML with arbitrary documents. For any
+// input the parser must return cleanly (no panic, no runaway state);
+// for every document it accepts, the network must be structurally
+// sound — sorted, deduplicated sites, links between registered sites,
+// positive-or-Inf capacities — and must survive a WriteGML → ParseGML
+// round trip with identical sites and link endpoints. The round trip
+// is gated on names the emitter can spell: the tokenizer strips #
+// comments before quote handling, so labels containing '#', '"' or
+// newlines cannot be re-read from emitted GML.
+func FuzzGMLParse(f *testing.F) {
+	seeds := []string{
+		// Minimal valid TopologyZoo-style document.
+		"graph [\n  label \"seed\"\n  node [ id 0 label \"a\" Latitude 1.5 Longitude 2.5 ]\n" +
+			"  node [ id 1 label \"b\" ]\n  edge [ source 0 target 1 LinkSpeed 40 ]\n]\n",
+		// Comments, unknown keys, nested unknown lists, missing speeds.
+		"# TopologyZoo export\ngraph [\n  Network \"x\" # trailing comment\n" +
+			"  meta [ created \"never\" nested [ deep 1 ] ]\n" +
+			"  node [ id 3 ]\n  node [ id 7 label \"c\" ]\n  edge [ source 3 target 7 ]\n]\n",
+		// Duplicate node ids and self-loop edge.
+		"graph [ node [ id 0 label \"p\" ] node [ id 0 label \"q\" ] edge [ source 0 target 0 ] ]",
+		// Label the emitter cannot spell (round trip is skipped).
+		"graph [ node [ id 0 label \"has#hash\" ] ]",
+		// Pathological speeds.
+		"graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 LinkSpeed NaN ]\n" +
+			"  edge [ source 1 target 0 LinkSpeed -3 ] ]",
+		// Malformed documents the parser must reject cleanly.
+		"",
+		"graph [",
+		"graph [ ] ]",
+		"graph [ node [ id ] ]",
+		"graph [ node [ id zero ] ]",
+		"graph [ edge [ source 0 target 1 ] ]",
+		"graph [ label \"unterminated\n]",
+		"key [ value",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		w := &World{}
+		net, err := ParseGML(w, strings.NewReader(doc), 10)
+		if err != nil {
+			return // rejected input; only a clean error is required
+		}
+
+		if !sort.IntsAreSorted(net.Sites) {
+			t.Fatalf("sites not sorted: %v", net.Sites)
+		}
+		sites := map[int]bool{}
+		for i, s := range net.Sites {
+			if i > 0 && s == net.Sites[i-1] {
+				t.Fatalf("duplicate site %d: %v", s, net.Sites)
+			}
+			if s < 0 || s >= len(w.Cities) {
+				t.Fatalf("site %d outside the %d registered cities", s, len(w.Cities))
+			}
+			sites[s] = true
+		}
+		for _, l := range net.Links {
+			if !sites[l.A] || !sites[l.B] {
+				t.Fatalf("link %d-%d references an unregistered site (sites %v)", l.A, l.B, net.Sites)
+			}
+			if !(l.Capacity > 0) {
+				t.Fatalf("link %d-%d has non-positive capacity %v", l.A, l.B, l.Capacity)
+			}
+		}
+
+		spellable := func(s string) bool { return !strings.ContainsAny(s, "#\"\n\r") }
+		if !spellable(net.Name) {
+			return
+		}
+		for _, s := range net.Sites {
+			if !spellable(w.Cities[s].Name) {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteGML(w, net, &buf); err != nil {
+			t.Fatalf("WriteGML on a freshly parsed network: %v", err)
+		}
+		net2, err := ParseGML(w, bytes.NewReader(buf.Bytes()), 10)
+		if err != nil {
+			t.Fatalf("round-trip reparse: %v\ndocument:\n%s", err, buf.String())
+		}
+		if len(net2.Sites) != len(net.Sites) {
+			t.Fatalf("round trip changed site count %d -> %d", len(net.Sites), len(net2.Sites))
+		}
+		for i := range net.Sites {
+			if net2.Sites[i] != net.Sites[i] {
+				t.Fatalf("round trip changed sites %v -> %v", net.Sites, net2.Sites)
+			}
+		}
+		if len(net2.Links) != len(net.Links) {
+			t.Fatalf("round trip changed link count %d -> %d", len(net.Links), len(net2.Links))
+		}
+		for i := range net.Links {
+			if net.Links[i].A != net2.Links[i].A || net.Links[i].B != net2.Links[i].B {
+				t.Fatalf("round trip changed link %d endpoints %d-%d -> %d-%d",
+					i, net.Links[i].A, net.Links[i].B, net2.Links[i].A, net2.Links[i].B)
+			}
+		}
+	})
+}
