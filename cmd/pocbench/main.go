@@ -49,6 +49,7 @@ func main() {
 	checks := flag.Int("checks", 0, "winner-determination variant (see auction.Instance.MaxChecks)")
 	workers := flag.Int("workers", 0, "counterfactual winner-determination workers (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "time one auction per constraint and write ns/op, checks, cache hit rate and C(SL) to BENCH_auction.json")
+	provisionOut := flag.Bool("provision", false, "benchmark the provisioning hot path (steady-state Route/CheckCore plus winner determination) and write BENCH_provision.json")
 	metrics := flag.String("metrics", "", "with -json: also write the poc-obs/v1 metrics ledger to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,6 +64,12 @@ func main() {
 	if *jsonOut {
 		if err := benchJSON(w, *scale, *checks, *workers, *metrics); err != nil {
 			log.Fatalf("json: %v", err)
+		}
+		return
+	}
+	if *provisionOut {
+		if err := benchProvision(*scale, *checks, *workers); err != nil {
+			log.Fatalf("provision: %v", err)
 		}
 		return
 	}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	poc "github.com/public-option/poc"
+	"github.com/public-option/poc/internal/analysis"
+	"github.com/public-option/poc/internal/provision"
+)
+
+// provRow is one measured probe in BENCH_provision.json.
+type provRow struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	Checks       int     `json:"checks,omitempty"`
+}
+
+// provPoint is one point on the provisioning bench trajectory: the
+// three probes the auction hot path is made of, at one revision.
+type provPoint struct {
+	Label               string  `json:"label"`
+	Measured            bool    `json:"measured"` // false = embedded baseline
+	Route               provRow `json:"route"`
+	Check               provRow `json:"check"`
+	WinnerDetermination provRow `json:"winner_determination"`
+}
+
+// seedBaseline is the pre-workspace implementation measured on this
+// repo at Scale 0.35 (go test -bench -benchmem, single run): routing
+// and feasibility checks rebuilt the graph per call (map[int]bool link
+// sets), and winner determination is BenchmarkFigure2Constraint1 —
+// one full Constraint-1 auction including every counterfactual.
+var seedBaseline = provPoint{
+	Label: "seed (map link sets, per-call graph build)",
+	Route: provRow{NsPerOp: 3_609_822, AllocsPerOp: 23_877, BytesPerOp: 1_071_168},
+	Check: provRow{NsPerOp: 3_343_158, AllocsPerOp: 23_877, BytesPerOp: 1_071_168},
+	WinnerDetermination: provRow{
+		NsPerOp: 4_874_489_530, AllocsPerOp: 20_059_765, BytesPerOp: 477_231_176,
+	},
+}
+
+func row(r testing.BenchmarkResult) provRow {
+	return provRow{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchProvision measures the provisioning hot path — steady-state
+// Route and CheckCore through one shared Workspace, plus a full
+// winner determination — and writes BENCH_provision.json with the
+// embedded seed baseline as the trajectory's first point.
+func benchProvision(scale float64, checks, workers int) error {
+	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale})
+	if err != nil {
+		return err
+	}
+	opts := s.RouteOptions()
+	opts.Workspace = provision.NewWorkspace(s.Network, opts)
+
+	cur := provPoint{Label: "dense bitsets + reusable workspaces", Measured: true}
+	cur.Route = row(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := provision.Route(s.Network, nil, s.TM, opts, nil)
+			if !r.Feasible() {
+				b.Fatal("full set infeasible")
+			}
+		}
+	}))
+	fmt.Printf("route: %s/op, %d allocs/op\n",
+		formatNs(cur.Route.NsPerOp), cur.Route.AllocsPerOp)
+	cur.Check = row(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ok, _ := provision.CheckCore(s.Network, nil, s.TM, provision.Constraint1, opts)
+			if !ok {
+				b.Fatal("full set infeasible")
+			}
+		}
+	}))
+	fmt.Printf("check: %s/op, %d allocs/op\n",
+		formatNs(cur.Check.NsPerOp), cur.Check.AllocsPerOp)
+
+	var last *poc.AuctionResult
+	cur.WinnerDetermination = row(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inst := s.Instance(poc.Constraint1, checks)
+			inst.Workers = workers
+			res, err := inst.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+	}))
+	if last != nil && last.Checks > 0 {
+		cur.WinnerDetermination.Checks = last.Checks
+		cur.WinnerDetermination.CacheHitRate = float64(last.CacheHits) / float64(last.Checks)
+	}
+	fmt.Printf("winner determination: %s/op, %d allocs/op, %.1f%% cache hits\n",
+		formatNs(cur.WinnerDetermination.NsPerOp), cur.WinnerDetermination.AllocsPerOp,
+		100*cur.WinnerDetermination.CacheHitRate)
+
+	out := struct {
+		Poclint    string             `json:"poclint"`
+		Scale      float64            `json:"scale"`
+		MaxChecks  int                `json:"max_checks"`
+		Workers    int                `json:"workers"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		Trajectory []provPoint        `json:"trajectory"`
+		Speedup    map[string]float64 `json:"speedup"`
+	}{
+		Poclint: analysis.Version, Scale: scale, MaxChecks: checks, Workers: workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Trajectory: []provPoint{seedBaseline, cur},
+		Speedup: map[string]float64{
+			"route":                ratio(seedBaseline.Route.NsPerOp, cur.Route.NsPerOp),
+			"check":                ratio(seedBaseline.Check.NsPerOp, cur.Check.NsPerOp),
+			"winner_determination": ratio(seedBaseline.WinnerDetermination.NsPerOp, cur.WinnerDetermination.NsPerOp),
+			"check_allocs":         ratio(seedBaseline.Check.AllocsPerOp, cur.Check.AllocsPerOp),
+		},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_provision.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_provision.json")
+	return nil
+}
+
+func ratio(base, cur int64) float64 {
+	if cur == 0 {
+		return 0
+	}
+	return float64(base) / float64(cur)
+}
+
+func formatNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,197 @@
+package poc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/provision"
+)
+
+// The goldens below were captured on the map[int]bool seed
+// implementation (pre-bitset), hashing every float in full hex
+// precision. The bitset/workspace engine must reproduce them
+// bit-for-bit: the dense LinkSet and the reusable arenas are pure
+// representation changes, so any drift here is a correctness bug,
+// not an acceptable perf trade-off (DESIGN.md §10).
+//
+// Floats hash via strconv.FormatFloat(x, 'x', -1, 64), so the test
+// is exact, not tolerance-based. The scenario generator is seeded;
+// same platform => same paths, same arithmetic, same bytes.
+
+type auctionGolden struct {
+	selected  int
+	checks    int
+	totalCost string
+	virtual   string
+	hash      string
+}
+
+var seedAuctionGoldens = map[Constraint]auctionGolden{
+	Constraint1: {33, 26, "0x1.3e260f546996p+20", "0x0p+00",
+		"cabb77e5286c49f6418adeb166f636e3be593b900e010aef098b3fce73dcada6"},
+	Constraint2: {32, 24, "0x1.52c36be72937ap+20", "0x0p+00",
+		"c41467d8a0738c25a795dec81841b4c1317aeea274cd91d2bb162f7f97557b86"},
+	Constraint3: {33, 24, "0x1.4e7f22666bf02p+20", "0x0p+00",
+		"83dc56513b39397345ec8cc5c38839871dfbf354f95e10bce2c8a10693e89c2a"},
+}
+
+const (
+	seedObsExportLen  = 3174
+	seedObsExportHash = "40ed8921be983569a5fce966fd60a87da03b7e283584c158be5a96723852208d"
+
+	seedRouteAsgCount   = 132
+	seedRouteHash       = "9df7289315c236ff270d1472b887e2d1cc74abc54b33bb9d8615e7cdf7acdd6a"
+	seedRouteSubsetHash = "3cc9ce8f58a919e8988f4ec87f2894a97f29800e358d015684f84a9b82cef048"
+)
+
+func hashAuction(res *AuctionResult) string {
+	var ids []int
+	for id := range res.Selected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		fmt.Fprintf(h, "%d,", id)
+	}
+	var as []int
+	for a := range res.Payments {
+		as = append(as, a)
+	}
+	sort.Ints(as)
+	for _, a := range as {
+		fmt.Fprintf(h, "p%d=%s;a%d=%s;c%d=%s;", a,
+			strconv.FormatFloat(res.Payments[a], 'x', -1, 64), a,
+			strconv.FormatFloat(res.Alternative[a], 'x', -1, 64), a,
+			strconv.FormatFloat(res.BPCost[a], 'x', -1, 64))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func hashAsg(h hash.Hash, asg map[[2]int][]provision.PathAssignment) {
+	var pairs [][2]int
+	for pr := range asg {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pr := range pairs {
+		fmt.Fprintf(h, "%d-%d:", pr[0], pr[1])
+		for _, a := range asg[pr] {
+			fmt.Fprintf(h, "%s:", strconv.FormatFloat(a.Gbps, 'x', -1, 64))
+			for _, l := range a.Links {
+				fmt.Fprintf(h, "%d,", l)
+			}
+			fmt.Fprint(h, ";")
+		}
+	}
+}
+
+func hashRouting(res *provision.Routing) string {
+	h := sha256.New()
+	hashAsg(h, res.Assignments)
+	var ids []int
+	for id := range res.Used {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(h, "u%d=%s;", id, strconv.FormatFloat(res.Used[id], 'x', -1, 64))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestAuctionMatchesSeedGoldens runs winner determination for every
+// constraint at Workers 1 and 4 and requires the exact seed outcome:
+// selection, check count, every payment/alternative/cost float, and
+// the total. Workers=4 shares one workspace across counterfactual
+// goroutines, so this also pins the per-worker arena handoff.
+func TestAuctionMatchesSeedGoldens(t *testing.T) {
+	for c := Constraint1; c <= Constraint3; c++ {
+		want := seedAuctionGoldens[c]
+		for _, workers := range []int{1, 4} {
+			s, err := NewScenario(ScenarioOptions{Scale: 0.12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst := s.Instance(c, 0)
+			inst.Workers = workers
+			res, err := inst.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Selected) != want.selected {
+				t.Errorf("%v workers=%d: selected %d links, seed selected %d",
+					c, workers, len(res.Selected), want.selected)
+			}
+			if res.Checks != want.checks {
+				t.Errorf("%v workers=%d: %d checks, seed ran %d",
+					c, workers, res.Checks, want.checks)
+			}
+			if got := strconv.FormatFloat(res.TotalCost, 'x', -1, 64); got != want.totalCost {
+				t.Errorf("%v workers=%d: total cost %s, seed %s", c, workers, got, want.totalCost)
+			}
+			if got := strconv.FormatFloat(res.VirtualCost, 'x', -1, 64); got != want.virtual {
+				t.Errorf("%v workers=%d: virtual cost %s, seed %s", c, workers, got, want.virtual)
+			}
+			if got := hashAuction(res); got != want.hash {
+				t.Errorf("%v workers=%d: outcome hash %s, seed %s", c, workers, got, want.hash)
+			}
+		}
+	}
+}
+
+// TestObsExportMatchesSeedGolden pins the full deterministic metrics
+// export (auction + fabric counters serialized to canonical JSON)
+// byte-for-byte against the seed.
+func TestObsExportMatchesSeedGolden(t *testing.T) {
+	out := metricsExport(t, 1)
+	if len(out) != seedObsExportLen {
+		t.Errorf("export length %d, seed %d", len(out), seedObsExportLen)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(out)); got != seedObsExportHash {
+		t.Errorf("export hash %s, seed %s", got, seedObsExportHash)
+	}
+}
+
+// TestRouteMatchesSeedGolden pins a full greedy routing — every path,
+// split and used-capacity float — on the complete link set and on a
+// strict subset (the bitset include path).
+func TestRouteMatchesSeedGolden(t *testing.T) {
+	s, err := NewScenario(ScenarioOptions{Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := provision.Route(s.Network, nil, s.TM, provision.Options{}, nil)
+	if len(res.Assignments) != seedRouteAsgCount || res.Unplaced != 0 {
+		t.Errorf("asg=%d unplaced=%v, seed asg=%d unplaced=0",
+			len(res.Assignments), res.Unplaced, seedRouteAsgCount)
+	}
+	if got := hashRouting(res); got != seedRouteHash {
+		t.Errorf("route hash %s, seed %s", got, seedRouteHash)
+	}
+
+	include := linkset.New(len(s.Network.Links))
+	for id := range s.Network.Links {
+		if id%7 != 0 {
+			include.Add(id)
+		}
+	}
+	res2 := provision.Route(s.Network, include, s.TM, provision.Options{}, nil)
+	if len(res2.Assignments) != seedRouteAsgCount || res2.Unplaced != 0 || res2.Ejected != 0 {
+		t.Errorf("subset asg=%d unplaced=%v ejected=%v, seed asg=%d unplaced=0 ejected=0",
+			len(res2.Assignments), res2.Unplaced, res2.Ejected, seedRouteAsgCount)
+	}
+	if got := hashRouting(res2); got != seedRouteSubsetHash {
+		t.Errorf("subset route hash %s, seed %s", got, seedRouteSubsetHash)
+	}
+}

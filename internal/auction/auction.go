@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/provision"
 	"github.com/public-option/poc/internal/topo"
@@ -166,7 +167,7 @@ func (in *Instance) Run() (*Result, error) {
 		return nil, fmt.Errorf("auction: winner determination: %w", err)
 	}
 	res := &Result{
-		Selected:    sel.set,
+		Selected:    sel.set.ToMap(),
 		TotalCost:   sel.cost,
 		BPCost:      make([]float64, len(in.Bids)),
 		Payments:    make([]float64, len(in.Bids)),
@@ -249,7 +250,7 @@ func (in *Instance) Run() (*Result, error) {
 		res.Payments[a] = pay
 	}
 	for _, v := range in.Virtual {
-		if sel.set[v.LinkID] {
+		if sel.set.Contains(v.LinkID) {
 			res.VirtualCost += v.ContractPrice
 		}
 	}
@@ -336,11 +337,11 @@ func (in *Instance) validate() error {
 // linksByBP partitions a selected set into per-BP sorted link lists
 // following the bids (not link ownership, so withheld links never
 // count).
-func (in *Instance) linksByBP(set map[int]bool) [][]int {
+func (in *Instance) linksByBP(set *linkset.Set) [][]int {
 	out := make([][]int, len(in.Bids))
 	for a, b := range in.Bids {
 		for _, id := range b.Links {
-			if set[id] {
+			if set.Contains(id) {
 				out[a] = append(out[a], id)
 			}
 		}
@@ -351,7 +352,7 @@ func (in *Instance) linksByBP(set map[int]bool) [][]int {
 
 // costOf evaluates C(L) for a candidate set: Σ_a C_a(L ∩ L_a) plus
 // virtual contract prices.
-func (in *Instance) costOf(set map[int]bool) float64 {
+func (in *Instance) costOf(set *linkset.Set) float64 {
 	total := 0.0
 	for a, links := range in.linksByBP(set) {
 		c := in.Bids[a].Cost(links)
@@ -361,7 +362,7 @@ func (in *Instance) costOf(set map[int]bool) float64 {
 		total += c
 	}
 	for _, v := range in.Virtual {
-		if set[v.LinkID] {
+		if set.Contains(v.LinkID) {
 			total += v.ContractPrice
 		}
 	}
@@ -370,25 +371,25 @@ func (in *Instance) costOf(set map[int]bool) float64 {
 
 // selection is the outcome of one winner determination.
 type selection struct {
-	set    map[int]bool
+	set    *linkset.Set
 	cost   float64
 	checks int
 }
 
 // offered returns the offered link set OL, optionally excluding one
 // BP's links (excludeBP >= 0).
-func (in *Instance) offered(excludeBP int) map[int]bool {
-	ol := map[int]bool{}
+func (in *Instance) offered(excludeBP int) *linkset.Set {
+	ol := linkset.New(len(in.Network.Links))
 	for a, b := range in.Bids {
 		if a == excludeBP {
 			continue
 		}
 		for _, id := range b.Links {
-			ol[id] = true
+			ol.Add(id)
 		}
 	}
 	for _, v := range in.Virtual {
-		ol[v.LinkID] = true
+		ol.Add(v.LinkID)
 	}
 	return ol
 }
@@ -453,7 +454,7 @@ func (in *Instance) priceOfLink() map[int]float64 {
 // so entries are tagged with which of the two produced them: the
 // excluded BP is already captured by the include set in the key, and
 // sharing the warm tag lets counterfactuals reuse each other's checks.
-func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision.Options, fc *provision.FeasibilityCache) (selection, error) {
+func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision.Options, fc *provision.FeasibilityCache) (selection, error) {
 	cur := in.offered(excludeBP)
 	metric := uint64(1) // raw price metric
 	if warm != nil {
@@ -467,17 +468,23 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision
 		base := opts.LinkCost
 		opts.LinkCost = func(l topo.LogicalLink) float64 {
 			c := base(l)
-			if warm[l.ID] {
+			if warm.Contains(l.ID) {
 				c *= bias
 			}
 			return c
 		}
 	}
+	// One workspace per winner determination: its arenas freeze this
+	// determination's routing metric (raw or warm-biased), and every
+	// check below — including the Constraint-2 scenario sweeps and the
+	// shave — draws from the same pool. Counterfactuals run their own
+	// selectLinks, so parallel runs never share a workspace.
+	opts.Workspace = provision.NewWorkspace(in.Network, opts)
 	checks := 0
 	// Every query counts against checks whether or not the memo
 	// answers it: the MaxChecks budget must not depend on cache luck,
 	// so cached and uncached runs take identical decisions.
-	check := func(set map[int]bool, o provision.Options) bool {
+	check := func(set *linkset.Set, o provision.Options) bool {
 		checks++
 		if fc != nil {
 			ok, _ := fc.Check(in.Network, set, in.TM, in.Constraint, o, metric)
@@ -486,12 +493,12 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision
 		ok, _ := provision.Check(in.Network, set, in.TM, in.Constraint, o)
 		return ok
 	}
-	feasible := func(set map[int]bool) bool { return check(set, opts) }
+	feasible := func(set *linkset.Set) bool { return check(set, opts) }
 	// The acceptability check and the idle-link scan of pass 1 route the
 	// exact same instance; fuse them (CheckCore) so the full offer set —
 	// the most expensive instance the pipeline ever routes — is routed
 	// once instead of twice.
-	checkCore := func(set map[int]bool, o provision.Options) (bool, map[int]bool) {
+	checkCore := func(set *linkset.Set, o provision.Options) (bool, *linkset.Set) {
 		checks++
 		if fc != nil {
 			return fc.CheckCore(in.Network, set, in.TM, in.Constraint, o, metric)
@@ -516,13 +523,13 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision
 	}
 
 	// Pass 1: drop every link idle under the constraint's scenarios.
+	// Iteration is ascending-ID, so idle is already sorted.
 	var idle []int
-	for id := range cur {
-		if !core[id] {
+	cur.Iterate(func(id int) {
+		if !core.Contains(id) {
 			idle = append(idle, id)
 		}
-	}
-	sort.Ints(idle)
+	})
 	in.dropBatch(cur, idle, feasible)
 
 	price := in.priceOfLink()
@@ -533,10 +540,7 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision
 		budget := in.MaxChecks
 		for checks < budget {
 			// Most expensive first.
-			var cand []int
-			for id := range cur {
-				cand = append(cand, id)
-			}
+			cand := cur.AppendIDs(make([]int, 0, cur.Len()))
 			sort.Slice(cand, func(i, j int) bool {
 				if price[cand[i]] != price[cand[j]] {
 					return price[cand[i]] > price[cand[j]]
@@ -559,6 +563,7 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision
 		if sh, ok := provision.NewShaver(in.Network, cur, in.TM, in.Constraint, opts); ok {
 			sh.Shave(func(link int) float64 { return price[link] }, 0)
 			cur = sh.Include()
+			sh.Close()
 		}
 	}
 
@@ -568,17 +573,17 @@ func (in *Instance) selectLinks(excludeBP int, warm map[int]bool, opts provision
 // dropBatch tries to remove the candidate links from set, bisecting
 // on infeasibility. It mutates set in place and returns how many
 // links were removed.
-func (in *Instance) dropBatch(set map[int]bool, cand []int, feasible func(map[int]bool) bool) int {
+func (in *Instance) dropBatch(set *linkset.Set, cand []int, feasible func(*linkset.Set) bool) int {
 	if len(cand) == 0 {
 		return 0
 	}
-	trial := cloneSet(set)
+	trial := set.Clone()
 	for _, id := range cand {
-		delete(trial, id)
+		trial.Remove(id)
 	}
 	if feasible(trial) {
 		for _, id := range cand {
-			delete(set, id)
+			set.Remove(id)
 		}
 		return len(cand)
 	}
@@ -591,18 +596,18 @@ func (in *Instance) dropBatch(set map[int]bool, cand []int, feasible func(map[in
 
 // dropBatchBudget is dropBatch with an external check budget: it
 // stops descending when spent reaches budget.
-func (in *Instance) dropBatchBudget(set map[int]bool, cand []int, feasible func(map[int]bool) bool, budget int, spent *int) int {
+func (in *Instance) dropBatchBudget(set *linkset.Set, cand []int, feasible func(*linkset.Set) bool, budget int, spent *int) int {
 	if len(cand) == 0 || budget <= 0 {
 		return 0
 	}
 	before := *spent
-	trial := cloneSet(set)
+	trial := set.Clone()
 	for _, id := range cand {
-		delete(trial, id)
+		trial.Remove(id)
 	}
 	if feasible(trial) {
 		for _, id := range cand {
-			delete(set, id)
+			set.Remove(id)
 		}
 		return len(cand)
 	}
@@ -614,16 +619,6 @@ func (in *Instance) dropBatchBudget(set map[int]bool, cand []int, feasible func(
 	n := in.dropBatchBudget(set, cand[:mid], feasible, remaining, spent)
 	remaining = budget - (*spent - before)
 	return n + in.dropBatchBudget(set, cand[mid:], feasible, remaining, spent)
-}
-
-func cloneSet(s map[int]bool) map[int]bool {
-	c := make(map[int]bool, len(s))
-	for k, v := range s {
-		if v {
-			c[k] = true
-		}
-	}
-	return c
 }
 
 func min(a, b int) int {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/public-option/poc/internal/core"
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/netsim"
 	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/topo"
@@ -221,9 +222,9 @@ func (e *Engine) recover(epoch int, rep *Report) error {
 		epoch-e.lastReauction >= e.recovery.BackoffEpochs &&
 		e.reauctionsUsed < e.recovery.MaxReauctions {
 		before := e.leaseTotal()
-		exclude := map[int]bool{}
+		exclude := linkset.New(len(e.poc.Network().Links))
 		for l := range e.down {
-			exclude[l] = true
+			exclude.Add(l)
 		}
 		ra, err := e.poc.ReauctionExcluding(e.poc.TrafficMatrix(), exclude)
 		e.lastReauction = epoch

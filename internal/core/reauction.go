@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/public-option/poc/internal/auction"
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/netsim"
 	"github.com/public-option/poc/internal/traffic"
 )
@@ -47,7 +48,7 @@ func (p *POC) Reauction(tm *traffic.Matrix) (*ReauctionReport, error) {
 // recalled set. Recovery controllers use it to re-lease around links
 // that are currently down — a reauction that re-selects a dead link
 // would rebuild a fabric about to fail again.
-func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude map[int]bool) (*ReauctionReport, error) {
+func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude *linkset.Set) (*ReauctionReport, error) {
 	if p.phase != phaseActive {
 		return nil, fmt.Errorf("core: reauction requires an active POC")
 	}
@@ -66,7 +67,7 @@ func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude map[int]bool) (*Rea
 	for i, b := range p.bids {
 		var keep []int
 		for _, id := range b.Links {
-			if !p.recalled[id] && !exclude[id] {
+			if !p.recalled[id] && !exclude.Contains(id) {
 				keep = append(keep, id)
 			}
 		}

@@ -14,7 +14,7 @@ func (g *Graph) BFS(src NodeID, filter EdgeFilter, visit func(NodeID) bool) {
 			return
 		}
 		for _, eid := range g.adj[u] {
-			e := g.edges[eid]
+			e := &g.edges[eid]
 			if e.Disabled || (filter != nil && !filter(eid, e)) || seen[e.To] {
 				continue
 			}

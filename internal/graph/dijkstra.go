@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 	"sync"
 )
@@ -12,17 +11,48 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a binary min-heap on dist. push/pop inline the exact sift
+// order of container/heap (same comparisons, same swaps), so the pop
+// sequence — including ties — is identical to the heap.Interface
+// implementation this replaces, without boxing an interface value per
+// operation.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *pq) push(it pqItem) {
+	s := append(*q, it)
+	*q = s
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (q *pq) pop() pqItem {
+	s := *q
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].dist < s[j].dist {
+			j = j2
+		}
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*q = s[:n]
 	return it
 }
 
@@ -64,8 +94,10 @@ func (t *ShortestTree) PathTo(g *Graph, dst NodeID) Path {
 
 // EdgeFilter restricts which edges an algorithm may traverse. A nil
 // filter admits every enabled edge. Disabled edges are always skipped
-// regardless of the filter.
-type EdgeFilter func(id EdgeID, e Edge) bool
+// regardless of the filter. The Edge pointer aliases the graph's edge
+// storage and is valid only for the duration of the call; filters
+// must not retain or mutate it.
+type EdgeFilter func(id EdgeID, e *Edge) bool
 
 // pqPool recycles priority-queue backing arrays across one-shot
 // Dijkstra runs; the heap is the only scratch that does not escape to
@@ -77,12 +109,12 @@ var pqPool = sync.Pool{New: func() interface{} { return new(pq) }}
 func dijkstraInto(g *Graph, src NodeID, filter EdgeFilter, t *ShortestTree, q *pq) {
 	*q = append((*q)[:0], pqItem{node: src})
 	for len(*q) > 0 {
-		it := heap.Pop(q).(pqItem)
+		it := q.pop()
 		if it.dist > t.Dist[it.node] {
 			continue // stale entry
 		}
 		for _, eid := range g.adj[it.node] {
-			e := g.edges[eid]
+			e := &g.edges[eid]
 			if e.Disabled || (filter != nil && !filter(eid, e)) {
 				continue
 			}
@@ -90,7 +122,7 @@ func dijkstraInto(g *Graph, src NodeID, filter EdgeFilter, t *ShortestTree, q *p
 			if nd < t.Dist[e.To] {
 				t.Dist[e.To] = nd
 				t.Parent[e.To] = eid
-				heap.Push(q, pqItem{node: e.To, dist: nd})
+				q.push(pqItem{node: e.To, dist: nd})
 			}
 		}
 	}

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -49,20 +48,13 @@ func (pr *PointRouter) Path(src, dst NodeID, filter EdgeFilter) Path {
 	g := pr.g
 	s := &pr.s
 	s.cur++
-	seen := func(n NodeID) bool { return s.epoch[n] == s.cur }
-	touch := func(n NodeID) {
-		if !seen(n) {
-			s.epoch[n] = s.cur
-			s.dist[n] = math.Inf(1)
-			s.parent[n] = Undefined
-		}
-	}
-	touch(src)
+	cur := s.cur
+	s.epoch[src] = cur
 	s.dist[src] = 0
+	s.parent[src] = Undefined
 	s.q = append(s.q[:0], pqItem{node: src})
-	heap.Init(&s.q)
 	for len(s.q) > 0 {
-		it := heap.Pop(&s.q).(pqItem)
+		it := s.q.pop()
 		if it.dist > s.dist[it.node] {
 			continue
 		}
@@ -70,20 +62,26 @@ func (pr *PointRouter) Path(src, dst NodeID, filter EdgeFilter) Path {
 			break // settled: done
 		}
 		for _, eid := range g.adj[it.node] {
-			e := g.edges[eid]
+			e := &g.edges[eid]
 			if e.Disabled || (filter != nil && !filter(eid, e)) {
 				continue
 			}
-			touch(e.To)
+			// A stale epoch means "unvisited this run" (dist +Inf), so
+			// the relaxation always takes that branch; otherwise the
+			// usual strict improvement test applies.
 			nd := it.dist + e.Cost
-			if nd < s.dist[e.To] {
-				s.dist[e.To] = nd
-				s.parent[e.To] = eid
-				heap.Push(&s.q, pqItem{node: e.To, dist: nd})
+			to := e.To
+			if s.epoch[to] != cur {
+				s.epoch[to] = cur
+			} else if nd >= s.dist[to] {
+				continue
 			}
+			s.dist[to] = nd
+			s.parent[to] = eid
+			s.q.push(pqItem{node: to, dist: nd})
 		}
 	}
-	if !seen(dst) || math.IsInf(s.dist[dst], 1) {
+	if s.epoch[dst] != cur || math.IsInf(s.dist[dst], 1) {
 		return Path{Cost: math.Inf(1)}
 	}
 	var rev []EdgeID

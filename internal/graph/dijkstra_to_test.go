@@ -76,7 +76,7 @@ func TestPointRouterHonorsEdgeMutations(t *testing.T) {
 func TestPointRouterFilter(t *testing.T) {
 	g := diamond()
 	pr := NewPointRouter(g)
-	p := pr.Path(0, 3, func(id EdgeID, e Edge) bool { return id != 0 })
+	p := pr.Path(0, 3, func(id EdgeID, e *Edge) bool { return id != 0 })
 	if p.Cost != 4 {
 		t.Fatalf("filtered cost = %v, want 4", p.Cost)
 	}

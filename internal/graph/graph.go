@@ -55,13 +55,25 @@ func New(n int) *Graph {
 
 // Clone returns a deep copy of g. Mutating the clone's edges (for
 // example disabling them during a failure sweep) does not affect g.
+// The adjacency rows are carved out of one flat allocation (full-cap
+// slices, so an append to one row cannot clobber its neighbour).
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		edges: append([]Edge(nil), g.edges...),
 		adj:   make([][]EdgeID, len(g.adj)),
 	}
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	flat := make([]EdgeID, 0, total)
 	for i, a := range g.adj {
-		c.adj[i] = append([]EdgeID(nil), a...)
+		if len(a) == 0 {
+			continue
+		}
+		start := len(flat)
+		flat = append(flat, a...)
+		c.adj[i] = flat[start:len(flat):len(flat)]
 	}
 	return c
 }

@@ -109,7 +109,7 @@ func TestShortestPathRespectsDisabled(t *testing.T) {
 
 func TestShortestPathRespectsFilter(t *testing.T) {
 	g := diamond()
-	p := g.ShortestPath(0, 3, func(id EdgeID, e Edge) bool { return id != 1 })
+	p := g.ShortestPath(0, 3, func(id EdgeID, e *Edge) bool { return id != 1 })
 	if p.Cost != 4 {
 		t.Fatalf("cost = %v, want 4", p.Cost)
 	}

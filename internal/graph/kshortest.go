@@ -27,7 +27,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, filter EdgeFilter) []Path
 
 	banned := make(map[EdgeID]bool)
 	bannedNodes := make(map[NodeID]bool)
-	combined := func(id EdgeID, e Edge) bool {
+	combined := func(id EdgeID, e *Edge) bool {
 		if banned[id] || bannedNodes[e.From] || bannedNodes[e.To] {
 			return false
 		}
@@ -92,7 +92,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, filter EdgeFilter) []Path
 // resilience checks use to prove survivability.
 func (g *Graph) EdgeDisjointPaths(src, dst NodeID, limit int, filter EdgeFilter) []Path {
 	used := make(map[EdgeID]bool)
-	combined := func(id EdgeID, e Edge) bool {
+	combined := func(id EdgeID, e *Edge) bool {
 		if used[id] {
 			return false
 		}

@@ -21,7 +21,7 @@ func (g *Graph) MaxFlow(s, t NodeID, filter EdgeFilter) float64 {
 	// edge (indexed m+id).
 	res := make([]float64, 2*m)
 	for i, e := range g.edges {
-		if e.Disabled || (filter != nil && !filter(EdgeID(i), e)) {
+		if e.Disabled || (filter != nil && !filter(EdgeID(i), &g.edges[i])) {
 			continue
 		}
 		res[i] = e.Capacity
@@ -127,7 +127,7 @@ func (g *Graph) MinCut(s, t NodeID, filter EdgeFilter) (float64, []NodeID) {
 	m := g.NumEdges()
 	res := make([]float64, 2*m)
 	for i, e := range g.edges {
-		if e.Disabled || (filter != nil && !filter(EdgeID(i), e)) {
+		if e.Disabled || (filter != nil && !filter(EdgeID(i), &g.edges[i])) {
 			continue
 		}
 		res[i] = e.Capacity

@@ -1,0 +1,249 @@
+// Package linkset provides a dense bitset over logical-link IDs.
+//
+// Logical links are numbered 0..L-1 by topo.POCNetwork, so a set of
+// links packs into one machine word per 64 IDs. The auction's winner
+// determination probes thousands of near-identical subsets of the
+// offered links; representing each candidate as a Set makes clone,
+// diff and cache-key derivation O(L/64) word operations instead of
+// map churn plus a per-lookup sort.
+//
+// A nil *Set means "every link" wherever a set selects a subset of a
+// known universe — the same convention the provisioner used for nil
+// map[int]bool includes. Helpers that read sets (Contains, Len,
+// Iterate, ...) treat a nil receiver as the empty set; callers that
+// want nil-means-all resolve it against the universe first.
+//
+// Iteration order is always ascending link ID, which keeps every
+// float accumulation folded over a Set deterministic (DESIGN.md §6).
+package linkset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a dense bitset of logical link IDs. The zero value is an
+// empty set with no capacity; use New to size one to a universe.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set sized for IDs in [0, universe).
+func New(universe int) *Set {
+	return &Set{words: make([]uint64, (universe+wordBits-1)/wordBits)}
+}
+
+// All returns the set {0, ..., universe-1}.
+func All(universe int) *Set {
+	s := New(universe)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := universe % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (uint64(1) << uint(r)) - 1
+	}
+	return s
+}
+
+// FromMap converts a map-shaped link set (ignoring false entries).
+// A nil map converts to a nil Set, preserving nil-means-all.
+func FromMap(m map[int]bool, universe int) *Set {
+	if m == nil {
+		return nil
+	}
+	s := New(universe)
+	for id, ok := range m {
+		if ok {
+			s.Add(id)
+		}
+	}
+	return s
+}
+
+// FromIDs builds a set from explicit IDs.
+func FromIDs(ids []int, universe int) *Set {
+	s := New(universe)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// ToMap converts to the map shape used by public APIs. A nil set
+// converts to nil.
+func (s *Set) ToMap() map[int]bool {
+	if s == nil {
+		return nil
+	}
+	m := make(map[int]bool, s.Len())
+	s.Iterate(func(id int) { m[id] = true })
+	return m
+}
+
+// grow ensures the set can hold id.
+func (s *Set) grow(id int) {
+	if w := id / wordBits; w >= len(s.words) {
+		words := make([]uint64, w+1)
+		copy(words, s.words)
+		s.words = words
+	}
+}
+
+// Add inserts id into the set.
+func (s *Set) Add(id int) {
+	s.grow(id)
+	s.words[id/wordBits] |= uint64(1) << uint(id%wordBits)
+}
+
+// Remove deletes id from the set.
+func (s *Set) Remove(id int) {
+	if w := id / wordBits; w < len(s.words) {
+		s.words[w] &^= uint64(1) << uint(id%wordBits)
+	}
+}
+
+// Contains reports whether id is in the set. A nil receiver is the
+// empty set.
+func (s *Set) Contains(id int) bool {
+	if s == nil || id < 0 {
+		return false
+	}
+	w := id / wordBits
+	return w < len(s.words) && s.words[w]&(uint64(1)<<uint(id%wordBits)) != 0
+}
+
+// Len returns the number of IDs in the set (popcount).
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy. Cloning nil yields nil (the
+// nil-means-all sentinel survives copying).
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return nil
+	}
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// Union adds every member of t to s.
+func (s *Set) Union(t *Set) {
+	if t == nil {
+		return
+	}
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Subtract removes every member of t from s.
+func (s *Set) Subtract(t *Set) {
+	if s == nil || t == nil {
+		return
+	}
+	for i, w := range t.words {
+		if i >= len(s.words) {
+			break
+		}
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and t contain the same IDs. Nil equals nil
+// and equals the empty set.
+func (s *Set) Equal(t *Set) bool {
+	ls, lt := 0, 0
+	if s != nil {
+		ls = len(s.words)
+	}
+	if t != nil {
+		lt = len(t.words)
+	}
+	n := ls
+	if lt > n {
+		n = lt
+	}
+	for i := 0; i < n; i++ {
+		var ws, wt uint64
+		if i < ls {
+			ws = s.words[i]
+		}
+		if i < lt {
+			wt = t.words[i]
+		}
+		if ws != wt {
+			return false
+		}
+	}
+	return true
+}
+
+// Iterate calls fn for each member in ascending ID order.
+func (s *Set) Iterate(fn func(id int)) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendIDs appends the members in ascending order to dst and
+// returns the extended slice.
+func (s *Set) AppendIDs(dst []int) []int {
+	s.Iterate(func(id int) { dst = append(dst, id) })
+	return dst
+}
+
+// Words exposes the backing words (read-only by convention). A nil
+// set has no words.
+func (s *Set) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
+// AppendKey appends a canonical byte encoding of the set to dst: the
+// raw bitset words, little-endian, with trailing zero words trimmed
+// so logically equal sets of different capacities encode identically.
+// O(L/64) with no sorting — this is the feasibility-cache key path.
+func (s *Set) AppendKey(dst []byte) []byte {
+	words := s.Words()
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	for _, w := range words[:n] {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}

@@ -1,0 +1,154 @@
+package linkset
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestMapRoundTrip is the migration property test: any map[int]bool
+// round-trips through FromMap/ToMap unchanged, and membership agrees
+// ID by ID. Seeded PRNG per DESIGN.md §6.
+func TestMapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		universe := 1 + rng.Intn(300)
+		m := map[int]bool{}
+		for i := 0; i < rng.Intn(universe+1); i++ {
+			m[rng.Intn(universe)] = true
+		}
+		s := FromMap(m, universe)
+		if got := s.ToMap(); !reflect.DeepEqual(got, m) {
+			t.Fatalf("trial %d: round trip %v != %v", trial, got, m)
+		}
+		if s.Len() != len(m) {
+			t.Fatalf("trial %d: Len %d != %d", trial, s.Len(), len(m))
+		}
+		for id := 0; id < universe; id++ {
+			if s.Contains(id) != m[id] {
+				t.Fatalf("trial %d: Contains(%d)=%v map=%v", trial, id, s.Contains(id), m[id])
+			}
+		}
+	}
+	if FromMap(nil, 10) != nil {
+		t.Fatal("FromMap(nil) must preserve the nil-means-all sentinel")
+	}
+	if (*Set)(nil).ToMap() != nil {
+		t.Fatal("nil.ToMap() must be nil")
+	}
+}
+
+// TestIterateOrder pins ascending-ID iteration — the determinism
+// contract every float fold over a Set relies on.
+func TestIterateOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		universe := 1 + rng.Intn(500)
+		s := New(universe)
+		want := map[int]bool{}
+		for i := 0; i < rng.Intn(universe+1); i++ {
+			id := rng.Intn(universe)
+			s.Add(id)
+			want[id] = true
+		}
+		var ids []int
+		s.Iterate(func(id int) { ids = append(ids, id) })
+		if !sort.IntsAreSorted(ids) {
+			t.Fatalf("trial %d: iterate order not ascending: %v", trial, ids)
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("trial %d: iterated %d ids, want %d", trial, len(ids), len(want))
+		}
+		for _, id := range ids {
+			if !want[id] {
+				t.Fatalf("trial %d: iterated stray id %d", trial, id)
+			}
+		}
+		if got := s.AppendIDs(nil); !reflect.DeepEqual(got, ids) {
+			t.Fatalf("trial %d: AppendIDs %v != Iterate %v", trial, got, ids)
+		}
+	}
+}
+
+// TestKeyStability: logically equal sets — however they were built,
+// whatever their capacity — must produce identical keys, and unequal
+// sets must not collide on the same universe.
+func TestKeyStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		universe := 1 + rng.Intn(400)
+		var ids []int
+		for i := 0; i < rng.Intn(universe+1); i++ {
+			ids = append(ids, rng.Intn(universe))
+		}
+		a := FromIDs(ids, universe)
+		// Same members, different construction order and capacity.
+		b := New(universe + 64*rng.Intn(4))
+		for i := len(ids) - 1; i >= 0; i-- {
+			b.Add(ids[i])
+		}
+		ka := a.AppendKey(nil)
+		kb := b.AppendKey(nil)
+		if !bytes.Equal(ka, kb) {
+			t.Fatalf("trial %d: equal sets, different keys %x vs %x", trial, ka, kb)
+		}
+		if len(ids) > 0 {
+			c := a.Clone()
+			c.Remove(ids[0])
+			if a.Contains(ids[0]) && bytes.Equal(a.AppendKey(nil), c.AppendKey(nil)) {
+				t.Fatalf("trial %d: distinct sets share a key", trial)
+			}
+		}
+	}
+	// Add-then-remove leaves trailing zero words; key must not change.
+	s := FromIDs([]int{1, 2, 3}, 4)
+	u := FromIDs([]int{1, 2, 3}, 4)
+	u.Add(1000)
+	u.Remove(1000)
+	if !bytes.Equal(s.AppendKey(nil), u.AppendKey(nil)) {
+		t.Fatal("trailing zero words changed the key")
+	}
+	if !s.Equal(u) {
+		t.Fatal("trailing zero words broke Equal")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIDs([]int{0, 5, 63, 64, 200}, 256)
+	b := FromIDs([]int{5, 64, 128}, 256)
+	u := a.Clone()
+	u.Union(b)
+	if got := u.AppendIDs(nil); !reflect.DeepEqual(got, []int{0, 5, 63, 64, 128, 200}) {
+		t.Fatalf("union = %v", got)
+	}
+	d := a.Clone()
+	d.Subtract(b)
+	if got := d.AppendIDs(nil); !reflect.DeepEqual(got, []int{0, 63, 200}) {
+		t.Fatalf("subtract = %v", got)
+	}
+	if a.Len() != 5 || a.Empty() {
+		t.Fatalf("len/empty wrong: %d %v", a.Len(), a.Empty())
+	}
+	if !New(10).Empty() || !(*Set)(nil).Empty() {
+		t.Fatal("empty sets not empty")
+	}
+	all := All(130)
+	if all.Len() != 130 || !all.Contains(129) || all.Contains(130) {
+		t.Fatalf("All(130) wrong: len=%d", all.Len())
+	}
+	if (*Set)(nil).Clone() != nil {
+		t.Fatal("nil.Clone() must stay nil")
+	}
+	// Union growing the receiver.
+	g := FromIDs([]int{1}, 2)
+	g.Union(FromIDs([]int{700}, 701))
+	if !g.Contains(1) || !g.Contains(700) {
+		t.Fatal("union did not grow receiver")
+	}
+	// Equal across nil/empty.
+	if !(*Set)(nil).Equal(New(64)) || !New(1).Equal(nil) {
+		t.Fatal("nil must equal empty")
+	}
+}

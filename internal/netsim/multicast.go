@@ -71,9 +71,9 @@ func (f *Fabric) StartMulticast(src EndpointID, receivers []EndpointID, gbps flo
 	treeLinks := map[int]bool{}
 	// usable admits links with residual >= gbps OR already on the
 	// tree (tree links carry the stream once; joining them is free).
-	usable := func(id graph.EdgeID, e graph.Edge) bool {
+	usable := func(id graph.EdgeID, e *graph.Edge) bool {
 		l := int(f.linkFor[id])
-		if f.failed[l] {
+		if f.failed.Contains(l) {
 			return false
 		}
 		if treeLinks[l] {

@@ -61,7 +61,7 @@ func TestMulticastStopReleases(t *testing.T) {
 		t.Fatal("double stop accepted")
 	}
 	for i := range f.resid {
-		if sel := f.selected; sel == nil || sel[i] {
+		if f.selected.Contains(i) {
 			if f.resid[i] != f.net.Links[i].Capacity {
 				t.Fatalf("link %d resid = %v after release", i, f.resid[i])
 			}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/topo"
 )
@@ -93,8 +94,8 @@ type Flow struct {
 // Fabric is the POC data plane over a selected link set.
 type Fabric struct {
 	net      *topo.POCNetwork
-	selected map[int]bool
-	failed   map[int]bool
+	selected *linkset.Set // always materialized (nil input = all links)
+	failed   *linkset.Set
 
 	endpoints []Endpoint
 	flows     map[FlowID]*Flow
@@ -132,16 +133,20 @@ func (f *Fabric) SetObserver(r *obs.Registry) { f.obs = r }
 
 // New builds a fabric over the network's selected links (nil = all).
 func New(p *topo.POCNetwork, selected map[int]bool) *Fabric {
+	sel := linkset.FromMap(selected, len(p.Links))
 	f := &Fabric{
 		net:      p,
-		selected: selected,
-		failed:   map[int]bool{},
+		selected: sel,
+		failed:   linkset.New(len(p.Links)),
 		flows:    map[FlowID]*Flow{},
 		resid:    make([]float64, len(p.Links)),
 		flowsOn:  map[int]map[FlowID]struct{}{},
 		mcastsOn: map[int]map[MulticastID]struct{}{},
 	}
-	f.g, f.edgeFor = p.Graph(selected)
+	f.g, f.edgeFor = p.Graph(sel)
+	if f.selected == nil {
+		f.selected = linkset.All(len(p.Links))
+	}
 	f.linkFor = make([]int32, f.g.NumEdges())
 	for id, pair := range f.edgeFor {
 		f.linkFor[pair[0]] = int32(id)
@@ -183,9 +188,9 @@ func (f *Fabric) Endpoints() []Endpoint {
 
 // usable reports whether a logical link can carry more traffic.
 func (f *Fabric) usable(want float64) graph.EdgeFilter {
-	return func(id graph.EdgeID, e graph.Edge) bool {
+	return func(id graph.EdgeID, e *graph.Edge) bool {
 		l := int(f.linkFor[id])
-		if f.failed[l] {
+		if f.failed.Contains(l) {
 			return false
 		}
 		return f.resid[l] >= want
@@ -401,24 +406,26 @@ func (f *Fabric) FailLink(link int) []FlowID {
 // reservation to fail and must not appear in FailedLinks; nil is
 // returned when nothing newly failed.
 func (f *Fabric) FailLinks(links []int) []FlowID {
-	newly := map[int]bool{}
+	newly := linkset.New(len(f.net.Links))
+	count := 0
 	for _, link := range links {
-		if link < 0 || link >= len(f.net.Links) || f.failed[link] {
+		if link < 0 || link >= len(f.net.Links) || f.failed.Contains(link) {
 			continue
 		}
-		if _, ok := f.edgeFor[link]; !ok {
+		if !f.selected.Contains(link) {
 			continue
 		}
-		f.failed[link] = true
-		newly[link] = true
+		f.failed.Add(link)
+		newly.Add(link)
+		count++
 	}
-	if len(newly) == 0 {
+	if count == 0 {
 		return nil
 	}
-	f.obs.Add("netsim.links.failed", int64(len(newly)))
+	f.obs.Add("netsim.links.failed", int64(count))
 	return f.rerouteCrossing(func(fl *Flow) bool {
 		for _, l := range fl.Links {
-			if newly[l] {
+			if newly.Contains(l) {
 				return true
 			}
 		}
@@ -440,10 +447,10 @@ func (f *Fabric) RepairLink(link int) []FlowID {
 func (f *Fabric) RepairLinks(links []int) []FlowID {
 	repaired := 0
 	for _, link := range links {
-		if link < 0 || link >= len(f.net.Links) || !f.failed[link] {
+		if link < 0 || link >= len(f.net.Links) || !f.failed.Contains(link) {
 			continue
 		}
-		delete(f.failed, link)
+		f.failed.Remove(link)
 		repaired++
 	}
 	if repaired == 0 {
@@ -464,7 +471,7 @@ func (f *Fabric) linksOfBP(bp int) []int {
 		if f.net.Links[id].BP != bp {
 			continue
 		}
-		if _, ok := f.edgeFor[id]; !ok {
+		if !f.selected.Contains(id) {
 			continue
 		}
 		out = append(out, id)
@@ -486,33 +493,22 @@ func (f *Fabric) RepairBP(bp int) []FlowID {
 }
 
 // LinkFailed reports whether a link is currently marked failed.
-func (f *Fabric) LinkFailed(link int) bool { return f.failed[link] }
+func (f *Fabric) LinkFailed(link int) bool { return f.failed.Contains(link) }
 
 // LinkSelected reports whether a link is part of the fabric's
 // selected (leased) link set.
-func (f *Fabric) LinkSelected(link int) bool {
-	_, ok := f.edgeFor[link]
-	return ok
-}
+func (f *Fabric) LinkSelected(link int) bool { return f.selected.Contains(link) }
 
-// FailedLinks returns the currently failed link IDs, sorted.
+// FailedLinks returns the currently failed link IDs, sorted
+// (bitset iteration is ascending).
 func (f *Fabric) FailedLinks() []int {
-	out := make([]int, 0, len(f.failed))
-	for l := range f.failed {
-		out = append(out, l)
-	}
-	sort.Ints(out)
-	return out
+	return f.failed.AppendIDs(make([]int, 0, f.failed.Len()))
 }
 
-// SelectedLinks returns the fabric's selected link IDs, sorted.
+// SelectedLinks returns the fabric's selected link IDs, sorted
+// (bitset iteration is ascending).
 func (f *Fabric) SelectedLinks() []int {
-	out := make([]int, 0, len(f.edgeFor))
-	for l := range f.edgeFor {
-		out = append(out, l)
-	}
-	sort.Ints(out)
-	return out
+	return f.selected.AppendIDs(make([]int, 0, f.selected.Len()))
 }
 
 // rerouteCrossing releases and re-places every flow selected by sel.
@@ -616,7 +612,7 @@ func (f *Fabric) UsageByEndpoint() map[EndpointID]float64 {
 		ids = append(ids, int(id))
 	}
 	sort.Ints(ids)
-	out := map[EndpointID]float64{}
+	out := make(map[EndpointID]float64, len(f.endpoints))
 	for _, id := range ids {
 		fl := f.flows[FlowID(id)]
 		out[fl.Src] += fl.TransferredGB
@@ -628,14 +624,13 @@ func (f *Fabric) UsageByEndpoint() map[EndpointID]float64 {
 // Utilization returns used/capacity for every selected link with
 // non-zero use.
 func (f *Fabric) Utilization() map[int]float64 {
-	out := map[int]float64{}
-	for id, pair := range f.edgeFor {
-		_ = pair
+	out := make(map[int]float64, f.selected.Len())
+	f.selected.Iterate(func(id int) {
 		cap := f.net.Links[id].Capacity
 		used := cap - f.resid[id]
 		if used > 1e-9 {
 			out[id] = used / cap
 		}
-	}
+	})
 	return out
 }

@@ -3,10 +3,10 @@ package provision
 import (
 	"encoding/binary"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
 )
@@ -35,10 +35,11 @@ type CacheSummary struct {
 // Keys are the exact canonical encoding of (include set, constraint,
 // the routing-relevant Options, traffic-matrix fingerprint, metric
 // tag) — no lossy hashing, so a hit can never return the answer for a
-// different set. Options.LinkCost is a function and cannot be encoded;
-// callers that vary the metric (e.g. the auction's warm-biased
-// counterfactuals) must pass a distinct metric tag per LinkCost so
-// entries never cross metrics.
+// different set. The include set contributes its raw bitset words
+// (O(L/64) to encode, no per-lookup sort). Options.LinkCost is a
+// function and cannot be encoded; callers that vary the metric (e.g.
+// the auction's warm-biased counterfactuals) must pass a distinct
+// metric tag per LinkCost so entries never cross metrics.
 //
 // The cache is safe for concurrent use. It assumes the traffic
 // matrices it sees are not mutated while cached (their fingerprint is
@@ -56,18 +57,20 @@ type FeasibilityCache struct {
 
 // cacheEntry is one memoized check. core is non-nil only when the set
 // was feasible and a CheckCore call computed the used-link union; the
-// map is shared with every subsequent hit and must be treated as
+// set is shared with every subsequent hit and must be treated as
 // read-only.
 type cacheEntry struct {
 	sum  CacheSummary
-	core map[int]bool
+	core *linkset.Set
 }
 
 // NewFeasibilityCache returns an empty concurrency-safe cache.
 func NewFeasibilityCache() *FeasibilityCache {
 	return &FeasibilityCache{
-		m:    make(map[string]cacheEntry),
-		tmFP: make(map[*traffic.Matrix]uint64),
+		m: make(map[string]cacheEntry, 256),
+		// A cache usually sees a handful of matrices (the auction's
+		// one, plus chaos reauction variants) — pre-size small.
+		tmFP: make(map[*traffic.Matrix]uint64, 4),
 	}
 }
 
@@ -84,11 +87,25 @@ func (fc *FeasibilityCache) Len() int {
 	return len(fc.m)
 }
 
+// Reset drops every memoized entry AND the per-matrix fingerprints.
+// Long-lived callers that retire traffic matrices (chaos reauctions
+// build a fresh matrix per epoch) call this between runs so the
+// pointer-keyed fingerprint map cannot grow without bound. The hit and
+// miss counters are preserved: they describe lookups, not contents.
+func (fc *FeasibilityCache) Reset() {
+	fc.mu.Lock()
+	fc.m = make(map[string]cacheEntry, 256)
+	fc.mu.Unlock()
+	fc.tmMu.Lock()
+	fc.tmFP = make(map[*traffic.Matrix]uint64, 4)
+	fc.tmMu.Unlock()
+}
+
 // Check is the memoized form of Check: same answer, same determinism,
 // but repeated queries for the same (set, constraint, options, matrix,
 // metric) are answered without routing. metric distinguishes
 // Options.LinkCost functions, which cannot be encoded into the key.
-func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, CacheSummary) {
+func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, CacheSummary) {
 	opts = opts.withDefaults()
 	key := fc.key(p, include, tm, c, opts, metric)
 	fc.mu.RLock()
@@ -113,10 +130,10 @@ func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include map[int]bool, tm *
 	return feasible, sum
 }
 
-// CheckCore is the memoized form of CheckCore. The returned core map
+// CheckCore is the memoized form of CheckCore. The returned core set
 // is shared with the cache and must be treated as read-only; it is nil
 // when the set is infeasible.
-func (fc *FeasibilityCache) CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, map[int]bool) {
+func (fc *FeasibilityCache) CheckCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, *linkset.Set) {
 	opts = opts.withDefaults()
 	key := fc.key(p, include, tm, c, opts, metric)
 	fc.mu.RLock()
@@ -131,7 +148,7 @@ func (fc *FeasibilityCache) CheckCore(p *topo.POCNetwork, include map[int]bool, 
 	fc.misses.Add(1)
 	stripped := opts
 	stripped.Obs = nil
-	feasible, core, sum := checkCore(p, include, tm, c, stripped)
+	feasible, core, sum := checkCore(p, include, tm, c, stripped.resolve(p))
 	if fc.store(key, cacheEntry{sum: sum, core: core}) {
 		recordCheck(opts.Obs, c, sum)
 	}
@@ -152,9 +169,12 @@ func (fc *FeasibilityCache) store(key string, e cacheEntry) bool {
 	return !existed
 }
 
-// key builds the canonical, collision-free cache key.
-func (fc *FeasibilityCache) key(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) string {
-	buf := make([]byte, 0, 32+2*len(include))
+// key builds the canonical, collision-free cache key. The include
+// set's raw words go in verbatim (trailing zero words trimmed), so two
+// logically equal sets — however built — share a key and two distinct
+// sets never do.
+func (fc *FeasibilityCache) key(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) string {
+	buf := make([]byte, 0, 48+8*len(include.Words()))
 	buf = binary.AppendUvarint(buf, uint64(c))
 	buf = binary.AppendUvarint(buf, uint64(opts.MaxPaths))
 	buf = binary.AppendUvarint(buf, math.Float64bits(opts.Headroom))
@@ -168,18 +188,7 @@ func (fc *FeasibilityCache) key(p *topo.POCNetwork, include map[int]bool, tm *tr
 		return string(buf)
 	}
 	buf = append(buf, 1)
-	ids := make([]int, 0, len(include))
-	for id, ok := range include {
-		if ok {
-			ids = append(ids, id)
-		}
-	}
-	sort.Ints(ids)
-	prev := 0
-	for _, id := range ids {
-		buf = binary.AppendUvarint(buf, uint64(id-prev))
-		prev = id
-	}
+	buf = include.AppendKey(buf)
 	return string(buf)
 }
 

@@ -17,10 +17,7 @@ func TestDbgC2ShaveManual(t *testing.T) {
 	}
 	price := func(l int) float64 { return float64(l + 1) }
 	for pass := 0; pass < 3; pass++ {
-		var cand []int
-		for id := range sh.include {
-			cand = append(cand, id)
-		}
+		cand := sh.include.AppendIDs(nil)
 		sort.Slice(cand, func(i, j int) bool {
 			pi, pj := price(cand[i]), price(cand[j])
 			if pi != pj {

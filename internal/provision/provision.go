@@ -15,6 +15,11 @@
 // transit fabric with MPLS-TE or similar splits aggregates, and keeps
 // feasibility checks fast enough for the auction's winner
 // determination, which runs them thousands of times.
+//
+// Link subsets are linkset.Set bitsets (nil = all links) and routing
+// state lives in reusable Workspace arenas, so a steady-state check
+// performs no graph rebuilds and almost no allocation — see
+// DESIGN.md §10.
 package provision
 
 import (
@@ -26,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
@@ -95,6 +101,13 @@ type Options struct {
 	// exported counts independent of cache hit/miss scheduling. Obs
 	// never enters cache keys.
 	Obs *obs.Registry
+	// Workspace, when non-nil, supplies the reusable routing arenas
+	// and demand caches for this call (and nested scenario routings).
+	// It must have been built for the same network and the same
+	// LinkCost metric. When nil — or bound to a different network — a
+	// transient workspace is created per call. Like Obs, Workspace
+	// never enters cache keys and never changes results, only speed.
+	Workspace *Workspace
 }
 
 // workerCount resolves the effective parallelism for n independent
@@ -161,68 +174,49 @@ func (r *Routing) MaxUtilization(p *topo.POCNetwork) float64 {
 	return mx
 }
 
-// router holds per-run routing state.
+// router is one reusable routing arena: the full graph over every
+// logical link (candidate subsets toggle Edge.Disabled via apply), the
+// pooled Dijkstra engines, and slice-backed residual/usage scratch.
+// Arenas are owned by a Workspace and must be used by one goroutine at
+// a time (acquire/release).
 type router struct {
 	p       *topo.POCNetwork
 	g       *graph.Graph
 	pr      *graph.PointRouter
 	tr      *graph.TreeRouter
-	edgeFor map[int][2]graph.EdgeID // logical link -> directed edge IDs
-	linkFor []int32                 // directed edge -> logical link
-	resid   []float64               // residual Gbps per logical link
-	opts    Options
-}
+	edgeFor [][2]graph.EdgeID // logical link -> directed edge IDs
+	linkFor []int32           // directed edge -> logical link
+	resid   []float64         // residual Gbps per logical link
+	enabled *linkset.Set      // links currently not Disabled in g
 
-// buildGraph constructs the routing graph over p's routers for the
-// included links, using opts.LinkCost (or physical distance) as the
-// edge metric.
-func buildGraph(p *topo.POCNetwork, include map[int]bool, opts Options) (*graph.Graph, map[int][2]graph.EdgeID) {
-	if opts.LinkCost == nil {
-		return p.Graph(include)
-	}
-	g := graph.New(len(p.Routers))
-	edges := make(map[int][2]graph.EdgeID)
-	for _, l := range p.Links {
-		if include != nil && !include[l.ID] {
-			continue
-		}
-		c := opts.LinkCost(l)
-		e1, e2 := g.AddBiEdge(graph.NodeID(l.A), graph.NodeID(l.B), c, l.Capacity)
-		edges[l.ID] = [2]graph.EdgeID{e1, e2}
-	}
-	return g, edges
-}
-
-func newRouter(p *topo.POCNetwork, include map[int]bool, opts Options) *router {
-	g, edgeFor := buildGraph(p, include, opts)
-	linkFor := make([]int32, g.NumEdges())
-	for id, pair := range edgeFor {
-		linkFor[pair[0]] = int32(id)
-		linkFor[pair[1]] = int32(id)
-	}
-	resid := make([]float64, len(p.Links))
-	for id := range edgeFor {
-		resid[id] = p.Links[id].Capacity * (1 - opts.Headroom)
-	}
-	return &router{p: p, g: g, pr: graph.NewPointRouter(g), tr: graph.NewTreeRouter(g), edgeFor: edgeFor, linkFor: linkFor, resid: resid, opts: opts}
+	// usedScratch/touched accumulate per-link usage during a routing;
+	// touched lists the dirtied indices so zeroing is O(paths), not
+	// O(links). The accumulation folds in the same sorted-pair order
+	// as the seed's map-backed version, so the float sums — and the
+	// exported utilization metrics — stay byte-identical.
+	usedScratch []float64
+	touched     []int
 }
 
 // residFilter admits edges with at least want Gbps of residual
 // capacity on their logical link, excluding the links in avoid.
-func (rt *router) residFilter(want float64, avoid map[int]bool) graph.EdgeFilter {
-	return func(id graph.EdgeID, e graph.Edge) bool {
-		link := int(rt.linkFor[id])
-		if avoid != nil && avoid[link] {
-			return false
+func (rt *router) residFilter(want float64, avoid *linkset.Set) graph.EdgeFilter {
+	resid, linkFor := rt.resid, rt.linkFor
+	if avoid == nil {
+		return func(id graph.EdgeID, e *graph.Edge) bool {
+			return resid[linkFor[id]] >= want
 		}
-		return rt.resid[link] >= want
+	}
+	return func(id graph.EdgeID, e *graph.Edge) bool {
+		link := int(linkFor[id])
+		return !avoid.Contains(link) && resid[link] >= want
 	}
 }
 
 // place routes gbps from src to dst over up to MaxPaths paths,
 // avoiding the given logical links entirely. It returns the
 // assignments made and the amount left unplaced.
-func (rt *router) place(src, dst int, gbps float64, maxPaths int, avoid map[int]bool) ([]PathAssignment, float64) {
+func (rt *router) place(src, dst int, gbps float64, maxPaths int, avoid *linkset.Set) ([]PathAssignment, float64) {
 	var out []PathAssignment
 	remaining := gbps
 	for attempt := 0; attempt < maxPaths && remaining > 1e-9; attempt++ {
@@ -258,14 +252,11 @@ func (rt *router) place(src, dst int, gbps float64, maxPaths int, avoid map[int]
 // rerouting other pairs' assignments off them (whole assignments,
 // smallest first). It mutates res and the residuals, decrements
 // *moves per rerouted assignment, and returns the amount placed.
-func (rt *router) ejectAndPlace(res *Routing, pair [2]int, gbps float64, avoid map[int]bool, moves *int) (placed float64, blocker int) {
+func (rt *router) ejectAndPlace(res *Routing, pair [2]int, gbps float64, avoid *linkset.Set, moves *int) (placed float64, blocker int) {
 	// Cheapest path over all enabled links (capacity ignored),
 	// respecting only the pair's avoid set.
-	filter := func(id graph.EdgeID, e graph.Edge) bool {
-		if avoid == nil {
-			return true
-		}
-		return !avoid[int(rt.linkFor[id])]
+	filter := func(id graph.EdgeID, e *graph.Edge) bool {
+		return !avoid.Contains(int(rt.linkFor[id]))
 	}
 	path := rt.pr.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), filter)
 	if math.IsInf(path.Cost, 1) || len(path.Edges) == 0 {
@@ -346,7 +337,8 @@ func (rt *router) freeLink(res *Routing, l int, need float64, exclude [2]int, mo
 		return cands[i].idx < cands[j].idx
 	})
 	freed := 0.0
-	banned := map[int]bool{l: true}
+	banned := linkset.New(len(rt.p.Links))
+	banned.Add(l)
 	for _, c := range cands {
 		if freed >= need || *moves <= 0 {
 			break
@@ -390,7 +382,10 @@ type demand struct {
 }
 
 func flatten(tm *traffic.Matrix) []demand {
-	var ds []demand
+	// Count first so the slice is allocated exactly once.
+	n := 0
+	tm.Demands(func(s, d int, g float64) { n++ })
+	ds := make([]demand, 0, n)
 	tm.Demands(func(s, d int, g float64) { ds = append(ds, demand{s, d, g}) })
 	// Largest first: big aggregates get the short paths, which is both
 	// realistic and makes the greedy packing more effective.
@@ -417,32 +412,22 @@ func flatten(tm *traffic.Matrix) []demand {
 // with O(sources) Dijkstra runs. Phase 2 repairs the remainder (and
 // all demands with avoid sets) with per-demand point-to-point
 // searches over the residual capacities.
-func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Options, avoidPrimary map[[2]int]map[int]bool) *Routing {
-	opts = opts.withDefaults()
-	rt := newRouter(p, include, opts)
-	res := &Routing{
-		Assignments: make(map[[2]int][]PathAssignment),
-		Used:        make(map[int]float64),
-	}
+func Route(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, opts Options, avoidPrimary map[[2]int]*linkset.Set) *Routing {
+	opts = opts.withDefaults().resolve(p)
+	ws := opts.Workspace
+	rt := ws.acquire()
+	defer ws.release(rt)
+	rt.apply(include, opts.Headroom, ws.all)
+	return rt.route(ws, tm, opts, avoidPrimary)
+}
 
-	ds := flatten(tm)
-	// Group by source, sources ordered by descending total outflow.
-	bySrc := map[int][]demand{}
-	rowTotal := map[int]float64{}
-	for _, d := range ds {
-		bySrc[d.src] = append(bySrc[d.src], d)
-		rowTotal[d.src] += d.gbps
+// route runs the three routing phases on an arena that has already
+// been configured via apply.
+func (rt *router) route(ws *Workspace, tm *traffic.Matrix, opts Options, avoidPrimary map[[2]int]*linkset.Set) *Routing {
+	_, bySrc, srcs := ws.demands(tm)
+	res := &Routing{
+		Assignments: make(map[[2]int][]PathAssignment, len(srcs)*2),
 	}
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Slice(srcs, func(i, j int) bool {
-		if rowTotal[srcs[i]] != rowTotal[srcs[j]] {
-			return rowTotal[srcs[i]] > rowTotal[srcs[j]]
-		}
-		return srcs[i] < srcs[j]
-	})
 
 	var phase2 []demand
 	usable := rt.residFilter(1e-9, nil)
@@ -494,7 +479,7 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 	var stuck []demand
 	for _, d := range phase2 {
 		pair := [2]int{d.src, d.dst}
-		var avoid map[int]bool
+		var avoid *linkset.Set
 		if avoidPrimary != nil {
 			avoid = avoidPrimary[pair]
 		}
@@ -519,7 +504,7 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 	moves := 512
 	for _, d := range stuck {
 		pair := [2]int{d.src, d.dst}
-		var avoid map[int]bool
+		var avoid *linkset.Set
 		if avoidPrimary != nil {
 			avoid = avoidPrimary[pair]
 		}
@@ -527,10 +512,8 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 		pathBudget := opts.MaxPaths - len(res.Assignments[pair])
 		// detour accumulates the worst deficit link of each failed
 		// attempt so later attempts explore different paths.
-		detour := map[int]bool{}
-		for id := range avoid {
-			detour[id] = true
-		}
+		detour := linkset.New(len(rt.p.Links))
+		detour.Union(avoid)
 		for attempt := 0; attempt < 8 && left > 1e-9 && moves > 0 && pathBudget > 0; attempt++ {
 			placed, blocker := rt.ejectAndPlace(res, pair, left, detour, &moves)
 			left -= placed
@@ -539,7 +522,7 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 				if blocker < 0 {
 					break // no path at all
 				}
-				detour[blocker] = true
+				detour.Add(blocker)
 			} else {
 				pathBudget--
 			}
@@ -568,7 +551,9 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 	// Deterministic pair order: Used is a float accumulation, and map
 	// iteration order would perturb the sums at ULP scale run to run —
 	// invisible to feasibility verdicts, but it leaks into exported
-	// utilization metrics, which must be byte-identical.
+	// utilization metrics, which must be byte-identical. The fold goes
+	// through the arena's usedScratch slice (same addition sequence as
+	// the seed's map-backed fold) and materializes one exact-size map.
 	pairs := make([][2]int, 0, len(res.Assignments))
 	for pair := range res.Assignments {
 		pairs = append(pairs, pair)
@@ -577,51 +562,52 @@ func Route(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Op
 	for _, pair := range pairs {
 		for _, a := range res.Assignments[pair] {
 			for _, l := range a.Links {
-				res.Used[l] += a.Gbps
+				if rt.usedScratch[l] == 0 {
+					rt.touched = append(rt.touched, l)
+				}
+				rt.usedScratch[l] += a.Gbps
 			}
 		}
 	}
+	res.Used = make(map[int]float64, len(rt.touched))
+	for _, l := range rt.touched {
+		res.Used[l] = rt.usedScratch[l]
+		rt.usedScratch[l] = 0
+	}
+	rt.touched = rt.touched[:0]
 	return res
 }
 
 // PrimaryPaths computes, for every demand pair in tm, the links of its
 // shortest path in the subset include, ignoring capacity. Pairs with
 // no path at all map to nil and are reported in the second return.
-func PrimaryPaths(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix) (map[[2]int]map[int]bool, [][2]int) {
+func PrimaryPaths(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix) (map[[2]int]*linkset.Set, [][2]int) {
 	return PrimaryPathsOpts(p, include, tm, Options{})
 }
 
 // PrimaryPathsOpts is PrimaryPaths with an explicit routing metric.
-func PrimaryPathsOpts(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, opts Options) (map[[2]int]map[int]bool, [][2]int) {
-	g, edgeFor := buildGraph(p, include, opts)
-	linkFor := make(map[graph.EdgeID]int, 2*len(edgeFor))
-	for id, pair := range edgeFor {
-		linkFor[pair[0]] = id
-		linkFor[pair[1]] = id
-	}
-	primaries := make(map[[2]int]map[int]bool)
-	var unreachable [][2]int
+func PrimaryPathsOpts(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, opts Options) (map[[2]int]*linkset.Set, [][2]int) {
+	opts = opts.resolve(p)
+	ws := opts.Workspace
+	rt := ws.acquire()
+	defer ws.release(rt)
+	rt.apply(include, 0, ws.all)
 
+	var unreachable [][2]int
 	// One Dijkstra per source covers all destinations.
-	bySrc := map[int][]int{}
-	tm.Demands(func(s, d int, _ float64) { bySrc[s] = append(bySrc[s], d) })
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Ints(srcs)
-	tr := graph.NewTreeRouter(g)
+	dsts, srcs := ws.primaryDemands(tm)
+	primaries := make(map[[2]int]*linkset.Set, len(srcs))
 	for _, s := range srcs {
-		tree := tr.Tree(graph.NodeID(s), nil)
-		for _, d := range bySrc[s] {
+		tree := rt.tr.Tree(graph.NodeID(s), nil)
+		for _, d := range dsts[s] {
 			if !tree.Reachable(graph.NodeID(d)) {
 				unreachable = append(unreachable, [2]int{s, d})
 				continue
 			}
-			path := tree.PathTo(g, graph.NodeID(d))
-			set := make(map[int]bool, len(path.Edges))
+			path := tree.PathTo(rt.g, graph.NodeID(d))
+			set := linkset.New(len(p.Links))
 			for _, eid := range path.Edges {
-				set[linkFor[eid]] = true
+				set.Add(int(rt.linkFor[eid]))
 			}
 			primaries[[2]int{s, d}] = set
 		}
@@ -671,8 +657,8 @@ func summarize(p *topo.POCNetwork, feasible bool, r *Routing) CacheSummary {
 // Check reports whether the link subset include satisfies the given
 // constraint for tm. The returned Routing is the base (no-failure)
 // routing; for Constraint3 it is the degraded routing.
-func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
-	opts = opts.withDefaults()
+func Check(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
+	opts = opts.withDefaults().resolve(p)
 	ok, r := checkRouting(p, include, tm, c, opts)
 	if opts.Obs != nil {
 		recordCheck(opts.Obs, c, summarize(p, ok, r))
@@ -681,8 +667,8 @@ func Check(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Const
 }
 
 // checkRouting is Check without metrics recording; opts must already
-// have defaults applied.
-func checkRouting(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
+// have defaults and a workspace applied.
+func checkRouting(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options) (bool, *Routing) {
 	switch c {
 	case Constraint1:
 		r := Route(p, include, tm, opts, nil)
@@ -697,17 +683,17 @@ func checkRouting(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, 
 		if len(unreachable) > 0 {
 			return false, base
 		}
-		var scenarios []map[int]bool
-		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
-			if failed := primaries[pair]; len(failed) > 0 {
+		var scenarios []*linkset.Set
+		for _, pair := range opts.Workspace.heaviest(tm, opts.FailureScenarios) {
+			if failed := primaries[pair]; failed != nil && !failed.Empty() {
 				scenarios = append(scenarios, failed)
 			}
 		}
 		// Each scenario fails one pair's primary path for everyone and
-		// re-routes from scratch — the scenarios share no mutable state,
-		// so they fan across workers. The verdict (all feasible?) is
-		// order-independent, which keeps the parallel sweep bit-identical
-		// to the serial one.
+		// re-routes from scratch — every worker acquires its own arena,
+		// so the scenarios share no mutable state and fan across
+		// workers. The verdict (all feasible?) is order-independent,
+		// which keeps the parallel sweep bit-identical to the serial one.
 		if workers := opts.workerCount(len(scenarios)); workers > 1 {
 			var wg sync.WaitGroup
 			var next atomic.Int64
@@ -764,8 +750,8 @@ func checkRouting(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, 
 // the base matrix and every failure scenario). On an infeasible set
 // the core is nil. The verdict is bit-identical to Check's and the
 // core bit-identical to CoreLinks's on feasible sets.
-func CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, map[int]bool) {
-	opts = opts.withDefaults()
+func CheckCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options) (bool, *linkset.Set) {
+	opts = opts.withDefaults().resolve(p)
 	ok, core, sum := checkCore(p, include, tm, c, opts)
 	if opts.Obs != nil {
 		recordCheck(opts.Obs, c, sum)
@@ -776,13 +762,13 @@ func CheckCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 // checkCore is CheckCore without metrics recording, additionally
 // returning the same summary a Check on this key would produce (the
 // memo stores it so hits answer either entry point). opts must
-// already have defaults applied.
-func checkCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (bool, map[int]bool, CacheSummary) {
-	core := map[int]bool{}
+// already have defaults and a workspace applied.
+func checkCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options) (bool, *linkset.Set, CacheSummary) {
+	core := linkset.New(len(p.Links))
 	add := func(r *Routing) {
 		for id, used := range r.Used {
 			if used > 0 {
-				core[id] = true
+				core.Add(id)
 			}
 		}
 	}
@@ -800,9 +786,9 @@ func checkCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 		if len(unreachable) > 0 {
 			return false, nil, summarize(p, false, base)
 		}
-		var scenarios []map[int]bool
-		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
-			if failed := primaries[pair]; len(failed) > 0 {
+		var scenarios []*linkset.Set
+		for _, pair := range opts.Workspace.heaviest(tm, opts.FailureScenarios) {
+			if failed := primaries[pair]; failed != nil && !failed.Empty() {
 				scenarios = append(scenarios, failed)
 			}
 		}
@@ -868,13 +854,13 @@ func checkCore(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 // outside this set are idle under the constraint's scenarios, which
 // makes the set the natural seed for the auction's winner
 // determination: everything else is a candidate to drop.
-func CoreLinks(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) map[int]bool {
-	opts = opts.withDefaults()
-	core := map[int]bool{}
+func CoreLinks(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options) *linkset.Set {
+	opts = opts.withDefaults().resolve(p)
+	core := linkset.New(len(p.Links))
 	add := func(r *Routing) {
 		for id, used := range r.Used {
 			if used > 0 {
-				core[id] = true
+				core.Add(id)
 			}
 		}
 	}
@@ -883,9 +869,9 @@ func CoreLinks(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 	case Constraint1:
 	case Constraint2:
 		primaries, _ := PrimaryPathsOpts(p, include, tm, opts)
-		var scenarios []map[int]bool
-		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
-			if failed := primaries[pair]; len(failed) > 0 {
+		var scenarios []*linkset.Set
+		for _, pair := range opts.Workspace.heaviest(tm, opts.FailureScenarios) {
+			if failed := primaries[pair]; failed != nil && !failed.Empty() {
 				scenarios = append(scenarios, failed)
 			}
 		}
@@ -950,30 +936,13 @@ func heaviestPairs(tm *traffic.Matrix, n int) [][2]int {
 }
 
 // subtract returns include minus removed. A nil include means "all
-// links", so the result enumerates all links except removed. The
-// result is pre-sized: this runs once per feasibility scenario and
-// map growth shows up in alloc profiles.
-func subtract(include map[int]bool, removed map[int]bool, total int) map[int]bool {
-	size := len(include)
-	if include == nil {
-		size = total
+// links", so the result enumerates all links except removed. Two word
+// scans — no per-ID hashing.
+func subtract(include *linkset.Set, removed *linkset.Set, total int) *linkset.Set {
+	out := include.Clone()
+	if out == nil {
+		out = linkset.All(total)
 	}
-	if size > len(removed) {
-		size -= len(removed)
-	}
-	out := make(map[int]bool, size)
-	if include == nil {
-		for i := 0; i < total; i++ {
-			if !removed[i] {
-				out[i] = true
-			}
-		}
-		return out
-	}
-	for id, ok := range include {
-		if ok && !removed[id] {
-			out[id] = true
-		}
-	}
+	out.Subtract(removed)
 	return out
 }

@@ -3,6 +3,7 @@ package provision
 import (
 	"testing"
 
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
 )
@@ -118,7 +119,7 @@ func TestRouteHeadroom(t *testing.T) {
 
 func TestRouteRespectsInclude(t *testing.T) {
 	p := testNet(10)
-	include := map[int]bool{0: true, 1: true} // only 0-1 and 1-2
+	include := linkset.FromIDs([]int{0, 1}, len(p.Links)) // only 0-1 and 1-2
 	r := Route(p, include, tmSingle(4, 0, 2, 5), Options{}, nil)
 	if !r.Feasible() {
 		t.Fatal("path 0-1-2 should suffice")
@@ -131,8 +132,8 @@ func TestRouteRespectsInclude(t *testing.T) {
 
 func TestRouteAvoidPrimary(t *testing.T) {
 	p := testNet(10)
-	avoid := map[[2]int]map[int]bool{
-		{0, 2}: {0: true, 1: true}, // ban the 0-1-2 path
+	avoid := map[[2]int]*linkset.Set{
+		{0, 2}: linkset.FromIDs([]int{0, 1}, len(p.Links)), // ban the 0-1-2 path
 	}
 	r := Route(p, nil, tmSingle(4, 0, 2, 5), Options{}, avoid)
 	if !r.Feasible() {
@@ -152,7 +153,7 @@ func TestRouteBidirectionalSharesCapacity(t *testing.T) {
 	m := traffic.NewMatrix(4)
 	m.Set(0, 1, 6)
 	m.Set(1, 0, 6)
-	r := Route(p, map[int]bool{0: true}, m, Options{MaxPaths: 1}, nil)
+	r := Route(p, linkset.FromIDs([]int{0}, len(p.Links)), m, Options{MaxPaths: 1}, nil)
 	// Logical link capacity is shared across directions in this model:
 	// 12 > 10 means infeasible.
 	if r.Feasible() {
@@ -172,18 +173,18 @@ func TestPrimaryPaths(t *testing.T) {
 	if len(unreachable) != 0 {
 		t.Fatalf("unreachable = %v", unreachable)
 	}
-	if !prim[[2]int{0, 2}][0] || !prim[[2]int{0, 2}][1] {
-		t.Fatalf("primary(0,2) = %v, want {0,1}", prim[[2]int{0, 2}])
+	if !prim[[2]int{0, 2}].Contains(0) || !prim[[2]int{0, 2}].Contains(1) {
+		t.Fatalf("primary(0,2) = %v, want {0,1}", prim[[2]int{0, 2}].AppendIDs(nil))
 	}
 	// 3->1 shortest: 3-0-1 or 3-2-1, both 200km; Dijkstra picks one.
-	if len(prim[[2]int{3, 1}]) != 2 {
-		t.Fatalf("primary(3,1) = %v, want 2 links", prim[[2]int{3, 1}])
+	if prim[[2]int{3, 1}].Len() != 2 {
+		t.Fatalf("primary(3,1) = %v, want 2 links", prim[[2]int{3, 1}].AppendIDs(nil))
 	}
 }
 
 func TestPrimaryPathsUnreachable(t *testing.T) {
 	p := testNet(10)
-	include := map[int]bool{0: true}
+	include := linkset.FromIDs([]int{0}, len(p.Links))
 	m := traffic.NewMatrix(4)
 	m.Set(0, 3, 1)
 	_, unreachable := PrimaryPaths(p, include, m)
@@ -212,7 +213,7 @@ func TestCheckConstraint2(t *testing.T) {
 		t.Fatal("constraint2 should pass with alternatives")
 	}
 	// Without the chord and without 3's links there is no alternative.
-	include := map[int]bool{0: true, 1: true}
+	include := linkset.FromIDs([]int{0, 1}, len(p.Links))
 	ok, _ = Check(p, include, tmSingle(4, 0, 2, 5), Constraint2, Options{})
 	if ok {
 		t.Fatal("constraint2 should fail with no alternative path")
@@ -248,7 +249,7 @@ func TestCheckConstraint3(t *testing.T) {
 	// Demand exceeding alternative capacity: 15 Gbps can't fit when
 	// banned from primary (chord 10 + 0-3-2 10 = 20 available; ok).
 	// Ban everything except chord by shrinking include.
-	include := map[int]bool{0: true, 1: true, 4: true}
+	include := linkset.FromIDs([]int{0, 1, 4}, len(p.Links))
 	ok, _ = Check(p, include, tmSingle(4, 0, 2, 15), Constraint3, Options{})
 	if ok {
 		t.Fatal("constraint3 should fail: alternatives carry only 10")

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
 )
@@ -35,22 +36,25 @@ const ShaveHeadroom = 0.05
 // counterfactual costs are directly comparable and C(SL_-a) < C(SL)
 // — impossible under exact optimization, and an artifact of greedy
 // construction — becomes rare instead of systematic.
+//
+// A Shaver holds Workspace arenas for the lifetime of the shave (one
+// per live routing, plus the metric graph); callers must Close it when
+// done so the arenas return to the pool.
 type Shaver struct {
 	p       *topo.POCNetwork
 	opts    Options
 	c       Constraint
 	tm      *traffic.Matrix
-	include map[int]bool
+	include *linkset.Set
+	ws      *Workspace
 
 	base      *liveRouting
 	scenarios []*scenario  // Constraint2
 	degraded  *liveRouting // Constraint3 (avoid sets mutate as primaries move)
 
-	// Cached metric graph for primaryOf, invalidated when include
+	// Cached metric arena for primaryOf, re-applied when include
 	// changes.
-	pg        *graph.Graph
-	pgRouter  *graph.PointRouter
-	pgLinkFor map[graph.EdgeID]int
+	pgArena   *router
 	pgVersion int
 	version   int
 }
@@ -59,70 +63,112 @@ type Shaver struct {
 // route with the pair's primary path removed.
 type scenario struct {
 	pair    [2]int
-	primary map[int]bool
+	primary *linkset.Set
 	lr      *liveRouting
 }
 
 // liveRouting is one mutable routing the shave must keep repairable.
 type liveRouting struct {
-	rt  *router
-	asg map[[2]int][]PathAssignment
+	rt *router
+	// pairs is the sorted demand-pair list and lists[i] the live
+	// assignments of pairs[i]. Repairs only ever re-place existing
+	// pairs, so the pair set is fixed at creation; index-based
+	// parallel slices keep the TryDrop hot path free of map hashing
+	// (a [2]int key costs a hash plus a 16-byte compare per access)
+	// and scans walk pairs in the deterministic order repairs require.
+	// idx serves the rare by-pair entries (reanchor).
+	pairs [][2]int
+	lists [][]PathAssignment
+	idx   map[[2]int]int
 	// avoid bans links per pair (Constraint3's degraded routing).
-	avoid map[[2]int]map[int]bool
+	avoid map[[2]int]*linkset.Set
 	// banned excludes links from this routing beyond the shared
 	// include set: the scenario's failed primary plus every shaved
 	// link.
-	banned map[int]bool
+	banned *linkset.Set
 }
 
-// usableFilter admits edges whose links are neither banned nor out of
-// residual capacity, nor in the per-call avoid set.
-func (lr *liveRouting) usableFilter(avoid map[int]bool) graph.EdgeFilter {
-	return func(id graph.EdgeID, e graph.Edge) bool {
-		l := int(lr.rt.linkFor[id])
-		if lr.banned[l] {
-			return false
+// usableFilter admits edges whose links still have residual capacity
+// and are not in the per-call avoid set. Banned links never reach the
+// filter: ban() folds them into the arena graph's Disabled flags, so
+// the path search rejects them at the Disabled check it performs
+// anyway — no per-edge bitset probe. Only Constraint-3 placements
+// carry an avoid set; the common case is the bare residual check.
+func (lr *liveRouting) usableFilter(avoid *linkset.Set) graph.EdgeFilter {
+	resid, linkFor := lr.rt.resid, lr.rt.linkFor
+	if avoid == nil {
+		return func(id graph.EdgeID, e *graph.Edge) bool {
+			return resid[linkFor[id]] >= 1e-9
 		}
-		if avoid != nil && avoid[l] {
-			return false
-		}
-		return lr.rt.resid[l] >= 1e-9
 	}
+	return func(id graph.EdgeID, e *graph.Edge) bool {
+		l := int(linkFor[id])
+		return !avoid.Contains(l) && resid[l] >= 1e-9
+	}
+}
+
+// ban excludes a link from this routing by disabling its directed
+// edges on the private arena graph. The arena's enabled set is kept
+// in sync so a later apply() XOR-diffs from true state. Idempotent.
+func (lr *liveRouting) ban(l int) {
+	lr.banned.Add(l)
+	ef := lr.rt.edgeFor[l]
+	lr.rt.g.SetDisabled(ef[0], true)
+	lr.rt.g.SetDisabled(ef[1], true)
+	lr.rt.enabled.Remove(l)
+}
+
+// unban re-admits a banned link. Only valid when the link belongs to
+// the routing's include set — true at the sole call site: TryDrop's
+// rollback, which re-adds the link to include first.
+func (lr *liveRouting) unban(l int) {
+	lr.banned.Remove(l)
+	ef := lr.rt.edgeFor[l]
+	lr.rt.g.SetDisabled(ef[0], false)
+	lr.rt.g.SetDisabled(ef[1], false)
+	lr.rt.enabled.Add(l)
 }
 
 // newLive routes tm over include minus failed (with per-pair avoid
 // sets) and wraps the result as a liveRouting, or returns nil when
 // infeasible. Shaved links must be passed in failed so the routing
-// avoids them.
-func newLive(p *topo.POCNetwork, include, failed map[int]bool, avoid map[[2]int]map[int]bool, tm *traffic.Matrix, opts Options) *liveRouting {
+// avoids them. opts must carry a resolved Workspace; the returned
+// routing owns one of its arenas until released.
+func newLive(p *topo.POCNetwork, include, failed *linkset.Set, avoid map[[2]int]*linkset.Set, tm *traffic.Matrix, opts Options) *liveRouting {
 	inc := include
-	if len(failed) > 0 {
+	if failed != nil && !failed.Empty() {
 		inc = subtract(include, failed, len(p.Links))
 	}
 	r := Route(p, inc, tm, opts, avoid)
 	if !r.Feasible() {
 		return nil
 	}
+	ws := opts.Workspace
 	lr := &liveRouting{
-		rt:     newRouter(p, include, opts),
-		asg:    r.Assignments,
+		rt:     ws.acquire(),
 		avoid:  avoid,
-		banned: map[int]bool{},
+		banned: linkset.New(len(p.Links)),
 	}
-	for id := range failed {
-		lr.banned[id] = true
+	lr.rt.apply(include, opts.Headroom, ws.all)
+	if failed != nil {
+		failed.Iterate(func(l int) { lr.ban(l) })
 	}
-	// Rebuild residuals from the assignments (the throwaway router
-	// inside Route owned the originals). Deterministic pair order:
-	// the residuals are float accumulations, and map iteration would
+	// Rebuild residuals from the assignments (the routing arena inside
+	// Route owned the originals). Deterministic pair order: the
+	// residuals are float accumulations, and map iteration would
 	// perturb every later packing decision at ULP scale.
 	pairs := make([][2]int, 0, len(r.Assignments))
 	for pair := range r.Assignments {
 		pairs = append(pairs, pair)
 	}
 	sortPairs(pairs)
-	for _, pair := range pairs {
-		for _, a := range r.Assignments[pair] {
+	lr.pairs = pairs
+	lr.lists = make([][]PathAssignment, len(pairs))
+	lr.idx = make(map[[2]int]int, len(pairs))
+	for i, pair := range pairs {
+		lr.lists[i] = r.Assignments[pair]
+		lr.idx[pair] = i
+		for _, a := range lr.lists[i] {
 			for _, l := range a.Links {
 				lr.rt.resid[l] -= a.Gbps
 			}
@@ -133,28 +179,33 @@ func newLive(p *topo.POCNetwork, include, failed map[int]bool, avoid map[[2]int]
 
 // NewShaver routes tm over the include set under the constraint and
 // returns a Shaver ready to minimize it. It returns ok=false when the
-// set is not feasible to begin with.
-func NewShaver(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c Constraint, opts Options) (*Shaver, bool) {
+// set is not feasible to begin with. On success the caller owns the
+// Shaver's arenas and must Close it.
+func NewShaver(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options) (*Shaver, bool) {
 	opts = opts.withDefaults()
 	if opts.Headroom < ShaveHeadroom {
 		opts.Headroom = ShaveHeadroom
 	}
-	s := &Shaver{p: p, opts: opts, c: c, tm: tm, include: cloneSet(include, len(p.Links))}
+	opts = opts.resolve(p)
+	s := &Shaver{p: p, opts: opts, c: c, tm: tm, include: cloneInclude(include, len(p.Links)), ws: opts.Workspace}
 
 	s.base = newLive(p, s.include, nil, nil, tm, opts)
 	if s.base == nil {
+		s.Close()
 		return nil, false
 	}
 	switch c {
 	case Constraint1:
 	case Constraint2:
-		for _, pair := range heaviestPairs(tm, opts.FailureScenarios) {
+		for _, pair := range s.ws.heaviest(tm, opts.FailureScenarios) {
 			primary, ok := s.primaryOf(pair)
 			if !ok {
+				s.Close()
 				return nil, false
 			}
 			lr := newLive(p, s.include, primary, nil, tm, opts)
 			if lr == nil {
+				s.Close()
 				return nil, false
 			}
 			s.scenarios = append(s.scenarios, &scenario{pair: pair, primary: primary, lr: lr})
@@ -162,39 +213,67 @@ func NewShaver(p *topo.POCNetwork, include map[int]bool, tm *traffic.Matrix, c C
 	case Constraint3:
 		avoid, unreachable := PrimaryPathsOpts(p, s.include, tm, opts)
 		if len(unreachable) > 0 {
+			s.Close()
 			return nil, false
 		}
 		s.degraded = newLive(p, s.include, nil, avoid, tm, opts)
 		if s.degraded == nil {
+			s.Close()
 			return nil, false
 		}
 	default:
+		s.Close()
 		return nil, false
 	}
 	return s, true
 }
 
+// Close returns every arena the shave holds to the workspace pool.
+// Idempotent; the Shaver must not be used after Close (Include's
+// result remains valid — it is not arena-backed).
+func (s *Shaver) Close() {
+	if s.ws == nil {
+		return
+	}
+	release := func(lr *liveRouting) {
+		if lr != nil && lr.rt != nil {
+			s.ws.release(lr.rt)
+			lr.rt = nil
+		}
+	}
+	release(s.base)
+	for _, sc := range s.scenarios {
+		release(sc.lr)
+	}
+	release(s.degraded)
+	if s.pgArena != nil {
+		s.ws.release(s.pgArena)
+		s.pgArena = nil
+	}
+	s.base, s.scenarios, s.degraded = nil, nil, nil
+	s.ws = nil
+}
+
 // primaryOf returns the links of the pair's cheapest path within the
 // current include set (by the routing metric, ignoring capacity). The
-// metric graph is cached and rebuilt only when the include set has
+// metric arena is cached and re-applied only when the include set has
 // changed since the last call.
-func (s *Shaver) primaryOf(pair [2]int) (map[int]bool, bool) {
-	if s.pg == nil || s.pgVersion != s.version {
-		g, edgeFor := buildGraph(s.p, s.include, s.opts)
-		linkFor := make(map[graph.EdgeID]int, 2*len(edgeFor))
-		for id, p := range edgeFor {
-			linkFor[p[0]] = id
-			linkFor[p[1]] = id
-		}
-		s.pg, s.pgRouter, s.pgLinkFor, s.pgVersion = g, graph.NewPointRouter(g), linkFor, s.version
+func (s *Shaver) primaryOf(pair [2]int) (*linkset.Set, bool) {
+	if s.pgArena == nil {
+		s.pgArena = s.ws.acquire()
+		s.pgArena.apply(s.include, 0, s.ws.all)
+		s.pgVersion = s.version
+	} else if s.pgVersion != s.version {
+		s.pgArena.apply(s.include, 0, s.ws.all)
+		s.pgVersion = s.version
 	}
-	path := s.pgRouter.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), nil)
+	path := s.pgArena.pr.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), nil)
 	if len(path.Edges) == 0 {
 		return nil, pair[0] == pair[1]
 	}
-	out := make(map[int]bool, len(path.Edges))
+	out := linkset.New(len(s.p.Links))
 	for _, eid := range path.Edges {
-		out[s.pgLinkFor[eid]] = true
+		out.Add(int(s.pgArena.linkFor[eid]))
 	}
 	return out, true
 }
@@ -212,52 +291,55 @@ func (s *Shaver) routings() []*liveRouting {
 }
 
 // Include returns the current link set (live view; do not mutate).
-func (s *Shaver) Include() map[int]bool { return s.include }
+func (s *Shaver) Include() *linkset.Set { return s.include }
 
 // Witness returns the base (no-failure) packing the shave maintains —
-// proof that the current set carries the matrix. The assignments are
-// live state; callers must not mutate them.
-func (s *Shaver) Witness() map[[2]int][]PathAssignment { return s.base.asg }
-
-// repairUndo records one routing's repair so it can be rolled back.
-type repairUndo struct {
-	lr      *liveRouting
-	removed map[[2]int][]PathAssignment
-	added   map[[2]int]int
+// proof that the current set carries the matrix. The assignment
+// slices are live state; callers must not mutate them.
+func (s *Shaver) Witness() map[[2]int][]PathAssignment {
+	out := make(map[[2]int][]PathAssignment, len(s.base.pairs))
+	for i, pair := range s.base.pairs {
+		out[pair] = s.base.lists[i]
+	}
+	return out
 }
 
-// rollback undoes the repair. Pair order is sorted on both passes:
-// the residual rebuilds are float accumulations, and rolling back in
-// map order would leave resid at different ULPs than the forward
-// repair path computed, compounding across repair attempts.
+// repairUndo records one routing's repair so it can be rolled back.
+// idxs holds the touched pair indices in ascending order (repairs
+// process pairs in sorted order, so appending preserves it); removed
+// and added run parallel to idxs.
+type repairUndo struct {
+	lr      *liveRouting
+	idxs    []int
+	removed [][]PathAssignment
+	added   []int
+}
+
+// rollback undoes the repair. Both passes run in ascending pair
+// order: the residual rebuilds are float accumulations, and undoing
+// in any other order would leave resid at different ULPs than the
+// forward repair computed, compounding across repair attempts.
 func (u *repairUndo) rollback() {
 	lr := u.lr
-	added := make([][2]int, 0, len(u.added))
-	for pair := range u.added {
-		added = append(added, pair)
-	}
-	sortPairs(added)
-	for _, pair := range added {
-		n := u.added[pair]
-		asgs := lr.asg[pair]
+	for k, i := range u.idxs {
+		n := u.added[k]
+		if n == 0 {
+			continue
+		}
+		asgs := lr.lists[i]
 		for _, a := range asgs[len(asgs)-n:] {
 			for _, l := range a.Links {
 				lr.rt.resid[l] += a.Gbps
 			}
 		}
-		lr.asg[pair] = asgs[:len(asgs)-n]
+		lr.lists[i] = asgs[:len(asgs)-n]
 	}
-	removedPairs := make([][2]int, 0, len(u.removed))
-	for pair := range u.removed {
-		removedPairs = append(removedPairs, pair)
-	}
-	sortPairs(removedPairs)
-	for _, pair := range removedPairs {
-		for _, a := range u.removed[pair] {
+	for k, i := range u.idxs {
+		for _, a := range u.removed[k] {
 			for _, l := range a.Links {
 				lr.rt.resid[l] -= a.Gbps
 			}
-			lr.asg[pair] = append(lr.asg[pair], a)
+			lr.lists[i] = append(lr.lists[i], a)
 		}
 	}
 }
@@ -266,24 +348,25 @@ func (u *repairUndo) rollback() {
 // it. It returns the undo record and whether every assignment was
 // re-placed.
 func (s *Shaver) repair(lr *liveRouting, link int) (*repairUndo, bool) {
-	u := &repairUndo{lr: lr, removed: map[[2]int][]PathAssignment{}, added: map[[2]int]int{}}
-	// Deterministic pair order (map iteration order would make the
-	// repair — and therefore the whole auction — vary run to run).
-	var pairs [][2]int
-	for pair, asgs := range lr.asg {
+	u := &repairUndo{lr: lr}
+	// lr.pairs is sorted, so crossing pairs are released — and later
+	// re-placed — in the deterministic order repairs require.
+	for i := range lr.pairs {
+		asgs := lr.lists[i]
+		hit := false
 		for _, a := range asgs {
 			if crossesLink(a, link) {
-				pairs = append(pairs, pair)
+				hit = true
 				break
 			}
 		}
-	}
-	sortPairs(pairs)
-	for _, pair := range pairs {
-		var keep []PathAssignment
-		for _, a := range lr.asg[pair] {
+		if !hit {
+			continue
+		}
+		var keep, removed []PathAssignment
+		for _, a := range asgs {
 			if crossesLink(a, link) {
-				u.removed[pair] = append(u.removed[pair], a)
+				removed = append(removed, a)
 				for _, l := range a.Links {
 					lr.rt.resid[l] += a.Gbps
 				}
@@ -291,16 +374,20 @@ func (s *Shaver) repair(lr *liveRouting, link int) (*repairUndo, bool) {
 				keep = append(keep, a)
 			}
 		}
-		lr.asg[pair] = keep
+		lr.lists[i] = keep
+		u.idxs = append(u.idxs, i)
+		u.removed = append(u.removed, removed)
+		u.added = append(u.added, 0)
 	}
-	for _, pair := range pairs {
-		for _, a := range u.removed[pair] {
+	for k, i := range u.idxs {
+		pair := lr.pairs[i]
+		for _, a := range u.removed[k] {
 			placed := s.place(lr, pair, a.Gbps)
-			u.added[pair] += len(placed)
+			u.added[k] += len(placed)
 			if placed == nil {
 				return u, false
 			}
-			lr.asg[pair] = append(lr.asg[pair], placed...)
+			lr.lists[i] = append(lr.lists[i], placed...)
 		}
 	}
 	return u, true
@@ -309,21 +396,22 @@ func (s *Shaver) repair(lr *liveRouting, link int) (*repairUndo, bool) {
 // reanchor releases every assignment of the pair (its avoid set just
 // changed) and re-places it under the new avoid set.
 func (s *Shaver) reanchor(lr *liveRouting, pair [2]int) (*repairUndo, bool) {
-	u := &repairUndo{lr: lr, removed: map[[2]int][]PathAssignment{}, added: map[[2]int]int{}}
-	for _, a := range lr.asg[pair] {
-		u.removed[pair] = append(u.removed[pair], a)
+	i := lr.idx[pair]
+	u := &repairUndo{lr: lr, idxs: []int{i}, removed: [][]PathAssignment{nil}, added: []int{0}}
+	for _, a := range lr.lists[i] {
+		u.removed[0] = append(u.removed[0], a)
 		for _, l := range a.Links {
 			lr.rt.resid[l] += a.Gbps
 		}
 	}
-	lr.asg[pair] = nil
-	for _, a := range u.removed[pair] {
+	lr.lists[i] = nil
+	for _, a := range u.removed[0] {
 		placed := s.place(lr, pair, a.Gbps)
-		u.added[pair] += len(placed)
+		u.added[0] += len(placed)
 		if placed == nil {
 			return u, false
 		}
-		lr.asg[pair] = append(lr.asg[pair], placed...)
+		lr.lists[i] = append(lr.lists[i], placed...)
 	}
 	return u, true
 }
@@ -332,19 +420,19 @@ func (s *Shaver) reanchor(lr *liveRouting, pair [2]int) (*repairUndo, bool) {
 // when every routing repairs and every affected failure scenario
 // rebuilds; otherwise the state is rolled back.
 func (s *Shaver) TryDrop(link int) bool {
-	if !s.include[link] {
+	if !s.include.Contains(link) {
 		return false
 	}
 	// Tentatively remove the link everywhere, remembering which
 	// routings already banned it (a Constraint-2 scenario bans its
 	// failed primary; rollback must not clear that ban).
-	delete(s.include, link)
+	s.include.Remove(link)
 	s.version++
 	entry := s.routings()
 	preBanned := make([]bool, len(entry))
 	for i, lr := range entry {
-		preBanned[i] = lr.banned[link]
-		lr.banned[link] = true
+		preBanned[i] = lr.banned.Contains(link)
+		lr.ban(link)
 	}
 	var undos []*repairUndo
 	ok := true
@@ -359,13 +447,14 @@ func (s *Shaver) TryDrop(link int) bool {
 	// scenarios repair incrementally.
 	type scenarioSwap struct {
 		sc         *scenario
-		oldPrimary map[int]bool
+		oldPrimary *linkset.Set
 		oldLR      *liveRouting
+		newLR      *liveRouting
 	}
 	var swaps []scenarioSwap
 	if ok {
 		for _, sc := range s.scenarios {
-			if !sc.primary[link] {
+			if !sc.primary.Contains(link) {
 				u, repaired := s.repair(sc.lr, link)
 				undos = append(undos, u)
 				if !repaired {
@@ -379,20 +468,20 @@ func (s *Shaver) TryDrop(link int) bool {
 				ok = false
 				break
 			}
-			failed := cloneSet(newPrimary, 0)
-			for id := range sc.lr.banned {
-				if id != link && !s.include[id] {
+			failed := newPrimary.Clone()
+			sc.lr.banned.Iterate(func(id int) {
+				if id != link && !s.include.Contains(id) {
 					// Keep previously shaved links out of the rebuild.
-					failed[id] = true
+					failed.Add(id)
 				}
-			}
-			failed[link] = true
+			})
+			failed.Add(link)
 			newLR := newLive(s.p, s.include, failed, nil, s.tm, s.opts)
 			if newLR == nil {
 				ok = false
 				break
 			}
-			swaps = append(swaps, scenarioSwap{sc: sc, oldPrimary: sc.primary, oldLR: sc.lr})
+			swaps = append(swaps, scenarioSwap{sc: sc, oldPrimary: sc.primary, oldLR: sc.lr, newLR: newLR})
 			sc.primary = newPrimary
 			sc.lr = newLR
 		}
@@ -403,7 +492,7 @@ func (s *Shaver) TryDrop(link int) bool {
 	// incrementally.
 	type avoidSwap struct {
 		pair [2]int
-		old  map[int]bool
+		old  *linkset.Set
 	}
 	var avoidSwaps []avoidSwap
 	if ok && s.degraded != nil {
@@ -415,7 +504,7 @@ func (s *Shaver) TryDrop(link int) bool {
 		if ok {
 			var moved [][2]int
 			for pair, av := range s.degraded.avoid {
-				if av[link] {
+				if av.Contains(link) {
 					moved = append(moved, pair)
 				}
 			}
@@ -439,6 +528,11 @@ func (s *Shaver) TryDrop(link int) bool {
 	}
 
 	if ok {
+		// Committed: the replaced scenario routings return their arenas.
+		for _, sw := range swaps {
+			s.ws.release(sw.oldLR.rt)
+			sw.oldLR.rt = nil
+		}
 		return true
 	}
 	// Rollback in reverse order of the mutations.
@@ -453,12 +547,14 @@ func (s *Shaver) TryDrop(link int) bool {
 	for i := len(swaps) - 1; i >= 0; i-- {
 		swaps[i].sc.primary = swaps[i].oldPrimary
 		swaps[i].sc.lr = swaps[i].oldLR
+		s.ws.release(swaps[i].newLR.rt)
+		swaps[i].newLR.rt = nil
 	}
-	s.include[link] = true
+	s.include.Add(link)
 	s.version++
 	for i, lr := range entry {
 		if !preBanned[i] {
-			delete(lr.banned, link)
+			lr.unban(link)
 		}
 	}
 	return false
@@ -468,11 +564,11 @@ func (s *Shaver) TryDrop(link int) bool {
 // across up to MaxPaths paths. It returns nil if the full amount does
 // not fit (partial placements are rolled back internally).
 func (s *Shaver) place(lr *liveRouting, pair [2]int, gbps float64) []PathAssignment {
-	avoid := lr.avoid[pair]
+	filter := lr.usableFilter(lr.avoid[pair])
 	var out []PathAssignment
 	remaining := gbps
 	for attempt := 0; attempt < s.opts.MaxPaths && remaining > 1e-9; attempt++ {
-		path := lr.rt.pr.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), lr.usableFilter(avoid))
+		path := lr.rt.pr.Path(graph.NodeID(pair[0]), graph.NodeID(pair[1]), filter)
 		if len(path.Edges) == 0 {
 			break
 		}
@@ -515,10 +611,7 @@ func (s *Shaver) Shave(price func(link int) float64, maxPasses int) int {
 	}
 	dropped := 0
 	for pass := 0; pass < maxPasses; pass++ {
-		var cand []int
-		for id := range s.include {
-			cand = append(cand, id)
-		}
+		cand := s.include.AppendIDs(make([]int, 0, s.include.Len()))
 		sort.Slice(cand, func(i, j int) bool {
 			pi, pj := price(cand[i]), price(cand[j])
 			if pi != pj {
@@ -558,24 +651,11 @@ func sortPairs(pairs [][2]int) {
 	})
 }
 
-// cloneSet copies include; nil means all links. Pre-sized: it runs
-// per feasibility check and map growth shows up in alloc profiles.
-func cloneSet(include map[int]bool, total int) map[int]bool {
-	size := len(include)
+// cloneInclude materializes an include set (nil means all links) as an
+// independent, mutable set.
+func cloneInclude(include *linkset.Set, total int) *linkset.Set {
 	if include == nil {
-		size = total
+		return linkset.All(total)
 	}
-	out := make(map[int]bool, size)
-	if include == nil {
-		for i := 0; i < total; i++ {
-			out[i] = true
-		}
-		return out
-	}
-	for id, ok := range include {
-		if ok {
-			out[id] = true
-		}
-	}
-	return out
+	return include.Clone()
 }

@@ -37,8 +37,8 @@ func TestShaverDropsRedundantLinks(t *testing.T) {
 		t.Fatalf("dropped %d links, want 2", dropped)
 	}
 	inc := sh.Include()
-	if len(inc) != 1 || !inc[0] {
-		t.Fatalf("kept %v, want cheapest link 0", inc)
+	if inc.Len() != 1 || !inc.Contains(0) {
+		t.Fatalf("kept %v, want cheapest link 0", inc.AppendIDs(nil))
 	}
 }
 
@@ -53,11 +53,11 @@ func TestShaverKeepsNeededCapacity(t *testing.T) {
 	price := func(l int) float64 { return float64(l + 1) }
 	sh.Shave(price, 0)
 	inc := sh.Include()
-	if len(inc) != 2 {
-		t.Fatalf("kept %d links, want 2", len(inc))
+	if inc.Len() != 2 {
+		t.Fatalf("kept %d links, want 2", inc.Len())
 	}
-	if !inc[0] || !inc[1] {
-		t.Fatalf("kept %v, want the two cheapest", inc)
+	if !inc.Contains(0) || !inc.Contains(1) {
+		t.Fatalf("kept %v, want the two cheapest", inc.AppendIDs(nil))
 	}
 }
 
@@ -86,8 +86,8 @@ func TestShaverTryDropRollsBack(t *testing.T) {
 	if sh.TryDrop(1) || sh.TryDrop(0) {
 		t.Fatal("rollback corrupted state")
 	}
-	if len(sh.Include()) != 2 {
-		t.Fatalf("include = %v", sh.Include())
+	if sh.Include().Len() != 2 {
+		t.Fatalf("include = %v", sh.Include().AppendIDs(nil))
 	}
 }
 
@@ -116,8 +116,8 @@ func TestShaverConstraint2KeepsBackup(t *testing.T) {
 	}
 	price := func(l int) float64 { return float64(l + 1) }
 	sh.Shave(price, 0)
-	if len(sh.Include()) != 2 {
-		t.Fatalf("kept %d links under constraint2, want 2 (primary + backup)", len(sh.Include()))
+	if sh.Include().Len() != 2 {
+		t.Fatalf("kept %d links under constraint2, want 2 (primary + backup)", sh.Include().Len())
 	}
 }
 
@@ -132,8 +132,8 @@ func TestShaverConstraint3KeepsDetour(t *testing.T) {
 	price := func(l int) float64 { return float64(l + 1) }
 	sh.Shave(price, 0)
 	// The degraded routing must avoid the primary link entirely.
-	if len(sh.Include()) != 2 {
-		t.Fatalf("kept %d links under constraint3, want 2", len(sh.Include()))
+	if sh.Include().Len() != 2 {
+		t.Fatalf("kept %d links under constraint3, want 2", sh.Include().Len())
 	}
 }
 
@@ -157,7 +157,7 @@ func TestShaverDeterministic(t *testing.T) {
 			t.Fatal("infeasible")
 		}
 		sh.Shave(price, 0)
-		sizes = append(sizes, len(sh.Include()))
+		sizes = append(sizes, sh.Include().Len())
 	}
 	if sizes[0] != sizes[1] || sizes[1] != sizes[2] {
 		t.Fatalf("nondeterministic shave: %v", sizes)
@@ -180,9 +180,9 @@ func TestShaverResultStillRoutes(t *testing.T) {
 	if !ok {
 		t.Fatal("infeasible")
 	}
-	before := len(sh.Include())
+	before := sh.Include().Len()
 	sh.Shave(func(l int) float64 { return p.Links[l].DistanceKm }, 0)
-	after := len(sh.Include())
+	after := sh.Include().Len()
 	if after >= before {
 		t.Fatalf("shave dropped nothing (%d -> %d)", before, after)
 	}
@@ -197,7 +197,7 @@ func TestShaverResultStillRoutes(t *testing.T) {
 			placed += a.Gbps
 			for _, l := range a.Links {
 				used[l] += a.Gbps
-				if !sh.Include()[l] {
+				if !sh.Include().Contains(l) {
 					t.Fatalf("witness uses shaved link %d", l)
 				}
 			}

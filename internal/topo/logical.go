@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/public-option/poc/internal/graph"
+	"github.com/public-option/poc/internal/linkset"
 )
 
 // LogicalLink is a point-to-point connection between two POC routers
@@ -202,11 +203,15 @@ func (p *POCNetwork) Summary() string {
 // a bidirectional edge with its distance as cost. The returned mapping
 // gives, for each logical link ID, the two directed edge IDs created
 // for it (or absent if the link was not included).
-func (p *POCNetwork) Graph(include map[int]bool) (*graph.Graph, map[int][2]graph.EdgeID) {
+func (p *POCNetwork) Graph(include *linkset.Set) (*graph.Graph, map[int][2]graph.EdgeID) {
 	g := graph.New(len(p.Routers))
-	edges := make(map[int][2]graph.EdgeID)
+	size := len(p.Links)
+	if include != nil {
+		size = include.Len()
+	}
+	edges := make(map[int][2]graph.EdgeID, size)
 	for _, l := range p.Links {
-		if include != nil && !include[l.ID] {
+		if include != nil && !include.Contains(l.ID) {
 			continue
 		}
 		e1, e2 := g.AddBiEdge(graph.NodeID(l.A), graph.NodeID(l.B), l.DistanceKm, l.Capacity)

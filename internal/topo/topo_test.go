@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"github.com/public-option/poc/internal/linkset"
 )
 
 func TestHaversineKnownDistances(t *testing.T) {
@@ -341,7 +343,7 @@ func TestPOCGraphSubset(t *testing.T) {
 		t.Fatalf("edge map covers %d links", len(edgesAll))
 	}
 
-	include := map[int]bool{0: true, 1: true}
+	include := linkset.FromIDs([]int{0, 1}, len(p.Links))
 	sub, edges := p.Graph(include)
 	if sub.NumEdges() != 4 {
 		t.Fatalf("subset graph has %d edges, want 4", sub.NumEdges())
