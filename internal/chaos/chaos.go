@@ -68,7 +68,10 @@ type classAgg struct {
 // so every consumer iterates deterministically.
 func (e *Engine) measure() ([]string, map[string]*classAgg) {
 	aggs := map[string]*classAgg{}
-	for _, fl := range e.poc.Fabric().Flows() {
+	// RangeFlows iterates in admission order — same per-class float
+	// accumulation order as a full snapshot, without copying the
+	// population.
+	e.poc.Fabric().RangeFlows(func(fl *netsim.Flow) bool {
 		a := aggs[fl.Class.Name]
 		if a == nil {
 			a = &classAgg{weight: fl.Class.Weight}
@@ -76,7 +79,8 @@ func (e *Engine) measure() ([]string, map[string]*classAgg) {
 		}
 		a.demand += fl.Demand
 		a.alloc += fl.Allocated
-	}
+		return true
+	})
 	names := make([]string, 0, len(aggs))
 	for n := range aggs {
 		names = append(names, n)
@@ -318,9 +322,10 @@ func (e *Engine) Run(epochs int) (*Report, error) {
 			// was re-placed on the new core; the ones the migration
 			// could not re-admit are dropped.
 			rec.Dropped += e.migratedLost
-			for _, fl := range e.poc.Fabric().Flows() {
-				classify(fl)
-			}
+			e.poc.Fabric().RangeFlows(func(fl *netsim.Flow) bool {
+				classify(*fl)
+				return true
+			})
 		} else {
 			ids := make([]int, 0, len(moved))
 			for id := range moved {

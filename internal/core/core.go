@@ -302,6 +302,58 @@ func (p *POC) StartFlow(src, dst string, gbps float64, class netsim.Class) (*net
 	return p.fabric.StartFlow(sid, did, gbps, class)
 }
 
+// FlowRequest is one admission in a bulk activation batch, between
+// two attached members.
+type FlowRequest struct {
+	Src, Dst string
+	Gbps     float64
+	Class    netsim.Class
+}
+
+// StartFlows admits a batch of flows in request order, applying the
+// same membership and suspension checks as StartFlow per entry. The
+// returned slice has one entry per request: the admitted flow's ID,
+// or -1 where admission failed. Use this for epoch activations that
+// put whole traffic-matrix populations on the fabric at once.
+func (p *POC) StartFlows(reqs []FlowRequest) ([]netsim.FlowID, error) {
+	if p.phase != phaseActive {
+		return nil, fmt.Errorf("core: POC not active")
+	}
+	ids := make([]netsim.FlowID, len(reqs))
+	specs := make([]netsim.FlowSpec, 0, len(reqs))
+	specAt := make([]int, 0, len(reqs))
+	for i, r := range reqs {
+		ids[i] = -1
+		if p.suspended[r.Src] || p.suspended[r.Dst] {
+			continue
+		}
+		sid, ok := p.endpoints[r.Src]
+		if !ok {
+			continue
+		}
+		did, ok := p.endpoints[r.Dst]
+		if !ok {
+			continue
+		}
+		specs = append(specs, netsim.FlowSpec{Src: sid, Dst: did, Demand: r.Gbps, Class: r.Class})
+		specAt = append(specAt, i)
+	}
+	for j, id := range p.fabric.StartFlows(specs) {
+		ids[specAt[j]] = id
+	}
+	return ids, nil
+}
+
+// StopFlows releases a batch of flows on the fabric, skipping IDs
+// that are unknown or already stopped, and returns how many were
+// stopped.
+func (p *POC) StopFlows(ids []netsim.FlowID) int {
+	if p.fabric == nil {
+		return 0
+	}
+	return p.fabric.StopFlows(ids)
+}
+
 // EpochReport summarizes one billing epoch.
 type EpochReport struct {
 	Epoch        int

@@ -121,10 +121,10 @@ func (p *POC) CheckSLAs() []SLAViolation {
 		return nil
 	}
 	var out []SLAViolation
-	for _, fl := range p.fabric.Flows() {
+	p.fabric.RangeFlows(func(fl *netsim.Flow) bool {
 		off, ok := p.qos[fl.Class.Name]
 		if !ok || off.MaxLatencyKm <= 0 {
-			continue
+			return true
 		}
 		lat := fl.LatencyKm
 		if fl.Allocated == 0 {
@@ -137,6 +137,7 @@ func (p *POC) CheckSLAs() []SLAViolation {
 				LatencyKm: lat, BoundKm: off.MaxLatencyKm,
 			})
 		}
-	}
+		return true
+	})
 	return out
 }

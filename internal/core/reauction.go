@@ -120,19 +120,30 @@ func (p *POC) ReauctionExcluding(tm *traffic.Matrix, exclude *linkset.Set) (*Rea
 		}
 		idMap[ep.ID] = nid
 	}
-	// Highest class first, then admission order.
+	// Highest class first, then admission order (Seq, not ID — flow
+	// IDs recycle table slots and are not admission-ordered).
 	sort.Slice(oldFlows, func(i, j int) bool {
 		if oldFlows[i].Class.Weight != oldFlows[j].Class.Weight {
 			return oldFlows[i].Class.Weight > oldFlows[j].Class.Weight
 		}
-		return oldFlows[i].ID < oldFlows[j].ID
+		return oldFlows[i].Seq < oldFlows[j].Seq
 	})
-	for _, fl := range oldFlows {
-		nf, err := newFabric.StartFlow(idMap[fl.Src], idMap[fl.Dst], fl.Demand, fl.Class)
+	specs := make([]netsim.FlowSpec, len(oldFlows))
+	for i, fl := range oldFlows {
+		specs[i] = netsim.FlowSpec{
+			Src: idMap[fl.Src], Dst: idMap[fl.Dst], Demand: fl.Demand, Class: fl.Class,
+		}
+	}
+	for i, id := range newFabric.StartFlows(specs) {
+		if id < 0 {
+			rep.FlowsLost++
+			continue
+		}
+		nf, err := newFabric.Flow(id)
 		switch {
 		case err != nil:
 			rep.FlowsLost++
-		case nf.Allocated >= fl.Allocated-1e-9:
+		case nf.Allocated >= oldFlows[i].Allocated-1e-9:
 			rep.FlowsKept++
 		default:
 			rep.FlowsDegraded++

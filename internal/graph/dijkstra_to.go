@@ -42,8 +42,19 @@ type PointRouter struct {
 // none exists. The returned path's Edges slice is freshly allocated
 // and owned by the caller.
 func (pr *PointRouter) Path(src, dst NodeID, filter EdgeFilter) Path {
+	edges, cost := pr.PathInto(nil, src, dst, filter)
+	return Path{Edges: edges, Cost: cost}
+}
+
+// PathInto is Path appending into a caller-provided buffer (typically
+// scratch[:0] of a reused slice), so steady-state calls allocate
+// nothing once the buffer has grown to the longest path seen. It
+// returns the edge sequence and its cost; on an unreachable pair the
+// buffer is returned unextended with +Inf cost, and src == dst yields
+// an empty sequence at cost 0.
+func (pr *PointRouter) PathInto(buf []EdgeID, src, dst NodeID, filter EdgeFilter) ([]EdgeID, float64) {
 	if src == dst {
-		return Path{}
+		return buf, 0
 	}
 	g := pr.g
 	s := &pr.s
@@ -82,16 +93,17 @@ func (pr *PointRouter) Path(src, dst NodeID, filter EdgeFilter) Path {
 		}
 	}
 	if s.epoch[dst] != cur || math.IsInf(s.dist[dst], 1) {
-		return Path{Cost: math.Inf(1)}
+		return buf, math.Inf(1)
 	}
-	var rev []EdgeID
+	start := len(buf)
 	for n := dst; n != src; {
 		eid := s.parent[n]
-		rev = append(rev, eid)
+		buf = append(buf, eid)
 		n = g.edges[eid].From
 	}
+	rev := buf[start:]
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return Path{Edges: rev, Cost: s.dist[dst]}
+	return buf, s.dist[dst]
 }

@@ -2,10 +2,10 @@ package netsim
 
 import (
 	"math/rand"
-	"sort"
 	"testing"
 	"testing/quick"
 
+	"github.com/public-option/poc/internal/graph"
 	"github.com/public-option/poc/internal/topo"
 )
 
@@ -13,38 +13,40 @@ import (
 //
 //	(1) 0 <= resid[l] <= capacity[l] for every selected link;
 //	(2) resid[l] equals capacity[l] minus the ordered sum of
-//	    allocations crossing l (flows by ascending ID, then multicast
-//	    trees by ascending ID) — bit-for-bit, not within a tolerance,
-//	    because the fabric recomputes residuals as exactly this sum;
-//	(3) every flow's allocation is within [0, demand].
+//	    allocations crossing l (flows in admission order, then
+//	    multicast trees by ascending ID) — bit-for-bit, not within a
+//	    tolerance, because the fabric recomputes residuals as exactly
+//	    this sum — and the used[] shadow stays in exact lockstep;
+//	(3) every flow's allocation is within [0, demand];
+//	(4) the packed crossing indexes hold only live flows, in ascending
+//	    admission order, with a consistent total entry count;
+//	(5) the shards' degraded registries hold exactly the below-demand
+//	    flows.
 func invariants(t *testing.T, f *Fabric) {
 	t.Helper()
 	used := make([]float64, len(f.net.Links))
-	flowIDs := make([]int, 0, len(f.flows))
-	for id := range f.flows {
-		flowIDs = append(flowIDs, int(id))
-	}
-	sort.Ints(flowIDs)
-	for _, id := range flowIDs {
-		fl := f.flows[FlowID(id)]
+	degraded := 0
+	f.RangeFlows(func(fl *Flow) bool {
 		if fl.Allocated < -1e-9 || fl.Allocated > fl.Demand+1e-9 {
 			t.Fatalf("flow %d allocation %v outside [0,%v]", fl.ID, fl.Allocated, fl.Demand)
+		}
+		if fl.Allocated < fl.Demand-1e-9 {
+			degraded++
 		}
 		for _, l := range fl.Links {
 			used[l] += fl.Allocated
 		}
-	}
-	mcastIDs := make([]int, 0, len(f.mcasts))
-	for id := range f.mcasts {
-		mcastIDs = append(mcastIDs, int(id))
-	}
-	sort.Ints(mcastIDs)
-	for _, id := range mcastIDs {
-		for _, l := range f.mcasts[MulticastID(id)].TreeLinks {
-			used[l] += f.mcasts[MulticastID(id)].Gbps
+		return true
+	})
+	for _, m := range f.Multicasts() {
+		for _, l := range m.TreeLinks {
+			used[l] += m.Gbps
 		}
 	}
-	for id := range f.edgeFor {
+	for id, pair := range f.edgeFor {
+		if pair[0] == graph.Undefined {
+			continue
+		}
 		capacity := f.net.Links[id].Capacity
 		if f.resid[id] < -1e-9 || f.resid[id] > capacity+1e-9 {
 			t.Fatalf("link %d resid %v outside [0,%v]", id, f.resid[id], capacity)
@@ -53,6 +55,39 @@ func invariants(t *testing.T, f *Fabric) {
 			t.Fatalf("link %d: resid=%v but capacity−assignments=%v (drift %g)",
 				id, f.resid[id], capacity-used[id], f.resid[id]-(capacity-used[id]))
 		}
+		if f.resid[id] != capacity-f.used[id] {
+			t.Fatalf("link %d: resid=%v out of lockstep with used=%v", id, f.resid[id], f.used[id])
+		}
+	}
+	entries := 0
+	for l, list := range f.flowsOn {
+		for i, s := range list {
+			if f.tab.seq[s] < 0 {
+				t.Fatalf("link %d crossing index holds freed slot %d", l, s)
+			}
+			if i > 0 && f.tab.seq[list[i-1]] >= f.tab.seq[s] {
+				t.Fatalf("link %d crossing index out of admission order at %d", l, i)
+			}
+		}
+		entries += len(list)
+	}
+	if entries != f.nFlowIdx {
+		t.Fatalf("crossing index holds %d entries, counter says %d", entries, f.nFlowIdx)
+	}
+	registered := 0
+	for i := range f.shards {
+		for _, s := range f.shards[i].degraded {
+			if f.tab.seq[s] < 0 {
+				t.Fatalf("shard %d registers freed slot %d as degraded", i, s)
+			}
+			if int(f.tab.src[s]) != i {
+				t.Fatalf("slot %d registered in shard %d but sourced at %d", s, i, f.tab.src[s])
+			}
+		}
+		registered += len(f.shards[i].degraded)
+	}
+	if registered != degraded {
+		t.Fatalf("shards register %d degraded flows, population has %d", registered, degraded)
 	}
 }
 
@@ -71,7 +106,10 @@ func drain(t *testing.T, f *Fabric) {
 			t.Fatalf("stop multicast %d: %v", m.ID, err)
 		}
 	}
-	for id := range f.edgeFor {
+	for id, pair := range f.edgeFor {
+		if pair[0] == graph.Undefined {
+			continue
+		}
 		if f.resid[id] != f.net.Links[id].Capacity {
 			t.Fatalf("link %d: resid %v != capacity %v after draining (drift %g)",
 				id, f.resid[id], f.net.Links[id].Capacity,
@@ -208,6 +246,7 @@ func TestFuzzFailRepairCycles(t *testing.T) {
 func FuzzFabricOps(f *testing.F) {
 	f.Add([]byte{0, 1, 30, 2, 40, 31, 3, 0, 32})
 	f.Add([]byte{30, 30, 31, 40, 41, 30, 0, 5})
+	f.Add([]byte{72, 35, 61, 45, 75, 63, 90, 28, 70, 65})
 	p := ringNet(50)
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		fab := New(p, nil)
@@ -242,8 +281,35 @@ func FuzzFabricOps(f *testing.F) {
 					}
 					live = live[1:]
 				}
+			case op < 70: // bulk-stop a prefix, with junk IDs mixed in
+				k := int(op-60) + 1
+				if k > len(live) {
+					k = len(live)
+				}
+				batch := append([]FlowID{-1, 1 << 40}, live[:k]...)
+				if stopped := fab.StopFlows(batch); stopped != k {
+					t.Fatalf("bulk stop of %d live flows stopped %d", k, stopped)
+				}
+				live = live[k:]
+			case op < 80: // bulk-start a batch of flows
+				var specs []FlowSpec
+				for i := 0; i < int(op-70)+2; i++ {
+					a := eps[i%len(eps)]
+					b := eps[(i+int(op))%len(eps)]
+					if a == b {
+						continue
+					}
+					specs = append(specs, FlowSpec{
+						Src: a, Dst: b, Demand: 1 + float64(int(op)+i)/7.0, Class: BestEffort,
+					})
+				}
+				for _, id := range fab.StartFlows(specs) {
+					if id >= 0 {
+						live = append(live, id)
+					}
+				}
 			default: // advance the clock
-				if err := fab.Tick(float64(op-60) * 0.25); err != nil {
+				if err := fab.Tick(float64(op-80) * 0.25); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -12,6 +12,15 @@
 // package can bill usage. QoS classes are open and posted-price:
 // a higher class buys a larger sharing weight, never a per-source
 // preference — the fabric has no notion of favored endpoints.
+//
+// The data plane is built for million-flow populations: flows live in
+// a struct-of-arrays table (flowtable.go) with paths in a shared
+// arena, per-link crossing indexes are packed slices kept in
+// admission order, and degraded flows are registered per source
+// attachment shard so repair passes touch only the shards that hold
+// victims. All of it is observationally identical to a naive
+// map-of-pointers fabric: residual sums, iteration orders and metric
+// samples reproduce the reference engine bit for bit.
 package netsim
 
 import (
@@ -75,12 +84,20 @@ type Class struct {
 // BestEffort is the default class.
 var BestEffort = Class{Name: "best-effort", Weight: 1, Price: 0}
 
-// FlowID identifies an admitted flow.
+// FlowID identifies an admitted flow. IDs encode the flow's table
+// slot plus a per-slot generation, so the ID of a stopped flow stays
+// permanently invalid even after its slot is recycled. IDs are opaque
+// and non-negative; their numeric order is NOT admission order — use
+// Flow.Seq for that.
 type FlowID int
 
 // Flow is one admitted aggregate flow.
 type Flow struct {
-	ID        FlowID
+	ID FlowID
+	// Seq is the flow's admission sequence number. Flows, RangeFlows
+	// and every order-sensitive accumulation inside the fabric iterate
+	// in ascending Seq (admission) order; unlike ID it never recycles.
+	Seq       int64
 	Src, Dst  EndpointID
 	Demand    float64 // requested Gbps
 	Allocated float64 // reserved Gbps (≤ Demand)
@@ -91,6 +108,14 @@ type Flow struct {
 	TransferredGB float64
 }
 
+// shard is the per-source-attachment slice of the flow population.
+// Its degraded registry lists every slot whose flow is below demand —
+// exactly the victim set of a repair pass — so RepairLinks gathers
+// victims without scanning the table.
+type shard struct {
+	degraded []int32
+}
+
 // Fabric is the POC data plane over a selected link set.
 type Fabric struct {
 	net      *topo.POCNetwork
@@ -98,24 +123,48 @@ type Fabric struct {
 	failed   *linkset.Set
 
 	endpoints []Endpoint
-	flows     map[FlowID]*Flow
-	nextFlow  FlowID
+	epByName  map[string]EndpointID
+	// shards is indexed by source EndpointID, in lockstep with
+	// endpoints.
+	shards []shard
+
+	tab       flowTable
 	mcasts    map[MulticastID]*Multicast
 	nextMcast int
 	anycast   map[string][]EndpointID
-	resid     []float64 // remaining Gbps per logical link
 
-	// Per-link crossing indexes: which flows / multicast trees hold a
-	// reservation on each logical link. recompute reads these instead
-	// of scanning every flow, so a reroute pass costs O(path × flows
-	// on the touched links) rather than O(path × all flows).
-	flowsOn  map[int]map[FlowID]struct{}
-	mcastsOn map[int]map[MulticastID]struct{}
+	// used / resid are maintained in lockstep per logical link:
+	// used[l] is the deterministically-ordered allocation sum and
+	// resid[l] is always Capacity − used[l], written together so both
+	// reproduce a from-scratch recompute bit for bit.
+	used  []float64
+	resid []float64
+
+	// Per-link crossing indexes: packed slices of the flow slots /
+	// multicast IDs holding a reservation on each logical link, kept
+	// in ascending admission (seq) order so residual resums read them
+	// front to back with no sorting.
+	flowsOn  [][]int32
+	mcastsOn [][]int32
 
 	g       *graph.Graph
 	pr      *graph.PointRouter
 	linkFor []int32
-	edgeFor map[int][2]graph.EdgeID
+	edgeFor [][2]graph.EdgeID
+
+	// want + wantFilter implement the capacity edge filter without a
+	// closure allocation per path search; edgeBuf is the reusable
+	// Dijkstra output buffer.
+	want       float64
+	wantFilter graph.EdgeFilter
+	edgeBuf    []graph.EdgeID
+
+	// Epoch-stamped scratch for bulk operations (see nextMark).
+	linkMark   []uint32
+	markCur    uint32
+	touchedBuf []int32
+	slotsBuf   []int32
+	victimBuf  []int32
 
 	// obs, when non-nil, receives fabric metrics (flow admission and
 	// reroute outcomes, per-link peak utilization, crossing-index
@@ -138,10 +187,12 @@ func New(p *topo.POCNetwork, selected map[int]bool) *Fabric {
 		net:      p,
 		selected: sel,
 		failed:   linkset.New(len(p.Links)),
-		flows:    map[FlowID]*Flow{},
+		epByName: map[string]EndpointID{},
+		used:     make([]float64, len(p.Links)),
 		resid:    make([]float64, len(p.Links)),
-		flowsOn:  map[int]map[FlowID]struct{}{},
-		mcastsOn: map[int]map[MulticastID]struct{}{},
+		flowsOn:  make([][]int32, len(p.Links)),
+		mcastsOn: make([][]int32, len(p.Links)),
+		linkMark: make([]uint32, len(p.Links)),
 	}
 	f.g, f.edgeFor = p.Graph(sel)
 	if f.selected == nil {
@@ -149,11 +200,21 @@ func New(p *topo.POCNetwork, selected map[int]bool) *Fabric {
 	}
 	f.linkFor = make([]int32, f.g.NumEdges())
 	for id, pair := range f.edgeFor {
+		if pair[0] == graph.Undefined {
+			continue
+		}
 		f.linkFor[pair[0]] = int32(id)
 		f.linkFor[pair[1]] = int32(id)
 		f.resid[id] = p.Links[id].Capacity
 	}
 	f.pr = graph.NewPointRouter(f.g)
+	f.wantFilter = func(id graph.EdgeID, e *graph.Edge) bool {
+		l := int(f.linkFor[id])
+		if f.failed.Contains(l) {
+			return false
+		}
+		return f.resid[l] >= f.want
+	}
 	return f
 }
 
@@ -163,13 +224,13 @@ func (f *Fabric) Attach(name string, kind EndpointKind, router int) (EndpointID,
 	if router < 0 || router >= len(f.net.Routers) {
 		return 0, fmt.Errorf("netsim: router %d out of range", router)
 	}
-	for _, e := range f.endpoints {
-		if e.Name == name {
-			return 0, fmt.Errorf("netsim: endpoint %q already attached", name)
-		}
+	if _, dup := f.epByName[name]; dup {
+		return 0, fmt.Errorf("netsim: endpoint %q already attached", name)
 	}
 	id := EndpointID(len(f.endpoints))
 	f.endpoints = append(f.endpoints, Endpoint{ID: id, Name: name, Kind: kind, Router: router})
+	f.shards = append(f.shards, shard{})
+	f.epByName[name] = id
 	return id, nil
 }
 
@@ -186,15 +247,12 @@ func (f *Fabric) Endpoints() []Endpoint {
 	return append([]Endpoint(nil), f.endpoints...)
 }
 
-// usable reports whether a logical link can carry more traffic.
+// usable reports whether a logical link can carry more traffic. The
+// returned filter is the fabric's shared bound filter, parameterized
+// by f.want — valid until the next usable or findPath call.
 func (f *Fabric) usable(want float64) graph.EdgeFilter {
-	return func(id graph.EdgeID, e *graph.Edge) bool {
-		l := int(f.linkFor[id])
-		if f.failed.Contains(l) {
-			return false
-		}
-		return f.resid[l] >= want
-	}
+	f.want = want
+	return f.wantFilter
 }
 
 // findPath returns the cheapest path able to carry the full demand,
@@ -203,119 +261,176 @@ func (f *Fabric) usable(want float64) graph.EdgeFilter {
 // placement is what makes repair meaningful: after a link comes back,
 // a degraded flow prefers a slightly longer path that restores its
 // full allocation over the short one that cannot.
-func (f *Fabric) findPath(a, b int, demand float64) graph.Path {
-	path := f.pr.Path(graph.NodeID(a), graph.NodeID(b), f.usable(demand))
-	if math.IsInf(path.Cost, 1) {
-		path = f.pr.Path(graph.NodeID(a), graph.NodeID(b), f.usable(1e-9))
+//
+// The returned edge slice is the fabric's scratch buffer: it is valid
+// only until the next findPath call.
+func (f *Fabric) findPath(a, b int, demand float64) ([]graph.EdgeID, float64) {
+	f.want = demand
+	edges, cost := f.pr.PathInto(f.edgeBuf[:0], graph.NodeID(a), graph.NodeID(b), f.wantFilter)
+	if math.IsInf(cost, 1) {
+		f.want = 1e-9
+		edges, cost = f.pr.PathInto(f.edgeBuf[:0], graph.NodeID(a), graph.NodeID(b), f.wantFilter)
 	}
-	return path
+	f.edgeBuf = edges
+	return edges, cost
 }
 
-// StartFlow admits an aggregate flow between two endpoints. The flow
-// reserves min(demand, bottleneck) Gbps along the cheapest usable
-// path; a flow that can reserve nothing is rejected. The class must
-// have Weight >= 1 (use BestEffort for the default).
-func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class) (*Flow, error) {
-	se, err := f.Endpoint(src)
-	if err != nil {
-		return nil, err
-	}
-	de, err := f.Endpoint(dst)
-	if err != nil {
-		return nil, err
-	}
-	if demandGbps <= 0 || math.IsNaN(demandGbps) || math.IsInf(demandGbps, 0) {
-		return nil, fmt.Errorf("netsim: invalid demand %v", demandGbps)
-	}
-	if class.Weight < 1 || math.IsNaN(class.Weight) {
-		return nil, fmt.Errorf("netsim: class weight %v < 1", class.Weight)
-	}
-	if se.Router == de.Router {
-		// Same attachment site: the fabric carries it for free (local
-		// cross-connect); no links reserved.
-		fl := &Flow{ID: f.nextFlow, Src: src, Dst: dst, Demand: demandGbps,
-			Allocated: demandGbps, Class: class}
-		f.nextFlow++
-		f.flows[fl.ID] = fl
-		f.obs.Add("netsim.flows.admitted", 1)
-		f.obs.Add("netsim.flows.local", 1)
-		return fl, nil
-	}
-	path := f.findPath(se.Router, de.Router, demandGbps)
-	if math.IsInf(path.Cost, 1) {
-		f.obs.Add("netsim.flows.rejected", 1)
-		return nil, fmt.Errorf("netsim: no usable path %s→%s", se.Name, de.Name)
-	}
-	alloc := demandGbps
-	links := make([]int, len(path.Edges))
-	lat := 0.0
-	for i, eid := range path.Edges {
-		l := int(f.linkFor[eid])
-		links[i] = l
-		lat += f.net.Links[l].DistanceKm
-		if f.resid[l] < alloc {
-			alloc = f.resid[l]
+// nextMark advances the epoch stamp used by bulk operations for O(1)
+// set membership over slots and links. On the (astronomically rare)
+// wraparound the stamp arrays are cleared so stale marks cannot
+// collide.
+func (f *Fabric) nextMark() uint32 {
+	f.markCur++
+	if f.markCur == 0 {
+		for i := range f.tab.mark {
+			f.tab.mark[i] = 0
 		}
+		for i := range f.linkMark {
+			f.linkMark[i] = 0
+		}
+		f.markCur = 1
 	}
-	if alloc <= 1e-9 {
-		f.obs.Add("netsim.flows.rejected", 1)
-		return nil, fmt.Errorf("netsim: no capacity on path %s→%s", se.Name, de.Name)
-	}
-	fl := &Flow{ID: f.nextFlow, Src: src, Dst: dst, Demand: demandGbps,
-		Allocated: alloc, Class: class, Links: links, LatencyKm: lat}
-	f.nextFlow++
-	f.flows[fl.ID] = fl
-	f.indexFlow(fl)
-	f.recompute(links)
-	f.obs.Add("netsim.flows.admitted", 1)
-	return fl, nil
+	return f.markCur
 }
 
-// StopFlow releases a flow's reservation.
-func (f *Fabric) StopFlow(id FlowID) error {
-	fl, ok := f.flows[id]
-	if !ok {
-		return fmt.Errorf("netsim: unknown flow %d", id)
+// setUsed writes a link's allocation sum, keeps the residual in
+// lockstep, and samples the utilization peak exactly where a full
+// recompute would have.
+func (f *Fabric) setUsed(l int, used float64) {
+	f.used[l] = used
+	f.resid[l] = f.net.Links[l].Capacity - used
+	if f.obs != nil && used > 0 {
+		f.obs.KeyedMax("netsim.link_peak_util", l, used/f.net.Links[l].Capacity)
 	}
-	links := fl.Links
-	f.unindexFlow(fl)
-	delete(f.flows, id)
-	f.recompute(links)
-	f.obs.Add("netsim.flows.stopped", 1)
-	return nil
+}
+
+// resum rebuilds one link's allocation sum from first principles:
+// flows in admission order, then multicasts in ID order — the same
+// deterministic left-to-right float sum a full scan of a sorted flow
+// map would produce. Keeping residuals as exact ordered sums (instead
+// of adding and subtracting float deltas) means fail → repair → fail
+// cycles conserve capacity bit for bit over arbitrarily long
+// simulations: a link whose last reservation is released reads
+// exactly Capacity again, with no accumulated rounding drift.
+func (f *Fabric) resum(l int) {
+	used := 0.0
+	for _, s := range f.flowsOn[l] {
+		used += f.tab.alloc[s]
+	}
+	for _, id := range f.mcastsOn[l] {
+		used += f.mcasts[MulticastID(id)].Gbps
+	}
+	f.setUsed(l, used)
+}
+
+// recompute resums the given logical links. The packed crossing
+// indexes keep this cheap: only the flows actually on a touched link
+// are summed, already in deterministic admission order.
+func (f *Fabric) recompute(links []int) {
+	for _, l := range links {
+		f.resum(l)
+	}
+}
+
+// addUsed credits a fresh reservation on a link. The increment equals
+// a full resum by induction — the link's flow list only ever grows at
+// the tail between resums — but only while no multicast holds the
+// link: multicast rates sum after all flow allocations, so a tail
+// append under a multicast must fall back to the full ordered resum
+// to keep the float sum's association order exact.
+func (f *Fabric) addUsed(l int, alloc float64) {
+	if len(f.mcastsOn[l]) == 0 {
+		f.setUsed(l, f.used[l]+alloc)
+	} else {
+		f.resum(l)
+	}
+}
+
+// setAlloc writes a flow's allocation and maintains its source
+// shard's degraded registry: membership is exactly "allocated below
+// demand", the repair pass's victim predicate.
+func (f *Fabric) setAlloc(s int32, alloc float64) {
+	t := &f.tab
+	t.alloc[s] = alloc
+	deg := alloc < t.demand[s]-1e-9
+	if pos := t.degPos[s]; deg && pos < 0 {
+		sh := &f.shards[t.src[s]]
+		t.degPos[s] = int32(len(sh.degraded))
+		sh.degraded = append(sh.degraded, s)
+	} else if !deg && pos >= 0 {
+		f.clearDegraded(s)
+	}
+}
+
+// clearDegraded removes a slot from its shard's degraded registry
+// (swap-delete; the registry is order-free, victims are re-sorted at
+// gather time).
+func (f *Fabric) clearDegraded(s int32) {
+	t := &f.tab
+	pos := t.degPos[s]
+	if pos < 0 {
+		return
+	}
+	sh := &f.shards[t.src[s]]
+	last := sh.degraded[len(sh.degraded)-1]
+	sh.degraded[pos] = last
+	t.degPos[last] = pos
+	sh.degraded = sh.degraded[:len(sh.degraded)-1]
+	t.degPos[s] = -1
+}
+
+// crossInsert adds a slot to a link's packed crossing index, keeping
+// it in ascending admission order. A freshly admitted flow carries
+// the globally largest seq and appends in O(1); a re-placed flow
+// (which kept its original seq) binary-searches its position.
+func (f *Fabric) crossInsert(l int, s int32) {
+	list := f.flowsOn[l]
+	seq := f.tab.seq[s]
+	if n := len(list); n == 0 || f.tab.seq[list[n-1]] < seq {
+		f.flowsOn[l] = append(list, s)
+		return
+	}
+	i := sort.Search(len(list), func(k int) bool { return f.tab.seq[list[k]] > seq })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = s
+	f.flowsOn[l] = list
+}
+
+// crossRemove deletes a slot from a link's packed crossing index by
+// binary search on its admission seq.
+func (f *Fabric) crossRemove(l int, s int32) {
+	list := f.flowsOn[l]
+	seq := f.tab.seq[s]
+	i := sort.Search(len(list), func(k int) bool { return f.tab.seq[list[k]] >= seq })
+	f.flowsOn[l] = append(list[:i], list[i+1:]...)
 }
 
 // indexFlow records a flow's reservation on each link of its path.
-func (f *Fabric) indexFlow(fl *Flow) {
-	for _, l := range fl.Links {
-		set := f.flowsOn[l]
-		if set == nil {
-			set = map[FlowID]struct{}{}
-			f.flowsOn[l] = set
-		}
-		set[fl.ID] = struct{}{}
+func (f *Fabric) indexFlow(s int32) {
+	links := f.tab.path(s)
+	for _, l := range links {
+		f.crossInsert(int(l), s)
 	}
-	f.nFlowIdx += len(fl.Links)
+	f.nFlowIdx += len(links)
 	f.obs.SetMax("netsim.crossing.flow_entries_peak", float64(f.nFlowIdx))
 }
 
 // unindexFlow removes a flow's reservation from each link of its path.
-func (f *Fabric) unindexFlow(fl *Flow) {
-	for _, l := range fl.Links {
-		delete(f.flowsOn[l], fl.ID)
+func (f *Fabric) unindexFlow(s int32) {
+	links := f.tab.path(s)
+	for _, l := range links {
+		f.crossRemove(int(l), s)
 	}
-	f.nFlowIdx -= len(fl.Links)
+	f.nFlowIdx -= len(links)
 }
 
-// indexMcast records a multicast tree's reservation on each tree link.
+// indexMcast records a multicast tree's reservation on each tree
+// link. Multicast IDs never recycle, so a new tree always appends at
+// the tail of each link's (ascending) index.
 func (f *Fabric) indexMcast(m *Multicast) {
 	for _, l := range m.TreeLinks {
-		set := f.mcastsOn[l]
-		if set == nil {
-			set = map[MulticastID]struct{}{}
-			f.mcastsOn[l] = set
-		}
-		set[m.ID] = struct{}{}
+		f.mcastsOn[l] = append(f.mcastsOn[l], int32(m.ID))
 	}
 	f.nMcastIdx += len(m.TreeLinks)
 	f.obs.SetMax("netsim.crossing.mcast_entries_peak", float64(f.nMcastIdx))
@@ -324,70 +439,296 @@ func (f *Fabric) indexMcast(m *Multicast) {
 // unindexMcast removes a multicast tree's reservation from each link.
 func (f *Fabric) unindexMcast(m *Multicast) {
 	for _, l := range m.TreeLinks {
-		delete(f.mcastsOn[l], m.ID)
+		list := f.mcastsOn[l]
+		i := sort.Search(len(list), func(k int) bool { return list[k] >= int32(m.ID) })
+		f.mcastsOn[l] = append(list[:i], list[i+1:]...)
 	}
 	f.nMcastIdx -= len(m.TreeLinks)
 }
 
-// recompute rebuilds the residual capacity of the given logical links
-// from first principles: capacity minus the allocations crossing the
-// link, summed in ascending flow ID then multicast ID order. Keeping
-// the residuals as exact, deterministically-ordered sums (instead of
-// incrementally adding and subtracting float deltas) means fail →
-// repair → fail cycles conserve capacity bit for bit over arbitrarily
-// long simulations — a link whose last reservation is released reads
-// exactly Capacity again, with no accumulated rounding drift. The
-// crossing indexes keep this cheap: only the flows actually on a
-// touched link are summed, in the same deterministic order a full
-// scan would have produced.
-func (f *Fabric) recompute(links []int) {
-	for _, l := range links {
-		used := 0.0
-		flowIDs := make([]int, 0, len(f.flowsOn[l]))
-		for id := range f.flowsOn[l] {
-			flowIDs = append(flowIDs, int(id))
-		}
-		sort.Ints(flowIDs)
-		for _, id := range flowIDs {
-			used += f.flows[FlowID(id)].Allocated
-		}
-		mcastIDs := make([]int, 0, len(f.mcastsOn[l]))
-		for id := range f.mcastsOn[l] {
-			mcastIDs = append(mcastIDs, int(id))
-		}
-		sort.Ints(mcastIDs)
-		for _, id := range mcastIDs {
-			used += f.mcasts[MulticastID(id)].Gbps
-		}
-		f.resid[l] = f.net.Links[l].Capacity - used
-		if f.obs != nil && used > 0 {
-			f.obs.KeyedMax("netsim.link_peak_util", l, used/f.net.Links[l].Capacity)
+// StartFlow admits an aggregate flow between two endpoints. The flow
+// reserves min(demand, bottleneck) Gbps along the cheapest usable
+// path; a flow that can reserve nothing is rejected. The class must
+// have Weight >= 1 (use BestEffort for the default). The returned
+// Flow is a snapshot taken at admission.
+func (f *Fabric) StartFlow(src, dst EndpointID, demandGbps float64, class Class) (*Flow, error) {
+	s, err := f.startOne(src, dst, demandGbps, class)
+	if err != nil {
+		return nil, err
+	}
+	fl := f.snapshot(s)
+	return &fl, nil
+}
+
+// startOne is the allocation-lean admission core shared by StartFlow
+// and StartFlows; it returns the admitted flow's table slot.
+func (f *Fabric) startOne(src, dst EndpointID, demandGbps float64, class Class) (int32, error) {
+	se, err := f.Endpoint(src)
+	if err != nil {
+		return -1, err
+	}
+	de, err := f.Endpoint(dst)
+	if err != nil {
+		return -1, err
+	}
+	if demandGbps <= 0 || math.IsNaN(demandGbps) || math.IsInf(demandGbps, 0) {
+		return -1, fmt.Errorf("netsim: invalid demand %v", demandGbps)
+	}
+	if class.Weight < 1 || math.IsNaN(class.Weight) {
+		return -1, fmt.Errorf("netsim: class weight %v < 1", class.Weight)
+	}
+	if se.Router == de.Router {
+		// Same attachment site: the fabric carries it for free (local
+		// cross-connect); no links reserved.
+		s := f.tab.admit(src, dst, demandGbps, f.tab.internClass(class))
+		f.setAlloc(s, demandGbps)
+		f.obs.Add("netsim.flows.admitted", 1)
+		f.obs.Add("netsim.flows.local", 1)
+		return s, nil
+	}
+	edges, cost := f.findPath(se.Router, de.Router, demandGbps)
+	if math.IsInf(cost, 1) {
+		f.obs.Add("netsim.flows.rejected", 1)
+		return -1, fmt.Errorf("netsim: no usable path %s→%s", se.Name, de.Name)
+	}
+	t := &f.tab
+	start := len(t.arena.data)
+	alloc := demandGbps
+	lat := 0.0
+	for _, eid := range edges {
+		l := int(f.linkFor[eid])
+		t.arena.data = append(t.arena.data, int32(l))
+		lat += f.net.Links[l].DistanceKm
+		if f.resid[l] < alloc {
+			alloc = f.resid[l]
 		}
 	}
+	if alloc <= 1e-9 {
+		t.arena.data = t.arena.data[:start]
+		f.obs.Add("netsim.flows.rejected", 1)
+		return -1, fmt.Errorf("netsim: no capacity on path %s→%s", se.Name, de.Name)
+	}
+	s := t.admit(src, dst, demandGbps, t.internClass(class))
+	t.commitPath(s, start)
+	f.setAlloc(s, alloc)
+	t.latency[s] = lat
+	f.indexFlow(s)
+	for _, l := range t.path(s) {
+		f.addUsed(int(l), alloc)
+	}
+	f.obs.Add("netsim.flows.admitted", 1)
+	return s, nil
+}
+
+// FlowSpec is one admission request for the bulk entry points.
+type FlowSpec struct {
+	Src, Dst EndpointID
+	Demand   float64
+	Class    Class
+}
+
+// StartFlows admits a batch of flows in spec order, exactly as a
+// sequence of StartFlow calls would (each admission sees the
+// residuals left by the previous one) but without materializing a
+// snapshot per flow. The returned slice has one entry per spec: the
+// admitted flow's ID, or -1 where admission failed (invalid spec, no
+// usable path, or no capacity).
+func (f *Fabric) StartFlows(specs []FlowSpec) []FlowID {
+	f.tab.compactArena()
+	ids := make([]FlowID, len(specs))
+	for i := range specs {
+		sp := &specs[i]
+		s, err := f.startOne(sp.Src, sp.Dst, sp.Demand, sp.Class)
+		if err != nil {
+			ids[i] = -1
+			continue
+		}
+		ids[i] = f.tab.id(s)
+	}
+	return ids
+}
+
+// StopFlow releases a flow's reservation.
+func (f *Fabric) StopFlow(id FlowID) error {
+	s, ok := f.tab.lookup(id)
+	if !ok {
+		return fmt.Errorf("netsim: unknown flow %d", id)
+	}
+	f.stopSlot(s)
+	f.tab.compactArena()
+	f.obs.Add("netsim.flows.stopped", 1)
+	return nil
+}
+
+// stopSlot tears down one live flow: unindex, resum its links, free
+// its path span and recycle the slot.
+func (f *Fabric) stopSlot(s int32) {
+	t := &f.tab
+	links := t.path(s)
+	for _, l := range links {
+		f.crossRemove(int(l), s)
+	}
+	f.nFlowIdx -= len(links)
+	for _, l := range links {
+		f.resum(int(l))
+	}
+	f.clearDegraded(s)
+	t.freePath(s)
+	t.release(s)
+}
+
+// StopFlows releases a batch of flows and returns how many were
+// stopped. Unknown (already stopped or never admitted) IDs are
+// skipped — a bulk teardown is idempotent where the single-flow call
+// is strict. Each touched link's crossing index is rewritten in one
+// filter pass and resummed once, instead of once per stopped flow.
+func (f *Fabric) StopFlows(ids []FlowID) int {
+	t := &f.tab
+	mark := f.nextMark()
+	stopping := f.slotsBuf[:0]
+	touched := f.touchedBuf[:0]
+	for _, id := range ids {
+		s, ok := t.lookup(id)
+		if !ok || t.mark[s] == mark {
+			continue
+		}
+		t.mark[s] = mark
+		stopping = append(stopping, s)
+		for _, l := range t.path(s) {
+			if f.linkMark[l] != mark {
+				f.linkMark[l] = mark
+				touched = append(touched, l)
+			}
+		}
+	}
+	for _, l := range touched {
+		list := f.flowsOn[l]
+		out := list[:0]
+		for _, s := range list {
+			if t.mark[s] != mark {
+				out = append(out, s)
+			} else {
+				f.nFlowIdx--
+			}
+		}
+		f.flowsOn[l] = out
+	}
+	for _, s := range stopping {
+		f.clearDegraded(s)
+		t.freePath(s)
+		t.release(s)
+	}
+	for _, l := range touched {
+		f.resum(int(l))
+	}
+	f.slotsBuf, f.touchedBuf = stopping[:0], touched[:0]
+	t.compactArena()
+	if len(stopping) > 0 {
+		f.obs.Add("netsim.flows.stopped", int64(len(stopping)))
+	}
+	return len(stopping)
+}
+
+// snapshot materializes a Flow view of a live slot with a fresh Links
+// slice.
+func (f *Fabric) snapshot(s int32) Flow {
+	t := &f.tab
+	fl := Flow{
+		ID:            t.id(s),
+		Seq:           t.seq[s],
+		Src:           t.src[s],
+		Dst:           t.dst[s],
+		Demand:        t.demand[s],
+		Allocated:     t.alloc[s],
+		Class:         t.classes[t.classID[s]],
+		LatencyKm:     t.latency[s],
+		TransferredGB: t.transferred[s],
+	}
+	if n := t.pathLen[s]; n > 0 {
+		links := make([]int, n)
+		for i, l := range t.path(s) {
+			links[i] = int(l)
+		}
+		fl.Links = links
+	}
+	return fl
 }
 
 // Flow returns a snapshot of an admitted flow.
 func (f *Fabric) Flow(id FlowID) (Flow, error) {
-	fl, ok := f.flows[id]
+	s, ok := f.tab.lookup(id)
 	if !ok {
 		return Flow{}, fmt.Errorf("netsim: unknown flow %d", id)
 	}
-	return *fl, nil
+	return f.snapshot(s), nil
 }
 
-// Flows returns snapshots of all admitted flows in ID order.
+// Flows returns snapshots of all admitted flows in admission order.
+// All snapshots' Links share one backing array sized exactly for the
+// live population.
 func (f *Fabric) Flows() []Flow {
-	ids := make([]int, 0, len(f.flows))
-	for id := range f.flows {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	out := make([]Flow, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, *f.flows[FlowID(id)])
-	}
+	t := &f.tab
+	out := make([]Flow, 0, t.live)
+	backing := make([]int, 0, t.arena.liveLinks)
+	t.rangeLive(func(s int32) bool {
+		fl := Flow{
+			ID:            t.id(s),
+			Seq:           t.seq[s],
+			Src:           t.src[s],
+			Dst:           t.dst[s],
+			Demand:        t.demand[s],
+			Allocated:     t.alloc[s],
+			Class:         t.classes[t.classID[s]],
+			LatencyKm:     t.latency[s],
+			TransferredGB: t.transferred[s],
+		}
+		if n := t.pathLen[s]; n > 0 {
+			start := len(backing)
+			for _, l := range t.path(s) {
+				backing = append(backing, int(l))
+			}
+			fl.Links = backing[start:len(backing):len(backing)]
+		}
+		out = append(out, fl)
+		return true
+	})
 	return out
 }
+
+// RangeFlows calls fn for every admitted flow in admission order
+// without materializing the population: the *Flow argument (including
+// its Links slice) is reused between calls and valid only during the
+// callback. Return false to stop early. This is the allocation-free
+// alternative to Flows for hot read paths.
+func (f *Fabric) RangeFlows(fn func(*Flow) bool) {
+	t := &f.tab
+	var fl Flow
+	var linkBuf []int
+	t.rangeLive(func(s int32) bool {
+		fl = Flow{
+			ID:            t.id(s),
+			Seq:           t.seq[s],
+			Src:           t.src[s],
+			Dst:           t.dst[s],
+			Demand:        t.demand[s],
+			Allocated:     t.alloc[s],
+			Class:         t.classes[t.classID[s]],
+			LatencyKm:     t.latency[s],
+			TransferredGB: t.transferred[s],
+		}
+		if n := t.pathLen[s]; n > 0 {
+			linkBuf = linkBuf[:0]
+			for _, l := range t.path(s) {
+				linkBuf = append(linkBuf, int(l))
+			}
+			fl.Links = linkBuf
+		}
+		return fn(&fl)
+	})
+}
+
+// NumFlows returns the number of currently admitted flows.
+func (f *Fabric) NumFlows() int { return f.tab.live }
 
 // FailLink marks a logical link failed and re-routes the flows that
 // crossed it, in descending class-weight order (higher classes get
@@ -406,7 +747,7 @@ func (f *Fabric) FailLink(link int) []FlowID {
 // reservation to fail and must not appear in FailedLinks; nil is
 // returned when nothing newly failed.
 func (f *Fabric) FailLinks(links []int) []FlowID {
-	newly := linkset.New(len(f.net.Links))
+	newly := f.touchedBuf[:0]
 	count := 0
 	for _, link := range links {
 		if link < 0 || link >= len(f.net.Links) || f.failed.Contains(link) {
@@ -416,21 +757,30 @@ func (f *Fabric) FailLinks(links []int) []FlowID {
 			continue
 		}
 		f.failed.Add(link)
-		newly.Add(link)
+		newly = append(newly, int32(link))
 		count++
 	}
+	f.touchedBuf = newly[:0]
 	if count == 0 {
 		return nil
 	}
 	f.obs.Add("netsim.links.failed", int64(count))
-	return f.rerouteCrossing(func(fl *Flow) bool {
-		for _, l := range fl.Links {
-			if newly.Contains(l) {
-				return true
+	// Victims are exactly the flows crossing a newly failed link: read
+	// them off the crossing indexes (with an epoch stamp de-duping
+	// flows that crossed several of the cut links) instead of scanning
+	// the whole population.
+	t := &f.tab
+	mark := f.nextMark()
+	victims := f.victimBuf[:0]
+	for _, l := range newly {
+		for _, s := range f.flowsOn[l] {
+			if t.mark[s] != mark {
+				t.mark[s] = mark
+				victims = append(victims, s)
 			}
 		}
-		return false
-	})
+	}
+	return f.rerouteSlots(victims)
 }
 
 // RepairLink clears a failure and re-upgrades previously degraded or
@@ -457,7 +807,15 @@ func (f *Fabric) RepairLinks(links []int) []FlowID {
 		return nil
 	}
 	f.obs.Add("netsim.links.repaired", int64(repaired))
-	return f.rerouteCrossing(func(fl *Flow) bool { return fl.Allocated < fl.Demand-1e-9 })
+	// Victims are exactly the below-demand flows, which the shards'
+	// degraded registries hold by construction — no table scan. The
+	// gather order is irrelevant: rerouteSlots re-sorts by (class
+	// weight, admission seq).
+	victims := f.victimBuf[:0]
+	for i := range f.shards {
+		victims = append(victims, f.shards[i].degraded...)
+	}
+	return f.rerouteSlots(victims)
 }
 
 // RestoreLink is RepairLink under its historical name.
@@ -511,68 +869,80 @@ func (f *Fabric) SelectedLinks() []int {
 	return f.selected.AppendIDs(make([]int, 0, f.selected.Len()))
 }
 
-// rerouteCrossing releases and re-places every flow selected by sel.
-// It returns the IDs of all re-placed flows (their path, allocation,
-// or both may have changed).
-func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
-	var victims []*Flow
-	for _, fl := range f.flows {
-		if sel(fl) {
-			victims = append(victims, fl)
-		}
+// rerouteSlots releases and re-places the given flows in descending
+// class-weight order (ties broken by admission order). It returns the
+// IDs of all re-placed flows (their path, allocation, or both may
+// have changed), in ascending ID order.
+func (f *Fabric) rerouteSlots(victims []int32) []FlowID {
+	f.victimBuf = victims[:0]
+	if len(victims) == 0 {
+		return nil
 	}
+	t := &f.tab
 	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].Class.Weight != victims[j].Class.Weight {
-			return victims[i].Class.Weight > victims[j].Class.Weight
+		wi := t.classes[t.classID[victims[i]]].Weight
+		wj := t.classes[t.classID[victims[j]]].Weight
+		if wi != wj {
+			return wi > wj
 		}
-		return victims[i].ID < victims[j].ID
+		return t.seq[victims[i]] < t.seq[victims[j]]
 	})
-	var changed []FlowID
-	for _, fl := range victims {
-		changed = append(changed, fl.ID)
+	changed := make([]FlowID, 0, len(victims))
+	for _, s := range victims {
+		changed = append(changed, t.id(s))
 		// Release.
-		released := fl.Links
-		f.unindexFlow(fl)
-		fl.Links = nil
-		fl.Allocated = 0
-		fl.LatencyKm = 0
-		f.recompute(released)
+		released := t.path(s)
+		for _, l := range released {
+			f.crossRemove(int(l), s)
+		}
+		f.nFlowIdx -= len(released)
+		for _, l := range released {
+			f.resum(int(l))
+		}
+		t.freePath(s)
+		f.setAlloc(s, 0)
+		t.latency[s] = 0
 		// Re-place.
-		se := f.endpoints[fl.Src]
-		de := f.endpoints[fl.Dst]
+		se := f.endpoints[t.src[s]]
+		de := f.endpoints[t.dst[s]]
 		if se.Router == de.Router {
-			fl.Allocated = fl.Demand
-		} else {
-			path := f.findPath(se.Router, de.Router, fl.Demand)
-			if !math.IsInf(path.Cost, 1) {
-				alloc := fl.Demand
-				links := make([]int, len(path.Edges))
-				lat := 0.0
-				for i, eid := range path.Edges {
-					l := int(f.linkFor[eid])
-					links[i] = l
-					lat += f.net.Links[l].DistanceKm
-					if f.resid[l] < alloc {
-						alloc = f.resid[l]
-					}
-				}
-				if alloc > 1e-9 {
-					fl.Links = links
-					fl.Allocated = alloc
-					fl.LatencyKm = lat
-					f.indexFlow(fl)
-					f.recompute(links)
-				}
+			f.setAlloc(s, t.demand[s])
+			continue
+		}
+		edges, cost := f.findPath(se.Router, de.Router, t.demand[s])
+		if math.IsInf(cost, 1) {
+			continue
+		}
+		start := len(t.arena.data)
+		alloc := t.demand[s]
+		lat := 0.0
+		for _, eid := range edges {
+			l := int(f.linkFor[eid])
+			t.arena.data = append(t.arena.data, int32(l))
+			lat += f.net.Links[l].DistanceKm
+			if f.resid[l] < alloc {
+				alloc = f.resid[l]
 			}
 		}
+		if alloc <= 1e-9 {
+			t.arena.data = t.arena.data[:start]
+			continue
+		}
+		t.commitPath(s, start)
+		f.setAlloc(s, alloc)
+		t.latency[s] = lat
+		f.indexFlow(s)
+		for _, l := range t.path(s) {
+			f.resum(int(l))
+		}
 	}
-	if f.obs != nil && len(victims) > 0 {
+	if f.obs != nil {
 		var full, degraded, dropped int
-		for _, fl := range victims {
+		for _, s := range victims {
 			switch {
-			case fl.Allocated >= fl.Demand-1e-9:
+			case t.alloc[s] >= t.demand[s]-1e-9:
 				full++
-			case fl.Allocated > 1e-9:
+			case t.alloc[s] > 1e-9:
 				degraded++
 			default:
 				dropped++
@@ -583,6 +953,7 @@ func (f *Fabric) rerouteCrossing(sel func(*Flow) bool) []FlowID {
 		f.obs.Add("netsim.reroutes.degraded", int64(degraded))
 		f.obs.Add("netsim.reroutes.dropped", int64(dropped))
 	}
+	t.compactArena()
 	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
 	return changed
 }
@@ -594,9 +965,11 @@ func (f *Fabric) Tick(seconds float64) error {
 	if seconds < 0 || math.IsNaN(seconds) || math.IsInf(seconds, 0) {
 		return fmt.Errorf("netsim: invalid tick duration %v", seconds)
 	}
-	for _, fl := range f.flows {
-		fl.TransferredGB += fl.Allocated * seconds / 8
-	}
+	t := &f.tab
+	t.rangeLive(func(s int32) bool {
+		t.transferred[s] += t.alloc[s] * seconds / 8
+		return true
+	})
 	return nil
 }
 
@@ -605,19 +978,16 @@ func (f *Fabric) Tick(seconds float64) error {
 // (both sides' providers carry it, matching the paper's "paying for
 // all traffic carried from and to them").
 func (f *Fabric) UsageByEndpoint() map[EndpointID]float64 {
-	// Flow-ID order: the per-endpoint totals are float accumulations,
-	// and map order would shift them at ULP scale run to run.
-	ids := make([]int, 0, len(f.flows))
-	for id := range f.flows {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
+	// Admission order: the per-endpoint totals are float
+	// accumulations, and any other order would shift them at ULP
+	// scale run to run.
+	t := &f.tab
 	out := make(map[EndpointID]float64, len(f.endpoints))
-	for _, id := range ids {
-		fl := f.flows[FlowID(id)]
-		out[fl.Src] += fl.TransferredGB
-		out[fl.Dst] += fl.TransferredGB
-	}
+	t.rangeLive(func(s int32) bool {
+		out[t.src[s]] += t.transferred[s]
+		out[t.dst[s]] += t.transferred[s]
+		return true
+	})
 	return out
 }
 

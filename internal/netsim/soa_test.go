@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// attach4 attaches one LMP endpoint per ring router.
+func attach4(t *testing.T, f *Fabric) []EndpointID {
+	t.Helper()
+	eps := make([]EndpointID, 4)
+	for r := 0; r < 4; r++ {
+		id, err := f.Attach(string(rune('a'+r)), LMPEndpoint, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[r] = id
+	}
+	return eps
+}
+
+// TestStaleIDNeverAliasesRecycledSlot pins the generation-tag
+// contract: once a flow is stopped, its ID stays invalid forever,
+// even after the table slot it occupied is recycled by a new flow.
+func TestStaleIDNeverAliasesRecycledSlot(t *testing.T) {
+	f := New(ringNet(100), nil)
+	eps := attach4(t, f)
+
+	first, err := f.StartFlow(eps[0], eps[1], 5, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StopFlow(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	second, err := f.StartFlow(eps[2], eps[3], 7, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second flow must have recycled the first one's slot (LIFO
+	// free list) under a bumped generation, giving a distinct ID.
+	if got, want := int64(second.ID)&(1<<slotBits-1), int64(first.ID)&(1<<slotBits-1); got != want {
+		t.Fatalf("second flow took slot %d, want recycled slot %d", got, want)
+	}
+	if second.ID == first.ID {
+		t.Fatalf("recycled slot reissued the same FlowID %d", first.ID)
+	}
+	if _, err := f.Flow(first.ID); err == nil {
+		t.Fatalf("stale ID %d resolved after its slot was recycled", first.ID)
+	}
+	if err := f.StopFlow(first.ID); err == nil {
+		t.Fatalf("stale ID %d stopped the recycled slot's flow", first.ID)
+	}
+	if fl, err := f.Flow(second.ID); err != nil || fl.Src != eps[2] || fl.Demand != 7 {
+		t.Fatalf("live flow misread after recycle: %+v, %v", fl, err)
+	}
+}
+
+// TestFlowsStayInAdmissionOrderAcrossRecycling pins that Flows and
+// RangeFlows iterate in admission order (strictly increasing Seq)
+// even when slot recycling makes numeric IDs non-monotonic.
+func TestFlowsStayInAdmissionOrderAcrossRecycling(t *testing.T) {
+	f := New(ringNet(1000), nil)
+	eps := attach4(t, f)
+	var live []FlowID
+	for i := 0; i < 30; i++ {
+		fl, err := f.StartFlow(eps[i%4], eps[(i+1)%4], 1+float64(i), BestEffort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, fl.ID)
+		if i%3 == 2 { // stop the middle of the live set, forcing recycling
+			mid := len(live) / 2
+			if err := f.StopFlow(live[mid]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:mid], live[mid+1:]...)
+		}
+	}
+	fs := f.Flows()
+	if len(fs) != len(live) {
+		t.Fatalf("%d flows live, snapshot has %d", len(live), len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Seq >= fs[i].Seq {
+			t.Fatalf("snapshot out of admission order at %d: seq %d then %d", i, fs[i-1].Seq, fs[i].Seq)
+		}
+	}
+	i := 0
+	f.RangeFlows(func(fl *Flow) bool {
+		if fl.ID != fs[i].ID || fl.Seq != fs[i].Seq || !reflect.DeepEqual(fl.Links, fs[i].Links) {
+			t.Fatalf("RangeFlows diverges from Flows at %d", i)
+		}
+		i++
+		return true
+	})
+	if i != len(fs) {
+		t.Fatalf("RangeFlows visited %d flows, want %d", i, len(fs))
+	}
+}
+
+// TestBulkMatchesSequential pins the bulk entry points' contract:
+// StartFlows/StopFlows must leave the fabric in exactly the state the
+// equivalent sequence of single-flow calls produces — same IDs, same
+// allocations, same residuals, bit for bit.
+func TestBulkMatchesSequential(t *testing.T) {
+	specs := func() []FlowSpec {
+		var out []FlowSpec
+		for i := 0; i < 40; i++ {
+			out = append(out, FlowSpec{
+				Src:    EndpointID(i % 4),
+				Dst:    EndpointID((i + 1 + i%2) % 4),
+				Demand: 0.7 + float64(i%9)*1.3,
+				Class:  BestEffort,
+			})
+		}
+		// An invalid spec: bulk admission must record it as -1 exactly
+		// where the sequential loop gets an error.
+		out[17].Demand = -1
+		return out
+	}
+
+	fBulk := New(ringNet(60), nil)
+	fSeq := New(ringNet(60), nil)
+	attach4(t, fBulk)
+	attach4(t, fSeq)
+
+	idsBulk := fBulk.StartFlows(specs())
+	var idsSeq []FlowID
+	for _, sp := range specs() {
+		fl, err := fSeq.StartFlow(sp.Src, sp.Dst, sp.Demand, sp.Class)
+		if err != nil {
+			idsSeq = append(idsSeq, -1)
+			continue
+		}
+		idsSeq = append(idsSeq, fl.ID)
+	}
+	if !reflect.DeepEqual(idsBulk, idsSeq) {
+		t.Fatalf("bulk admission IDs diverge:\n%v\n%v", idsBulk, idsSeq)
+	}
+
+	// Stop every third flow — with duplicates and junk mixed in, which
+	// the sequential loop must skip the same way StopFlows does.
+	var stops []FlowID
+	for i := 0; i < len(idsBulk); i += 3 {
+		if idsBulk[i] >= 0 {
+			stops = append(stops, idsBulk[i], idsBulk[i]) // duplicate
+		}
+	}
+	stops = append(stops, -1, 9999)
+	nBulk := fBulk.StopFlows(stops)
+	nSeq := 0
+	for _, id := range stops {
+		if err := fSeq.StopFlow(id); err == nil {
+			nSeq++
+		}
+	}
+	if nBulk != nSeq {
+		t.Fatalf("bulk stopped %d, sequential stopped %d", nBulk, nSeq)
+	}
+
+	// A second wave lands on the recycled slots of both fabrics.
+	wave2 := specs()[:11]
+	if !reflect.DeepEqual(fBulk.StartFlows(wave2), func() []FlowID {
+		var ids []FlowID
+		for _, sp := range wave2 {
+			fl, err := fSeq.StartFlow(sp.Src, sp.Dst, sp.Demand, sp.Class)
+			if err != nil {
+				ids = append(ids, -1)
+				continue
+			}
+			ids = append(ids, fl.ID)
+		}
+		return ids
+	}()) {
+		t.Fatal("second-wave IDs diverge after recycling")
+	}
+
+	if !reflect.DeepEqual(fBulk.Flows(), fSeq.Flows()) {
+		t.Fatal("flow populations diverge between bulk and sequential")
+	}
+	if !reflect.DeepEqual(fBulk.Utilization(), fSeq.Utilization()) {
+		t.Fatal("utilization diverges between bulk and sequential")
+	}
+	for l := range fBulk.net.Links {
+		if fBulk.resid[l] != fSeq.resid[l] {
+			t.Fatalf("link %d residual diverges: %v vs %v", l, fBulk.resid[l], fSeq.resid[l])
+		}
+	}
+}
+
+// TestRerouteVictimOrderInvariance pins that a reroute pass's outcome
+// depends only on the victim set, not on the order victims were
+// gathered (shard layout, crossing-index order): rerouteSlots re-sorts
+// by (class weight, admission seq) internally.
+func TestRerouteVictimOrderInvariance(t *testing.T) {
+	gold := Class{Name: "gold", Weight: 4, Price: 10}
+	build := func() *Fabric {
+		f := New(ringNet(20), nil)
+		eps := attach4(t, f)
+		for i := 0; i < 10; i++ {
+			c := BestEffort
+			if i%3 == 0 {
+				c = gold
+			}
+			// Rejections are fine — the ring is deliberately tight so
+			// plenty of admitted flows end up degraded.
+			f.StartFlow(eps[i%4], eps[(i+2)%4], 4+float64(i), c)
+		}
+		f.FailLinks([]int{0, 4}) // leave plenty of degraded flows
+		return f
+	}
+
+	f1 := build()
+	f2 := build()
+	gather := func(f *Fabric) []int32 {
+		var v []int32
+		for i := range f.shards {
+			v = append(v, f.shards[i].degraded...)
+		}
+		return v
+	}
+	v1 := gather(f1)
+	v2 := gather(f2)
+	if len(v1) == 0 {
+		t.Fatal("fixture produced no degraded flows")
+	}
+	for i, j := 0, len(v2)-1; i < j; i, j = i+1, j-1 {
+		v2[i], v2[j] = v2[j], v2[i]
+	}
+	f1.failed.Remove(0)
+	f2.failed.Remove(0)
+	c1 := f1.rerouteSlots(append([]int32(nil), v1...))
+	c2 := f2.rerouteSlots(append([]int32(nil), v2...))
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("changed sets diverge under victim permutation:\n%v\n%v", c1, c2)
+	}
+	if !reflect.DeepEqual(f1.Flows(), f2.Flows()) {
+		t.Fatal("flow populations diverge under victim permutation")
+	}
+}
+
+// TestArenaCompactionPreservesPaths churns hard enough to trigger
+// path-arena and order-log compaction and checks that surviving
+// flows' snapshots are untouched.
+func TestArenaCompactionPreservesPaths(t *testing.T) {
+	f := New(ringNet(1e6), nil)
+	eps := attach4(t, f)
+	survivors := map[FlowID]Flow{}
+	for i := 0; i < 8; i++ {
+		fl, err := f.StartFlow(eps[i%4], eps[(i+1)%4], 2, BestEffort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		survivors[fl.ID] = *fl
+	}
+	// Heavy churn: thousands of short-lived flows force both
+	// compactions several times over.
+	for round := 0; round < 200; round++ {
+		var batch []FlowID
+		for i := 0; i < 20; i++ {
+			fl, err := f.StartFlow(eps[i%4], eps[(i+2)%4], 1, BestEffort)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, fl.ID)
+		}
+		if got := f.StopFlows(batch); got != len(batch) {
+			t.Fatalf("round %d: stopped %d of %d", round, got, len(batch))
+		}
+	}
+	if got := f.NumFlows(); got != len(survivors) {
+		t.Fatalf("%d flows live after churn, want %d", got, len(survivors))
+	}
+	for id, want := range survivors {
+		got, err := f.Flow(id)
+		if err != nil {
+			t.Fatalf("survivor %d lost: %v", id, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("survivor %d changed across compaction:\ngot  %+v\nwant %+v", id, got, want)
+		}
+	}
+	invariants(t, f)
+}

@@ -201,15 +201,15 @@ func (p *POCNetwork) Summary() string {
 // Graph builds a routing graph over the POC routers containing the
 // given subset of logical links (nil = all). Each logical link becomes
 // a bidirectional edge with its distance as cost. The returned mapping
-// gives, for each logical link ID, the two directed edge IDs created
-// for it (or absent if the link was not included).
-func (p *POCNetwork) Graph(include *linkset.Set) (*graph.Graph, map[int][2]graph.EdgeID) {
+// is dense, indexed by logical link ID: entry l holds the two directed
+// edge IDs created for link l, or {graph.Undefined, graph.Undefined}
+// when the link was not included.
+func (p *POCNetwork) Graph(include *linkset.Set) (*graph.Graph, [][2]graph.EdgeID) {
 	g := graph.New(len(p.Routers))
-	size := len(p.Links)
-	if include != nil {
-		size = include.Len()
+	edges := make([][2]graph.EdgeID, len(p.Links))
+	for i := range edges {
+		edges[i] = [2]graph.EdgeID{graph.Undefined, graph.Undefined}
 	}
-	edges := make(map[int][2]graph.EdgeID, size)
 	for _, l := range p.Links {
 		if include != nil && !include.Contains(l.ID) {
 			continue

@@ -1,0 +1,53 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// FlowSample is one endpoint-pair demand drawn from a matrix — the
+// unit of the fabric's flow-level workloads. Src and Dst index
+// attachment points (matrix rows/columns).
+type FlowSample struct {
+	Src, Dst int
+	Gbps     float64
+}
+
+// SampleFlows decomposes a demand matrix into n individual aggregate
+// flows: (src,dst) pairs are drawn proportionally to their matrix
+// entry, and each flow's rate jitters uniformly in [0.5,1.5)× around
+// totalGbps/n, so the n flows together offer ≈ totalGbps spread the
+// way the matrix spreads aggregate demand. The paper's TM is an
+// upper-bound envelope over many individual flows; this is the
+// inverse operation, used to put realistic million-flow populations
+// on the fabric. Sampling is seeded and fully deterministic.
+func SampleFlows(m *Matrix, n int, totalGbps float64, seed int64) []FlowSample {
+	if n <= 0 {
+		panic(fmt.Sprintf("traffic: sample count %d", n))
+	}
+	if totalGbps <= 0 {
+		panic(fmt.Sprintf("traffic: sample total %v Gbps", totalGbps))
+	}
+	// Cumulative weight over non-zero cells in row-major order.
+	type cell struct{ src, dst int }
+	var cells []cell
+	var cum []float64
+	sum := 0.0
+	m.Demands(func(src, dst int, gbps float64) {
+		sum += gbps
+		cells = append(cells, cell{src, dst})
+		cum = append(cum, sum)
+	})
+	if len(cells) == 0 {
+		panic("traffic: sampling an empty matrix")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := totalGbps / float64(n)
+	out := make([]FlowSample, n)
+	for i := range out {
+		c := cells[sort.SearchFloat64s(cum, rng.Float64()*sum)]
+		out[i] = FlowSample{Src: c.src, Dst: c.dst, Gbps: base * (0.5 + rng.Float64())}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/public-option/poc/internal/auction"
 	"github.com/public-option/poc/internal/core"
+	"github.com/public-option/poc/internal/netsim"
 	"github.com/public-option/poc/internal/provision"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
@@ -167,6 +168,28 @@ func (s *Scenario) Figure2(maxChecks int) (*Figure2Result, error) {
 		RouteOpts: s.RouteOptions(),
 		MaxChecks: maxChecks,
 	})
+}
+
+// NewFabric builds a data-plane fabric over the scenario's full
+// offered link set with one LMP endpoint attached per POC router
+// ("ep0".."epN-1") — the standing substrate for fabric benchmarks and
+// equivalence tests that need flows without running an auction first.
+// The returned endpoint IDs are in router order. The scenario's
+// observer, if any, is attached.
+func (s *Scenario) NewFabric() (*Fabric, []EndpointID, error) {
+	f := netsim.New(s.Network, nil)
+	if s.Opts.Obs != nil {
+		f.SetObserver(s.Opts.Obs)
+	}
+	eps := make([]EndpointID, len(s.Network.Routers))
+	for r := range s.Network.Routers {
+		id, err := f.Attach(fmt.Sprintf("ep%d", r), netsim.LMPEndpoint, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		eps[r] = id
+	}
+	return f, eps, nil
 }
 
 // NewPOC creates an Operator configured for this scenario.
