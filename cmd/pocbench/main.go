@@ -44,6 +44,16 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the command's single exit path. Every failure returns here
+// so the deferred diagnostics stop always executes — a log.Fatal in
+// the middle of an experiment used to skip trace.Stop/StopCPUProfile
+// and leave truncated, unreadable profile files behind.
+func run() (err error) {
 	exp := flag.String("exp", "all", "experiment id (fig2, nn, lemma1, fees, incumbent, collusion, market, peering, entry, regimes, baseline, all)")
 	scale := flag.Float64("scale", 0.35, "auction instance scale in (0,1]; 1 = paper scale")
 	checks := flag.Int("checks", 0, "winner-determination variant (see auction.Instance.MaxChecks)")
@@ -59,53 +69,73 @@ func main() {
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	stop := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
-	defer stop()
+	stop, err := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A stop failure (e.g. the heap profile failed to write) is
+		// the run's failure unless something already went wrong.
+		if cerr := stop(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	w := newStopwatch()
 
 	if *jsonOut {
 		if err := benchJSON(w, *scale, *checks, *workers, *metrics); err != nil {
-			log.Fatalf("json: %v", err)
+			return fmt.Errorf("json: %w", err)
 		}
-		return
+		return nil
 	}
 	if *provisionOut {
 		if err := benchProvision(*scale, *checks, *workers); err != nil {
-			log.Fatalf("provision: %v", err)
+			return fmt.Errorf("provision: %w", err)
 		}
-		return
+		return nil
 	}
 	if *fabricOut {
 		if err := benchFabric(*scale, *benchtime, *fabricFlows); err != nil {
-			log.Fatalf("fabric: %v", err)
+			return fmt.Errorf("fabric: %w", err)
 		}
-		return
+		return nil
 	}
 
-	run := func(name string, fn func() error) {
+	runExp := func(name string, fn func() error) error {
 		if *exp != "all" && *exp != name {
-			return
+			return nil
 		}
 		fmt.Printf("==== %s ====\n", name)
 		w.lap()
 		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("(%s in %v)\n\n", name, w.lap().Round(time.Millisecond))
+		return nil
 	}
 
-	run("fig2", func() error { return fig2(*scale, *checks) })
-	run("nn", nnWelfare)
-	run("lemma1", lemma1)
-	run("fees", fees)
-	run("incumbent", incumbent)
-	run("collusion", func() error { return collusion(*scale, *checks) })
-	run("market", func() error { return marketEpochs(*scale) })
-	run("peering", peeringAudit)
-	run("entry", entry)
-	run("regimes", regimes)
-	run("baseline", baseline)
+	for _, e := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig2", func() error { return fig2(*scale, *checks) }},
+		{"nn", nnWelfare},
+		{"lemma1", lemma1},
+		{"fees", fees},
+		{"incumbent", incumbent},
+		{"collusion", func() error { return collusion(*scale, *checks) }},
+		{"market", func() error { return marketEpochs(*scale) }},
+		{"peering", peeringAudit},
+		{"entry", entry},
+		{"regimes", regimes},
+		{"baseline", baseline},
+	} {
+		if err := runExp(e.name, e.fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // stopwatch derives every wall-time report in the command from one
@@ -214,47 +244,59 @@ func benchJSON(w *stopwatch, scale float64, checks, workers int, metrics string)
 }
 
 // startDiagnostics enables the opt-in pprof/trace hooks and returns
-// the stop function to defer in main.
-func startDiagnostics(cpuprofile, memprofile, traceFile string) func() {
-	var stops []func()
+// the stop function to defer in run. Both setup and teardown report
+// errors instead of exiting, so a failure mid-run still flushes and
+// closes whatever was already started.
+func startDiagnostics(cpuprofile, memprofile, traceFile string) (func() error, error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		if err := trace.Start(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return nil, err
 		}
-		stops = append(stops, func() { trace.Stop(); f.Close() })
+		stops = append(stops, func() error { trace.Stop(); return f.Close() })
 	}
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
-			log.Fatal(err)
+			stopAll()
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			stopAll()
+			return nil, err
 		}
-		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+		stops = append(stops, func() error { pprof.StopCPUProfile(); return f.Close() })
 	}
 	if memprofile != "" {
-		stops = append(stops, func() {
+		stops = append(stops, func() error {
 			f, err := os.Create(memprofile)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				f.Close()
+				return err
 			}
-			f.Close()
+			return f.Close()
 		})
 	}
-	return func() {
-		for i := len(stops) - 1; i >= 0; i-- {
-			stops[i]()
-		}
-	}
+	return stopAll, nil
 }
 
 func baseline() error {

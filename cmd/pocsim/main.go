@@ -55,6 +55,16 @@ func (w *stopwatch) total() time.Duration { return time.Since(w.start) }
 
 func main() {
 	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the command's single exit path. Every failure returns here
+// so the deferred diagnostics stop always executes — a log.Fatal in
+// the middle of a run used to skip trace.Stop/StopCPUProfile and
+// leave truncated, unreadable profile files behind.
+func run() (err error) {
 	scale := flag.Float64("scale", 0.35, "instance scale in (0,1]")
 	constraint := flag.Int("constraint", 1, "auction constraint (1, 2 or 3)")
 	epochs := flag.Int("epochs", 4, "billing epochs to simulate (6h each)")
@@ -70,8 +80,17 @@ func main() {
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	stop := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
-	defer stop()
+	stop, err := startDiagnostics(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A stop failure (e.g. the heap profile failed to write) is
+		// the run's failure unless something already went wrong.
+		if cerr := stop(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	w := newStopwatch()
 
@@ -85,45 +104,49 @@ func main() {
 	}
 
 	if *constraint < 1 || *constraint > 3 {
-		log.Fatalf("constraint %d out of range", *constraint)
+		return fmt.Errorf("constraint %d out of range", *constraint)
 	}
 	if *chaosRun {
 		ep := *epochs
 		if ep < 8 {
 			ep = 8
 		}
-		runChaos(*scale, *seed, *policy, ep, *workers, reg)
-		writeMetrics(reg, *metrics)
+		if err := runChaos(*scale, *seed, *policy, ep, *workers, reg); err != nil {
+			return err
+		}
+		if err := writeMetrics(reg, *metrics); err != nil {
+			return err
+		}
 		fmt.Printf("wall:     %v\n", w.total().Round(time.Millisecond))
-		return
+		return nil
 	}
 
 	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: *scale, Workers: *workers, Obs: reg})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("topology: %s\n", s.Network.Summary())
 
 	op, err := s.NewPOC(provision.Constraint(*constraint))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, b := range s.Bids {
 		if err := op.SubmitBid(b); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if err := op.AddVirtualLinks(s.Virtual); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := op.RunAuction()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("auction:  %d links leased under constraint #%d, C(SL)=%.0f, BP surplus %.0f\n",
 		len(res.Selected), *constraint, res.TotalCost, res.Surplus())
 	if err := op.Activate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Attach an LMP at every fourth router and two CSPs at hubs.
@@ -132,16 +155,16 @@ func main() {
 	for r := 0; r < n; r += 4 {
 		name := fmt.Sprintf("lmp-%02d", r)
 		if _, err := op.AttachLMP(name, r, poc.PeeringPolicy{}); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		lmps = append(lmps, name)
 	}
 	csps := []string{"megaflix", "cloudco"}
 	if _, err := op.AttachCSP("megaflix", n/2); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := op.AttachCSP("cloudco", n/3); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("members:  %d LMPs, %d CSPs attached\n", len(lmps), len(csps))
 
@@ -174,7 +197,7 @@ func main() {
 		}
 		rep, err := op.BillEpoch(6 * 3600)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("epoch %d:  cost %11.2f  revenue %11.2f  net %9.2f  price %.5f/GB\n",
 			e, rep.LeaseCost+rep.VirtualCost, rep.Revenue, rep.POCNet, rep.PricePerGB)
@@ -196,63 +219,79 @@ func main() {
 		fmt.Println("audit:    all attached LMPs compliant")
 	}
 	fmt.Printf("ledger:   conservation %.6f (must be 0)\n", op.Ledger().Conservation())
-	writeMetrics(reg, *metrics)
+	if err := writeMetrics(reg, *metrics); err != nil {
+		return err
+	}
 	fmt.Printf("wall:     %v\n", w.total().Round(time.Millisecond))
+	return nil
 }
 
 // writeMetrics exports the observability ledger when -metrics is set.
-func writeMetrics(reg *poc.Observer, path string) {
+func writeMetrics(reg *poc.Observer, path string) error {
 	if path == "" {
-		return
+		return nil
 	}
 	if err := reg.WriteFile(path); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("metrics:  wrote %s\n", path)
+	return nil
 }
 
 // startDiagnostics enables the opt-in pprof/trace hooks and returns
-// the stop function to defer in main.
-func startDiagnostics(cpuprofile, memprofile, traceFile string) func() {
-	var stops []func()
+// the stop function to defer in run. Both setup and teardown report
+// errors instead of exiting, so a failure mid-run still flushes and
+// closes whatever was already started.
+func startDiagnostics(cpuprofile, memprofile, traceFile string) (func() error, error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		if err := trace.Start(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return nil, err
 		}
-		stops = append(stops, func() { trace.Stop(); f.Close() })
+		stops = append(stops, func() error { trace.Stop(); return f.Close() })
 	}
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
-			log.Fatal(err)
+			stopAll()
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			stopAll()
+			return nil, err
 		}
-		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+		stops = append(stops, func() error { pprof.StopCPUProfile(); return f.Close() })
 	}
 	if memprofile != "" {
-		stops = append(stops, func() {
+		stops = append(stops, func() error {
 			f, err := os.Create(memprofile)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				f.Close()
+				return err
 			}
-			f.Close()
+			return f.Close()
 		})
 	}
-	return func() {
-		for i := len(stops) - 1; i >= 0; i-- {
-			stops[i]()
-		}
-	}
+	return stopAll, nil
 }
 
 // goldClass is the premium QoS class used by the chaos experiment.
@@ -325,26 +364,26 @@ func goldCrossingBP(op *poc.Operator) []float64 {
 // runChaos is the -chaos entry point: the paper's Constraint-2
 // promise ("previously admitted traffic will survive the failure",
 // §2.1) tested on a running fabric against the Constraint-1 core.
-func runChaos(scale float64, seed int64, policyName string, epochs, workers int, reg *poc.Observer) {
+func runChaos(scale float64, seed int64, policyName string, epochs, workers int, reg *poc.Observer) error {
 	pol, err := poc.ParseRecoveryPolicy(policyName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Both cores share one registry, so the exported ledger covers the
 	// whole experiment (C1 and C2 counters accumulate).
 	s, err := poc.NewScenario(poc.ScenarioOptions{Scale: scale, Workers: workers, Obs: reg})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("topology: %s\n", s.Network.Summary())
 
 	c1, err := chaosDeploy(s, poc.Constraint1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c2, err := chaosDeploy(s, poc.Constraint2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Target the BP carrying the most gold traffic on the Constraint-1
@@ -358,7 +397,7 @@ func runChaos(scale float64, seed int64, policyName string, epochs, workers int,
 		}
 	}
 	if target < 0 {
-		log.Fatal("no BP carries gold traffic; nothing to fail")
+		return fmt.Errorf("no BP carries gold traffic; nothing to fail")
 	}
 	repair := epochs - 3
 	fmt.Printf("chaos:    BP %d dark at epoch 2 (%.0f Gbps gold crossing), repaired at %d, policy=%s, seed=%d\n",
@@ -368,28 +407,34 @@ func runChaos(scale float64, seed int64, policyName string, epochs, workers int,
 	// (from the same seed) over its *own* leased links — a schedule
 	// generated over one core's selection would name links the other
 	// never leased.
-	run := func(label string, op *poc.Operator) *poc.SurvivabilityReport {
+	run := func(label string, op *poc.Operator) (*poc.SurvivabilityReport, error) {
 		sched := poc.SingleBPOutage(target, 2, repair)
 		if seed != 0 {
 			sched.Merge(poc.RandomChaos(seed, epochs, op.Fabric().SelectedLinks(), 0.05, 2))
 		}
 		eng, err := poc.NewChaosEngine(op, sched, poc.DefaultRecoveryConfig(pol))
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		rep, err := eng.Run(epochs)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		fmt.Printf("--- %s ---\n%s", label, rep)
-		return rep
+		return rep, nil
 	}
-	r1 := run("constraint #1 survivability", c1)
-	r2 := run("constraint #2 survivability", c2)
+	r1, err := run("constraint #1 survivability", c1)
+	if err != nil {
+		return err
+	}
+	r2, err := run("constraint #2 survivability", c2)
+	if err != nil {
+		return err
+	}
 
 	g1, g2 := r1.Class(goldClass.Name), r2.Class(goldClass.Name)
 	if g1 == nil || g2 == nil {
-		log.Fatal("missing gold timeline")
+		return fmt.Errorf("missing gold timeline")
 	}
 	fmt.Printf("verdict:  gold delivered min: C1=%.6f C2=%.6f; restore: C1=%d C2=%d epochs\n",
 		g1.Delivered.Min(), g2.Delivered.Min(),
@@ -402,4 +447,5 @@ func runChaos(scale float64, seed int64, policyName string, epochs, workers int,
 	default:
 		fmt.Println("verdict:  constraint #2 core degraded gold traffic — survivability promise violated")
 	}
+	return nil
 }

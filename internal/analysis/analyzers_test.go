@@ -23,6 +23,13 @@ func TestWallTime(t *testing.T) { expectWants(t, WallTime, "internal/walllab") }
 
 func TestWallTimeOnlyInternal(t *testing.T) { expectClean(t, WallTime, "clocksok") }
 
+// TestWallTimeInjectedClock pins the pattern internal/pocd uses to
+// stay clock-free: a Now func() time.Time injected from cmd/, `now`
+// samples passed as parameters, and time.Time arithmetic (After,
+// Sub, Unix) — all must stay clean, or the daemon's deadline logic
+// could not live under internal/ at all.
+func TestWallTimeInjectedClock(t *testing.T) { expectClean(t, WallTime, "internal/clockinject") }
+
 func TestObsGuardPackage(t *testing.T) { expectWants(t, ObsGuard, "obslab/obs") }
 
 func TestObsGuardConsumer(t *testing.T) { expectWants(t, ObsGuard, "obslab/consumer") }

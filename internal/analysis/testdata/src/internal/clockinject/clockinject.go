@@ -1,0 +1,42 @@
+// Package clockinject pins the sanctioned injected-clock pattern that
+// internal/pocd relies on: an internal package may hold a clock as a
+// `func() time.Time` field supplied by its cmd/ caller, take `now`
+// samples as parameters, and do deadline arithmetic on time.Time
+// values — none of that reads the wall clock itself, so walltime must
+// stay silent. Only direct time.Now / time.Since / timer selectors
+// are clock reads.
+package clockinject
+
+import "time"
+
+// Config carries the injected clock (cmd/pocd passes time.Now; tests
+// pass a fake). Declaring and calling the field is not a clock read.
+type Config struct {
+	Now func() time.Time
+}
+
+type Server struct {
+	cfg Config
+}
+
+// deadline stamps a request deadline from the injected clock.
+func (s *Server) deadline(timeout time.Duration) time.Time {
+	return s.cfg.Now().Add(timeout)
+}
+
+// expired decides a timeout by comparing two injected samples —
+// time.Time methods (After, Before, Sub) are pure arithmetic.
+func expired(now, deadline time.Time) bool {
+	return !deadline.IsZero() && now.After(deadline)
+}
+
+// elapsed measures a span between two injected samples; only the
+// package-level time.Since shortcut is a clock read, Sub is not.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// epoch builds fixed instants for fake clocks without any clock read.
+func epoch(ns int64) time.Time {
+	return time.Unix(0, ns)
+}

@@ -125,65 +125,25 @@ func (e *Engine) minDelivered() float64 {
 // links are inert: a cut finds them already gone and a repair must
 // not resurrect capacity the POC formally returned to its BP.
 func (e *Engine) apply(ev Event) []netsim.FlowID {
-	fab := e.poc.Fabric()
-	net := e.poc.Network()
-	e.obs.Add("chaos.events."+ev.Kind.String(), 1)
-	switch ev.Kind {
-	case CutLink:
-		if ev.Link < 0 || ev.Link >= len(net.Links) ||
-			!fab.LinkSelected(ev.Link) || e.poc.Recalled(ev.Link) {
-			return nil
-		}
-		e.down[ev.Link] = true
-		return fab.FailLink(ev.Link)
-	case RepairLink:
-		if e.poc.Recalled(ev.Link) {
-			// The BP took the link back mid-outage; there is nothing
-			// left to repair.
-			return nil
-		}
-		delete(e.down, ev.Link)
-		return fab.RepairLink(ev.Link)
-	case CutBP:
-		for _, l := range net.LinksOfBP(ev.BP) {
-			if !fab.LinkSelected(l) || fab.LinkFailed(l) || e.poc.Recalled(l) {
-				continue
-			}
-			e.down[l] = true
-		}
-		return fab.FailBP(ev.BP)
-	case RepairBP:
-		var fix []int
-		for _, l := range net.LinksOfBP(ev.BP) {
-			if e.poc.Recalled(l) {
-				continue
-			}
-			fix = append(fix, l)
-			delete(e.down, l)
-		}
-		return fab.RepairLinks(fix)
-	case Correlated:
-		var cut []int
-		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
-			if !fab.LinkSelected(l) || e.poc.Recalled(l) {
-				continue
-			}
-			cut = append(cut, l)
-			e.down[l] = true
-		}
-		return fab.FailLinks(cut)
-	case RepairCorrelated:
-		var fix []int
-		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
-			if e.poc.Recalled(l) {
-				continue
-			}
-			fix = append(fix, l)
-			delete(e.down, l)
-		}
-		return fab.RepairLinks(fix)
+	// Inject performs the guarded fabric transition (and the obs
+	// event count); the engine only layers its down-set bookkeeping
+	// on the links the event actually acted on.
+	acted, moved, err := Inject(e.poc, ev)
+	if err != nil {
+		// Validated schedules never produce out-of-range events; an
+		// unknown kind is inert, exactly as before Inject existed.
+		return nil
 	}
-	return nil
+	if isRepair(ev.Kind) {
+		for _, l := range acted {
+			delete(e.down, l)
+		}
+	} else {
+		for _, l := range acted {
+			e.down[l] = true
+		}
+	}
+	return moved
 }
 
 // downSorted returns the engine's down-set as a sorted slice.

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/public-option/poc/internal/core"
+	"github.com/public-option/poc/internal/netsim"
+)
+
+// Inject applies one fault or repair event to an active POC outside
+// any engine run — the entry point pocd's /v1/chaos endpoint journals
+// and applies. It carries the same guard rails as a scheduled event:
+// links the fabric never leased are ignored, and recalled links are
+// inert (a cut finds them already gone; a repair must not resurrect
+// capacity the POC formally returned to its BP). It returns the links
+// the event acted on (the engine's down-set bookkeeping) and the
+// flows the fabric moved.
+//
+// Inject is deterministic: the same event against the same POC state
+// performs the same fabric transitions and obs increments, which is
+// what lets pocd replay journaled chaos ops byte-for-byte.
+func Inject(p *core.POC, ev Event) (acted []int, moved []netsim.FlowID, err error) {
+	if p == nil || p.Fabric() == nil {
+		return nil, nil, fmt.Errorf("chaos: inject needs an active POC")
+	}
+	fab := p.Fabric()
+	net := p.Network()
+	p.Observer().Add("chaos.events."+ev.Kind.String(), 1)
+	switch ev.Kind {
+	case CutLink:
+		if ev.Link < 0 || ev.Link >= len(net.Links) ||
+			!fab.LinkSelected(ev.Link) || p.Recalled(ev.Link) {
+			return nil, nil, nil
+		}
+		return []int{ev.Link}, fab.FailLink(ev.Link), nil
+	case RepairLink:
+		if p.Recalled(ev.Link) {
+			// The BP took the link back mid-outage; there is nothing
+			// left to repair.
+			return nil, nil, nil
+		}
+		return []int{ev.Link}, fab.RepairLink(ev.Link), nil
+	case CutBP:
+		if ev.BP < 0 || ev.BP >= len(net.BPs) {
+			return nil, nil, fmt.Errorf("chaos: BP %d out of range", ev.BP)
+		}
+		for _, l := range net.LinksOfBP(ev.BP) {
+			if !fab.LinkSelected(l) || fab.LinkFailed(l) || p.Recalled(l) {
+				continue
+			}
+			acted = append(acted, l)
+		}
+		return acted, fab.FailBP(ev.BP), nil
+	case RepairBP:
+		if ev.BP < 0 || ev.BP >= len(net.BPs) {
+			return nil, nil, fmt.Errorf("chaos: BP %d out of range", ev.BP)
+		}
+		for _, l := range net.LinksOfBP(ev.BP) {
+			if p.Recalled(l) {
+				continue
+			}
+			acted = append(acted, l)
+		}
+		return acted, fab.RepairLinks(acted), nil
+	case Correlated:
+		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
+			if !fab.LinkSelected(l) || p.Recalled(l) {
+				continue
+			}
+			acted = append(acted, l)
+		}
+		return acted, fab.FailLinks(acted), nil
+	case RepairCorrelated:
+		for _, l := range net.LinksNear(ev.Lat, ev.Lon, ev.RadiusKm) {
+			if p.Recalled(l) {
+				continue
+			}
+			acted = append(acted, l)
+		}
+		return acted, fab.RepairLinks(acted), nil
+	}
+	return nil, nil, fmt.Errorf("chaos: unknown event kind %d", int(ev.Kind))
+}

@@ -445,18 +445,30 @@ func (r *Registry) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.snapshot())
 }
 
-// WriteJSON writes the indented deterministic export.
-func (r *Registry) WriteJSON(w io.Writer) error {
+// ExportJSON renders the registry's indented deterministic export as
+// bytes — the poc-obs/v1 document WriteJSON streams and pocd caches
+// in its degraded-read snapshots. Identical recorded state yields
+// identical bytes, so two exports may be compared with bytes.Equal.
+func (r *Registry) ExportJSON() ([]byte, error) {
 	b, err := json.Marshal(r.snapshot())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := json.Indent(&buf, b, "", "  "); err != nil {
-		return err
+		return nil, err
 	}
 	buf.WriteByte('\n')
-	_, err = w.Write(buf.Bytes())
+	return buf.Bytes(), nil
+}
+
+// WriteJSON writes the indented deterministic export.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := r.ExportJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
 	return err
 }
 

@@ -1,0 +1,563 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/public-option/poc/internal/auction"
+	"github.com/public-option/poc/internal/core"
+	"github.com/public-option/poc/internal/obs"
+	"github.com/public-option/poc/internal/pocd/journal"
+	"github.com/public-option/poc/internal/pocd/ratelimit"
+	"github.com/public-option/poc/internal/provision"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// buildRing is the test BuildFunc: a 4-router ring with a chord, each
+// link under its own BP, auctioned and activated. It is fully
+// deterministic in (and independent of) the spec, which is exactly
+// what recovery requires.
+func buildRing(spec []byte) (*core.POC, *obs.Registry, error) {
+	net := &topo.POCNetwork{
+		World:   &topo.World{Cities: make([]topo.City, 4)},
+		Routers: []int{0, 1, 2, 3},
+	}
+	for i := 0; i < 5; i++ {
+		net.BPs = append(net.BPs, topo.BP{Name: "bp", CostMult: 1})
+	}
+	add := func(bp, a, b int, dist float64) {
+		net.Links = append(net.Links, topo.LogicalLink{
+			ID: len(net.Links), BP: bp, A: a, B: b, Capacity: 100, DistanceKm: dist,
+		})
+	}
+	add(0, 0, 1, 100)
+	add(1, 1, 2, 100)
+	add(2, 2, 3, 100)
+	add(3, 3, 0, 100)
+	add(4, 0, 2, 250)
+
+	tm := traffic.NewMatrix(4)
+	tm.Set(0, 2, 20)
+	tm.Set(2, 0, 20)
+	tm.Set(1, 3, 10)
+	tm.Set(3, 1, 10)
+
+	reg := obs.New()
+	p, err := core.New(core.Config{
+		Network:       net,
+		TM:            tm,
+		Constraint:    provision.Constraint1,
+		ReserveMargin: 0.02,
+		Obs:           reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for b := range net.BPs {
+		links := net.LinksOfBP(b)
+		prices := map[int]float64{}
+		for _, id := range links {
+			prices[id] = 100 * net.Links[id].DistanceKm / 100
+		}
+		if err := p.SubmitBid(auction.Bid{BP: b, Links: links, Cost: auction.AdditiveCost(prices)}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := p.RunAuction(); err != nil {
+		return nil, nil, err
+	}
+	if err := p.Activate(); err != nil {
+		return nil, nil, err
+	}
+	return p, reg, nil
+}
+
+// fakeClock is an injectable clock the tests advance by hand.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *fakeClock, string) {
+	t.Helper()
+	clock := &fakeClock{}
+	path := filepath.Join(t.TempDir(), "pocd.journal")
+	cfg := Config{
+		Spec:        []byte(`{"scenario":"ring"}`),
+		Build:       buildRing,
+		JournalPath: path,
+		NoFsync:     true,
+		Now:         clock.now,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, clock, path
+}
+
+// post sends one mutation through the HTTP surface.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, b
+}
+
+// script drives a representative session: membership, QoS, flows,
+// chaos, billing, recall — every op kind the journal must survive.
+var script = []struct{ path, body string }{
+	{"/v1/members", `{"name":"metro-lmp","kind":"lmp","router":0}`},
+	{"/v1/members", `{"name":"cloud-csp","kind":"csp","router":2}`},
+	{"/v1/qos", `{"name":"gold","weight":4,"price":2.5,"max_latency_km":1000}`},
+	{"/v1/flows", `{"flows":[{"src":"metro-lmp","dst":"cloud-csp","gbps":5},{"src":"cloud-csp","dst":"metro-lmp","gbps":3,"class":"gold"}]}`},
+	{"/v1/epoch", `{"seconds":3600}`},
+	// The ring auction selects links 1, 2, 3; chaos and recall must
+	// act on leased links to exercise real transitions.
+	{"/v1/chaos", `{"kind":"cut-link","link":2}`},
+	{"/v1/epoch", `{"seconds":3600}`},
+	{"/v1/chaos", `{"kind":"repair-link","link":2}`},
+	{"/v1/flows/stop", `{"ids":[1]}`},
+	{"/v1/recall", `{"link":1,"penalty_rate":0.1}`},
+	{"/v1/epoch", `{"seconds":1800}`},
+}
+
+// obsExport reads /v1/obs and fails on a degraded or error response.
+func obsExport(t *testing.T, ts *httptest.Server) []byte {
+	t.Helper()
+	resp, b := get(t, ts, "/v1/obs")
+	if resp.StatusCode != 200 {
+		t.Fatalf("obs: status %d: %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("X-Pocd-Degraded") != "" {
+		t.Fatalf("obs: unexpectedly degraded")
+	}
+	return b
+}
+
+// recordEnds parses the journal frame structure and returns the byte
+// offset just past each record (header record first).
+func recordEnds(t *testing.T, raw []byte) []int64 {
+	t.Helper()
+	const frameHeader = 4 + 1 + 8 + 4
+	var ends []int64
+	off := int64(len(journal.Magic))
+	for off < int64(len(raw)) {
+		if off+frameHeader > int64(len(raw)) {
+			t.Fatalf("trailing garbage at %d", off)
+		}
+		n := int64(binary.LittleEndian.Uint32(raw[off:]))
+		off += frameHeader + n
+		if off > int64(len(raw)) {
+			t.Fatalf("record overruns file at %d", off)
+		}
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+// TestRecoveryAtEveryRecordBoundary is the crash-recovery property
+// test at the server level: run the scripted session, then for every
+// record boundary (and a cut strictly inside the following record)
+// restart a server from that truncated journal and require its state
+// and obs export to be byte-identical to what the original server
+// reported right after the corresponding op. Torn records must be
+// dropped whole — never half-applied.
+func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
+	s, _, path := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// exports[k] / statuses[k] = observed state after k applied ops.
+	exports := [][]byte{obsExport(t, ts)}
+	statuses := []string{}
+	_, st0 := get(t, ts, "/v1/status")
+	statuses = append(statuses, string(st0))
+	for _, step := range script {
+		code, body := post(t, ts, step.path, step.body)
+		if code != 200 {
+			t.Fatalf("POST %s: status %d: %s", step.path, code, body)
+		}
+		exports = append(exports, obsExport(t, ts))
+		_, sb := get(t, ts, "/v1/status")
+		statuses = append(statuses, string(sb))
+	}
+	ts.Close()
+	// No Shutdown: the original "crashes" with an unsealed journal.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ends := recordEnds(t, raw)
+	if len(ends) != len(script)+1 {
+		t.Fatalf("journal has %d records, want %d", len(ends), len(script)+1)
+	}
+	for i, end := range ends {
+		ops := i // record 0 is the header
+		cuts := []int64{end}
+		if i+1 < len(ends) {
+			// A cut strictly inside the next record: torn tail.
+			cuts = append(cuts, end+(ends[i+1]-end)/2)
+		}
+		for _, cut := range cuts {
+			trunc := filepath.Join(t.TempDir(), fmt.Sprintf("cut-%d.journal", cut))
+			if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			clock := &fakeClock{}
+			s2, err := New(Config{
+				Build:       buildRing,
+				JournalPath: trunc,
+				NoFsync:     true,
+				Now:         clock.now,
+			})
+			if err != nil {
+				t.Fatalf("cut %d: recover: %v", cut, err)
+			}
+			rec := s2.Recovered()
+			if rec == nil || rec.Ops != ops {
+				t.Fatalf("cut %d: recovered %+v, want %d ops", cut, rec, ops)
+			}
+			ts2 := httptest.NewServer(s2.Handler())
+			if got := obsExport(t, ts2); !bytes.Equal(got, exports[ops]) {
+				t.Fatalf("cut %d: recovered obs export diverges after %d ops", cut, ops)
+			}
+			if _, sb := get(t, ts2, "/v1/status"); string(sb) != statuses[ops] {
+				t.Fatalf("cut %d: recovered status diverges after %d ops:\n%s\nwant:\n%s", cut, ops, sb, statuses[ops])
+			}
+			ts2.Close()
+			if err := s2.Shutdown(); err != nil {
+				t.Fatalf("cut %d: shutdown: %v", cut, err)
+			}
+		}
+	}
+}
+
+// TestRecoveredJournalStaysAppendable proves a recovered daemon keeps
+// journaling: recover, apply more ops, crash again, recover again —
+// the second recovery sees both generations of ops.
+func TestRecoveredJournalStaysAppendable(t *testing.T) {
+	s, _, path := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	for _, step := range script[:4] {
+		if code, body := post(t, ts, step.path, step.body); code != 200 {
+			t.Fatalf("POST %s: %d: %s", step.path, code, body)
+		}
+	}
+	ts.Close()
+	// Crash (no seal), then chop 3 bytes to tear the final record.
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := &fakeClock{}
+	s2, err := New(Config{Build: buildRing, JournalPath: path, NoFsync: true, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := s2.Recovered(); rec.Ops != 3 || rec.TornBytes == 0 {
+		t.Fatalf("recovered %+v, want 3 ops and a torn tail", rec)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	for _, step := range script[3:6] {
+		if code, body := post(t, ts2, step.path, step.body); code != 200 {
+			t.Fatalf("POST %s: %d: %s", step.path, code, body)
+		}
+	}
+	wantExport := obsExport(t, ts2)
+	ts2.Close()
+	if err := s2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, err := New(Config{Build: buildRing, JournalPath: path, NoFsync: true, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Shutdown()
+	if rec := s3.Recovered(); rec.Ops != 6 || !rec.Sealed {
+		t.Fatalf("second recovery %+v, want 6 ops, sealed", rec)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	if got := obsExport(t, ts3); !bytes.Equal(got, wantExport) {
+		t.Fatal("second recovery's obs export diverges from pre-shutdown export")
+	}
+}
+
+// TestTimeoutDecidedBeforeJournal: a mutation that expires while
+// queued is rejected whole — no journal record, no state change.
+func TestTimeoutDecidedBeforeJournal(t *testing.T) {
+	gate := make(chan struct{})
+	gateEntered := make(chan struct{})
+	s, clock, path := newTestServer(t, func(cfg *Config) {
+		cfg.applyGate = func(op *Op) {
+			if op.Op == "publish_qos" {
+				close(gateEntered)
+				<-gate
+			}
+		}
+	})
+	defer s.Shutdown()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the writer with a gated op; only once the writer is
+	// provably wedged, queue a second mutation and let its deadline
+	// lapse before the writer reaches it.
+	firstDone := make(chan int)
+	go func() {
+		code, _ := post(t, ts, "/v1/qos", `{"name":"gold","weight":4,"price":2}`)
+		firstDone <- code
+	}()
+	<-gateEntered
+	secondDone := make(chan string)
+	go func() {
+		code, body := post(t, ts, "/v1/epoch", `{"seconds":3600}`)
+		secondDone <- fmt.Sprintf("%d %s", code, body)
+	}()
+	for i := 0; i < 5000 && len(s.queue) < 1; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	clock.advance(10 * time.Second)
+	close(gate)
+
+	if code := <-firstDone; code != 200 {
+		t.Fatalf("gated op: status %d", code)
+	}
+	second := <-secondDone
+	if !strings.HasPrefix(second, "503") || !strings.Contains(second, "deadline") {
+		t.Fatalf("queued op past deadline: got %q, want 503 deadline", second)
+	}
+	ts.Close()
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one op journaled: the gated publish_qos. The timed-out
+	// epoch op must not appear.
+	res, err := journal.Replay(path, func(seq uint64, payload []byte) error {
+		if !strings.Contains(string(payload), "publish_qos") {
+			return fmt.Errorf("unexpected journaled op: %s", payload)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1 || !res.Sealed {
+		t.Fatalf("journal: %+v, want 1 op, sealed", res)
+	}
+}
+
+// TestDegradedReadsUnderSaturation: with the writer wedged and the
+// queue full, reads serve the last snapshot (marked degraded) and
+// mutations shed with 503.
+func TestDegradedReadsUnderSaturation(t *testing.T) {
+	gate := make(chan struct{})
+	s, _, _ := newTestServer(t, func(cfg *Config) {
+		cfg.QueueDepth = 1
+		cfg.applyGate = func(op *Op) { <-gate }
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() { // occupies the writer (dequeued, gated)
+		post(t, ts, "/v1/epoch", `{"seconds":3600}`)
+		close(done)
+	}()
+	queued := make(chan struct{})
+	go func() { // fills the depth-1 queue
+		post(t, ts, "/v1/epoch", `{"seconds":3600}`)
+		close(queued)
+	}()
+	waitFor := func(cond func() bool) {
+		for i := 0; i < 5000 && !cond(); i++ {
+			time.Sleep(time.Millisecond)
+		}
+		if !cond() {
+			t.Fatal("writer never reached expected saturation")
+		}
+	}
+	waitFor(func() bool { return len(s.queue) == 1 })
+
+	resp, body := get(t, ts, "/v1/status")
+	if resp.StatusCode != 200 {
+		t.Fatalf("degraded read: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Pocd-Degraded") != "stale" {
+		t.Fatalf("degraded read: missing X-Pocd-Degraded header")
+	}
+	var snap core.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("degraded read: bad body: %v", err)
+	}
+	if code, _ := post(t, ts, "/v1/epoch", `{"seconds":3600}`); code != 503 {
+		t.Fatalf("mutation with full queue: status %d, want 503", code)
+	}
+	if s.mShed.Load() == 0 || s.mDegraded.Load() == 0 {
+		t.Fatalf("shed/degraded counters not incremented: shed=%d degraded=%d",
+			s.mShed.Load(), s.mDegraded.Load())
+	}
+
+	close(gate)
+	<-done
+	<-queued
+	// Writer free again: fresh reads resume, no degraded marker.
+	resp, _ = get(t, ts, "/v1/status")
+	if resp.Header.Get("X-Pocd-Degraded") != "" {
+		t.Fatal("read still degraded after writer drained")
+	}
+	ts.Close()
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRateLimitPerTenant: an over-quota tenant gets 429 without
+// consuming writer capacity; other tenants are unaffected.
+func TestRateLimitPerTenant(t *testing.T) {
+	s, _, _ := newTestServer(t, func(cfg *Config) {
+		cfg.RateLimit = ratelimit.Config{Rate: 1, Burst: 2}
+	})
+	defer s.Shutdown()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := func(tenant string) int {
+		r, _ := http.NewRequest("GET", ts.URL+"/v1/status", nil)
+		if tenant != "" {
+			r.Header.Set("X-POC-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := []int{req("a"), req("a"), req("a")}; got[0] != 200 || got[1] != 200 || got[2] != 429 {
+		t.Fatalf("tenant a: %v, want burst of 2 then 429", got)
+	}
+	if code := req("b"); code != 200 {
+		t.Fatalf("tenant b: %d, want independent bucket", code)
+	}
+	if s.mRateLimited.Load() != 1 {
+		t.Fatalf("rate-limited counter = %d, want 1", s.mRateLimited.Load())
+	}
+}
+
+// TestShutdownDrainsAndSeals: Shutdown answers everything already
+// queued, seals the journal, and rejects later mutations.
+func TestShutdownDrainsAndSeals(t *testing.T) {
+	s, _, path := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, body := post(t, ts, "/v1/epoch", `{"seconds":60}`); code != 200 {
+		t.Fatalf("epoch: %d: %s", code, body)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if code, _ := post(t, ts, "/v1/epoch", `{"seconds":60}`); code != 503 {
+		t.Fatalf("mutation after shutdown: %d, want 503", code)
+	}
+	resp, _ := get(t, ts, "/readyz")
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz after shutdown: %d, want 503", resp.StatusCode)
+	}
+	res, err := journal.Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sealed || res.Ops != 1 {
+		t.Fatalf("journal %+v, want sealed with 1 op", res)
+	}
+}
+
+// TestValidationNeverTouchesJournal: a 400 must not consume a
+// sequence number.
+func TestValidationNeverTouchesJournal(t *testing.T) {
+	s, _, path := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	bad := []struct{ path, body string }{
+		{"/v1/flows", `{"flows":[]}`},
+		{"/v1/flows", `{"flows":[{"src":"a","dst":"b","gbps":-1}]}`},
+		{"/v1/members", `{"name":"x","kind":"wat"}`},
+		{"/v1/epoch", `{"seconds":0}`},
+		{"/v1/chaos", `{"kind":"meteor"}`},
+		{"/v1/flows/stop", `{}`},
+	}
+	for _, b := range bad {
+		if code, body := post(t, ts, b.path, b.body); code != 400 {
+			t.Fatalf("POST %s %s: status %d (%s), want 400", b.path, b.body, code, body)
+		}
+	}
+	ts.Close()
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := journal.Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 0 {
+		t.Fatalf("journal has %d ops after only invalid requests", res.Ops)
+	}
+}
+
+// TestSpecMismatchRefused: recovering a journal under a different
+// deployment spec must fail loudly, not rebuild the wrong network.
+func TestSpecMismatchRefused(t *testing.T) {
+	s, _, path := newTestServer(t, nil)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{}
+	_, err := New(Config{
+		Spec:        []byte(`{"scenario":"other"}`),
+		Build:       buildRing,
+		JournalPath: path,
+		NoFsync:     true,
+		Now:         clock.now,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different deployment spec") {
+		t.Fatalf("spec mismatch accepted: %v", err)
+	}
+}
