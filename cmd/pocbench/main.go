@@ -63,6 +63,7 @@ func run() (err error) {
 	fabricOut := flag.Bool("fabric", false, "benchmark the fabric data plane (bulk admission, churn, BP-outage reroute at 100k and 1M flows) and write BENCH_fabric.json")
 	benchtime := flag.String("benchtime", "", "with -fabric: Nx runs a single smoke point at N×50k flows instead of the full 100k/1M trajectory")
 	fabricFlows := flag.Int("fabricflows", 0, "with -fabric: measure exactly this population size instead of the default trajectory")
+	fleetOut := flag.Bool("fleet", false, "benchmark the scenario-grid runner (golden grid, cold vs warm shared cache) and write BENCH_fleet.json")
 	metrics := flag.String("metrics", "", "with -json: also write the poc-obs/v1 metrics ledger to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -98,6 +99,12 @@ func run() (err error) {
 	if *fabricOut {
 		if err := benchFabric(*scale, *benchtime, *fabricFlows); err != nil {
 			return fmt.Errorf("fabric: %w", err)
+		}
+		return nil
+	}
+	if *fleetOut {
+		if err := benchFleet(*scale, *workers); err != nil {
+			return fmt.Errorf("fleet: %w", err)
 		}
 		return nil
 	}

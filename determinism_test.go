@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/public-option/poc/internal/federation"
+	"github.com/public-option/poc/internal/fleet"
 	"github.com/public-option/poc/internal/interdomain"
 	"github.com/public-option/poc/internal/netsim"
 	"github.com/public-option/poc/internal/topo"
@@ -421,5 +422,47 @@ func TestAuctionCacheAblation(t *testing.T) {
 	}
 	if hr := float64(cached.CacheHits) / float64(cached.Checks); math.IsNaN(hr) || hr < 0 || hr > 1 {
 		t.Fatalf("nonsense hit rate %v", hr)
+	}
+}
+
+// TestFleetWorkerInvariance extends the worker-determinism gate from
+// one auction to the whole scenario grid: the 24-cell default sweep
+// (two topologies × two traffic models × three constraints × two
+// chaos schedules) must merge to byte-identical reports at -workers
+// 1, 4 and 8, and again on a rerun — with the process-wide
+// feasibility cache shared across every cell the whole time, so any
+// scheduling leak through the cache would surface as drift here.
+func TestFleetWorkerInvariance(t *testing.T) {
+	grid := fleet.DefaultGrid()
+	shared := fleet.NewShared()
+	sweep := func(workers int) []byte {
+		t.Helper()
+		// Epochs/FailureScenarios are trimmed below their defaults to
+		// keep four full sweeps CI-cheap; they shrink each cell, not
+		// the grid, so the invariance property tested is unchanged.
+		rep, err := fleet.Run(grid, fleet.Config{
+			Workers: workers, Shared: shared, Epochs: 6, FailureScenarios: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := sweep(1)
+	if len(base) == 0 {
+		t.Fatal("empty merged report")
+	}
+	for _, workers := range []int{4, 8} {
+		if got := sweep(workers); !bytes.Equal(got, base) {
+			t.Fatalf("-workers %d merged report differs from -workers 1", workers)
+		}
+	}
+	// Run-to-run: a second 8-worker sweep over the now-warm cache.
+	if got := sweep(8); !bytes.Equal(got, base) {
+		t.Fatal("rerun merged report differs (warm cache leaked into results)")
 	}
 }

@@ -1,0 +1,58 @@
+package poc
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/public-option/poc/internal/fleet"
+)
+
+var updateFleetGolden = flag.Bool("update-fleet-golden", false,
+	"rewrite testdata/fleet_golden.json from this run instead of comparing")
+
+const fleetGoldenPath = "testdata/fleet_golden.json"
+
+// TestFleetGoldenGrid pins the 12-cell golden sweep bit-for-bit:
+// every cell's digest (which covers its full result row AND its obs
+// ledger) plus the merged report hash. Unlike a bare hash compare,
+// a failure here names the exact cell that drifted — "constraint C2
+// under the BP outage moved" is actionable; "64 hex chars changed"
+// is not.
+//
+// Regenerate deliberately after an intentional engine change:
+//
+//	go test -run TestFleetGoldenGrid -update-fleet-golden .
+func TestFleetGoldenGrid(t *testing.T) {
+	rep, err := fleet.Run(fleet.GoldenGrid(), fleet.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateFleetGolden {
+		g, err := rep.Golden("golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.WriteFile(fleetGoldenPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d cells)", fleetGoldenPath, len(g.Cells))
+		return
+	}
+	g, err := fleet.LoadGolden(fleetGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(fleet.GoldenGrid().Expand()); len(g.Cells) != want {
+		t.Fatalf("fixture pins %d cells, grid expands to %d", len(g.Cells), want)
+	}
+	diffs, err := g.Diff(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Errorf("drift: %s", d)
+	}
+	if len(diffs) > 0 {
+		t.Fatalf("%d divergence(s) from %s — if intentional, rerun with -update-fleet-golden", len(diffs), fleetGoldenPath)
+	}
+}

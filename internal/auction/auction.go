@@ -60,6 +60,28 @@ type Instance struct {
 	// — Check is deterministic, so a hit replays exactly what a fresh
 	// check would compute — it only skips redundant routing work.
 	NoCache bool
+	// Cache, when non-nil, is an external feasibility memo shared
+	// across runs — the fleet runner threads one process-wide cache
+	// through every cell so instances over the same network, matrix
+	// and bids replay each other's checks. Entries are keyed by a
+	// fingerprint of this instance's price metric (plus the warm set
+	// for counterfactuals), so instances with different bids never
+	// collide. A shared cache requires the auction-built metric: when
+	// RouteOpts.LinkCost is caller-supplied the external cache is
+	// ignored (its identity cannot be fingerprinted) and a private
+	// per-run memo is used instead. With an external cache the
+	// scheduling-dependent tallies — Result.CacheHits/CacheMisses and
+	// the auction.memo.* counters — are suppressed: which run inserts
+	// an entry is cross-cell scheduling luck, and the obs export must
+	// stay byte-identical for any worker interleaving.
+	Cache *provision.FeasibilityCache
+	// Workspace, when non-nil, is an external arena pool for the main
+	// (raw-metric) winner determination, built by NewRawWorkspace on an
+	// instance with the same Network, Bids, Virtual and RouteOpts.
+	// Counterfactual runs always build their own (their warm-biased
+	// metric differs per selection). Sharing never changes outcomes:
+	// arenas are equivalent after apply, whichever run returned them.
+	Workspace *provision.Workspace
 	// Obs, when non-nil, receives the auction's metrics and trace
 	// spans: run/counterfactual spans, check and memo counters, cost
 	// gauges, and per-BP payments. It is forwarded to
@@ -154,14 +176,23 @@ func (in *Instance) Run() (*Result, error) {
 	if in.RouteOpts.Obs == nil {
 		in.RouteOpts.Obs = in.Obs
 	}
-	var fc *provision.FeasibilityCache
+	// cc.external marks a cache shared beyond this run: obs recording
+	// through it is suppressed (insert wins are cross-run scheduling
+	// luck) and entries are namespaced by the instance's price-metric
+	// fingerprint. A caller-supplied LinkCost cannot be fingerprinted,
+	// so an external cache is only honored for the auction-built metric.
+	var cc cacheCtx
 	if !in.NoCache {
-		fc = provision.NewFeasibilityCache()
+		if in.Cache != nil && sharedPrice != nil {
+			cc = cacheCtx{fc: in.Cache, base: priceFingerprint(sharedPrice), external: true}
+		} else {
+			cc = cacheCtx{fc: provision.NewFeasibilityCache()}
+		}
 	}
 	run := in.Obs.StartSpan("auction.run")
 	defer run.End()
 	wd := in.Obs.StartSpan("auction.winner_determination")
-	sel, err := in.selectLinks(-1, nil, in.RouteOpts, fc)
+	sel, err := in.selectLinks(-1, nil, in.RouteOpts, cc)
 	wd.End()
 	if err != nil {
 		return nil, fmt.Errorf("auction: winner determination: %w", err)
@@ -204,7 +235,7 @@ func (in *Instance) Run() (*Result, error) {
 	cf := in.Obs.StartSpan("auction.counterfactuals")
 	if workers <= 1 || len(need) <= 1 {
 		for _, a := range need {
-			alts[a], errs[a] = in.selectLinks(a, sel.set, in.RouteOpts, fc)
+			alts[a], errs[a] = in.selectLinks(a, sel.set, in.RouteOpts, cc)
 			if errs[a] != nil {
 				break
 			}
@@ -227,7 +258,7 @@ func (in *Instance) Run() (*Result, error) {
 					}
 					opts.LinkCost = priceMetric(price)
 				}
-				alts[a], errs[a] = in.selectLinks(a, sel.set, opts, fc)
+				alts[a], errs[a] = in.selectLinks(a, sel.set, opts, cc)
 			}()
 		}
 		wg.Wait()
@@ -254,11 +285,11 @@ func (in *Instance) Run() (*Result, error) {
 			res.VirtualCost += v.ContractPrice
 		}
 	}
-	if fc != nil {
-		res.CacheHits = int(fc.Hits())
-		res.CacheMisses = int(fc.Misses())
+	if cc.fc != nil && !cc.external {
+		res.CacheHits = int(cc.fc.Hits())
+		res.CacheMisses = int(cc.fc.Misses())
 	}
-	in.record(res, need, fc)
+	in.record(res, need, cc)
 	return res, nil
 }
 
@@ -270,7 +301,7 @@ var paymentBuckets = []float64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 // the memo counters use fc.Len() — the number of distinct link sets
 // checked — rather than the scheduling-dependent hit/miss tallies, so
 // the export is identical for any Workers value.
-func (in *Instance) record(res *Result, need []int, fc *provision.FeasibilityCache) {
+func (in *Instance) record(res *Result, need []int, cc cacheCtx) {
 	if in.Obs == nil {
 		return
 	}
@@ -285,8 +316,11 @@ func (in *Instance) record(res *Result, need []int, fc *provision.FeasibilityCac
 		in.Obs.KeyedSet("auction.payment_by_bp", a, res.Payments[a])
 		in.Obs.Observe("auction.payments", paymentBuckets, res.Payments[a])
 	}
-	if fc != nil {
-		entries := int64(fc.Len())
+	// An external cache's entry count reflects every run that shares
+	// it, in completion order — scheduling-dependent — so the memo
+	// counters are private-cache only.
+	if cc.fc != nil && !cc.external {
+		entries := int64(cc.fc.Len())
 		in.Obs.Add("auction.memo.lookups", int64(res.Checks))
 		in.Obs.Add("auction.memo.entries", entries)
 		in.Obs.Add("auction.memo.replayed", int64(res.Checks)-entries)
@@ -376,6 +410,63 @@ type selection struct {
 	checks int
 }
 
+// cacheCtx carries one Run's feasibility-memo context into every
+// winner determination: the cache itself, the instance's price-metric
+// fingerprint (zero for a private per-run cache), and whether the
+// cache outlives the run (external ⇒ no obs recording through it).
+type cacheCtx struct {
+	fc       *provision.FeasibilityCache
+	base     uint64
+	external bool
+}
+
+// FNV-1a, used to fingerprint routing metrics for shared-cache tags.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// priceFingerprint hashes a price metric by value, in ascending link
+// ID: two instances with equal bids produce equal fingerprints (and so
+// share cache entries), while a reauction's reduced bids — different
+// marginal prices — produce a different one.
+func priceFingerprint(price map[int]float64) uint64 {
+	ids := make([]int, 0, len(price))
+	for id := range price {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		h = fnvMix(h, uint64(id))
+		h = fnvMix(h, math.Float64bits(price[id]))
+	}
+	return h
+}
+
+// NewRawWorkspace builds a provisioning workspace frozen to this
+// instance's raw price metric — the metric Run uses for the main
+// winner determination when RouteOpts.LinkCost is nil. A caller that
+// runs many auctions over the same Network, Bids, Virtual and
+// RouteOpts (the fleet runner's cells) builds one and sets it as
+// Instance.Workspace on each, sharing the arena free-list across runs.
+func (in *Instance) NewRawWorkspace() *provision.Workspace {
+	opts := in.RouteOpts
+	if opts.LinkCost == nil {
+		opts.LinkCost = priceMetric(in.priceOfLink())
+	}
+	return provision.NewWorkspace(in.Network, opts)
+}
+
 // offered returns the offered link set OL, optionally excluding one
 // BP's links (excludeBP >= 0).
 func (in *Instance) offered(excludeBP int) *linkset.Set {
@@ -447,24 +538,33 @@ func (in *Instance) priceOfLink() map[int]float64 {
 // can publish it and every BP can reproduce the outcome.
 //
 // opts is passed explicitly (not read from in.RouteOpts) so that
-// concurrent counterfactual runs each own their Options value. fc,
+// concurrent counterfactual runs each own their Options value. cc.fc,
 // when non-nil, memoizes feasibility checks. Within one Run only two
 // routing metrics exist — the raw price metric (main run) and the
 // warm-biased one (every counterfactual warms towards the same SL) —
 // so entries are tagged with which of the two produced them: the
 // excluded BP is already captured by the include set in the key, and
 // sharing the warm tag lets counterfactuals reuse each other's checks.
-func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision.Options, fc *provision.FeasibilityCache) (selection, error) {
+// The tags mix in cc.base (the instance's price-metric fingerprint,
+// zero for a private cache) and, for the warm metric, the warm set and
+// bias, so runs sharing an external cache never cross metrics.
+func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision.Options, cc cacheCtx) (selection, error) {
 	cur := in.offered(excludeBP)
-	metric := uint64(1) // raw price metric
+	metric := fnvMix(fnvMix(fnvOffset64, cc.base), 1) // raw price metric
 	if warm != nil {
-		metric = 2 // warm-biased metric, identical across counterfactuals
 		// Scale down the routing metric of links in the warm set so
 		// the constructive seed follows the main solution's structure.
 		bias := in.WarmBias
 		if bias <= 0 || bias > 1 {
 			bias = 0.75
 		}
+		// Warm-biased metric, identical across counterfactuals: a pure
+		// function of (price metric, warm set, bias).
+		metric = fnvMix(fnvMix(fnvOffset64, cc.base), 2)
+		for _, w := range warm.Words() {
+			metric = fnvMix(metric, w)
+		}
+		metric = fnvMix(metric, math.Float64bits(bias))
 		base := opts.LinkCost
 		opts.LinkCost = func(l topo.LogicalLink) float64 {
 			c := base(l)
@@ -478,15 +578,28 @@ func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision
 	// determination's routing metric (raw or warm-biased), and every
 	// check below — including the Constraint-2 scenario sweeps and the
 	// shave — draws from the same pool. Counterfactuals run their own
-	// selectLinks, so parallel runs never share a workspace.
-	opts.Workspace = provision.NewWorkspace(in.Network, opts)
+	// selectLinks, so parallel runs never share a workspace — unless
+	// the caller provided a shared raw-metric pool, which the main
+	// determination draws from (arenas are equivalent after apply).
+	if warm == nil && in.Workspace != nil {
+		opts.Workspace = in.Workspace
+	} else {
+		opts.Workspace = provision.NewWorkspace(in.Network, opts)
+	}
 	checks := 0
+	fc := cc.fc
 	// Every query counts against checks whether or not the memo
 	// answers it: the MaxChecks budget must not depend on cache luck,
 	// so cached and uncached runs take identical decisions.
 	check := func(set *linkset.Set, o provision.Options) bool {
 		checks++
 		if fc != nil {
+			if cc.external {
+				// Which sharing run wins an entry's insert — and with it
+				// the once-per-entry check metrics — is cross-run
+				// scheduling luck; record nothing through a shared cache.
+				o.Obs = nil
+			}
 			ok, _ := fc.Check(in.Network, set, in.TM, in.Constraint, o, metric)
 			return ok
 		}
@@ -501,6 +614,9 @@ func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision
 	checkCore := func(set *linkset.Set, o provision.Options) (bool, *linkset.Set) {
 		checks++
 		if fc != nil {
+			if cc.external {
+				o.Obs = nil
+			}
 			return fc.CheckCore(in.Network, set, in.TM, in.Constraint, o, metric)
 		}
 		return provision.CheckCore(in.Network, set, in.TM, in.Constraint, o)

@@ -51,6 +51,19 @@ type Config struct {
 	// every reauction, and receives per-epoch billing timelines. One
 	// registry per deployment yields one coherent exported ledger.
 	Obs *obs.Registry
+	// Cache, when non-nil, is an external feasibility memo shared
+	// beyond this deployment (see auction.Instance.Cache): the fleet
+	// runner threads one process-wide cache through every cell. It is
+	// forwarded to the initial auction and to every reauction; entries
+	// are namespaced by price-metric fingerprint, so a reauction's
+	// reduced bids never collide with the main auction's.
+	Cache *provision.FeasibilityCache
+	// Workspace, when non-nil, is a shared raw-metric arena pool for
+	// the initial auction's main winner determination (see
+	// auction.Instance.Workspace). It is NOT forwarded to reauctions:
+	// their reduced bids change the raw price metric, and a workspace's
+	// arenas freeze the metric they were built with.
+	Workspace *provision.Workspace
 }
 
 // phase tracks lifecycle progress.
@@ -166,6 +179,8 @@ func (p *POC) RunAuction() (*auction.Result, error) {
 		MaxChecks:  p.cfg.MaxChecks,
 		Workers:    p.cfg.Workers,
 		Obs:        p.cfg.Obs,
+		Cache:      p.cfg.Cache,
+		Workspace:  p.cfg.Workspace,
 	}
 	res, err := inst.Run()
 	if err != nil {

@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/public-option/poc/internal/provision"
+)
+
+// smallGrid is the 4-cell grid the package tests sweep: cheap (C1
+// only), but it still exercises both traffic models, a quiet cell and
+// a BP outage.
+func smallGrid() GridSpec {
+	return GridSpec{
+		Topos:       []TopoSpec{{Name: "fig2"}},
+		Traffics:    []string{"gravity", "hotspot"},
+		Constraints: []provision.Constraint{provision.Constraint1},
+		Chaos:       []string{"none", "bp-outage"},
+		Policies:    []string{"recall"},
+	}
+}
+
+func mustRun(t *testing.T, grid GridSpec, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(grid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func reportBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := rep.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestExpandDedupsAndSorts(t *testing.T) {
+	g := smallGrid()
+	// Extra policies must not multiply the chaos="none" cells: the
+	// recovery ladder never engages without faults, so the policy axis
+	// collapses to "reroute" there.
+	g.Policies = []string{"recall", "reroute", "reauction"}
+	cells := g.Expand()
+	// 2 traffics × (1 collapsed none-cell + 3 bp-outage policies) = 8.
+	if len(cells) != 8 {
+		t.Fatalf("expanded to %d cells, want 8: %v", len(cells), cells)
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i-1].Key() >= cells[i].Key() {
+			t.Fatalf("cells not strictly key-sorted: %q then %q", cells[i-1].Key(), cells[i].Key())
+		}
+	}
+	for _, c := range cells {
+		if c.Chaos == "none" && c.Policy != "reroute" {
+			t.Fatalf("quiet cell kept policy %q", c.Policy)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(GridSpec{}, Config{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	g := smallGrid()
+	if _, err := Run(g, Config{Scale: 2}); err == nil {
+		t.Fatal("scale 2 accepted")
+	}
+}
+
+// TestFleetResumeProperty is the crash/resume property test: for every
+// prefix length k, a sweep killed after its k-th completed cell and
+// then resumed must produce a merged report byte-identical to an
+// uninterrupted run. MaxCells simulates the kill; Workers=1 in the
+// interrupted phase makes the kill point exact.
+func TestFleetResumeProperty(t *testing.T) {
+	grid := smallGrid()
+	baseline := reportBytes(t, mustRun(t, grid, Config{Workers: 2}))
+	cells := grid.Expand()
+	for k := 1; k < len(cells); k++ {
+		dir := t.TempDir()
+		_, err := Run(grid, Config{Workers: 1, StateDir: dir, MaxCells: k})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("k=%d: interrupted run returned %v, want ErrInterrupted", k, err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journaled := 0
+		for _, e := range entries {
+			if e.Name() != "manifest.json" && !strings.HasPrefix(e.Name(), ".tmp-") {
+				journaled++
+			}
+		}
+		if journaled != k {
+			t.Fatalf("k=%d: journal holds %d cells", k, journaled)
+		}
+		resumed := reportBytes(t, mustRun(t, grid, Config{Workers: 4, StateDir: dir}))
+		if !bytes.Equal(resumed, baseline) {
+			t.Fatalf("k=%d: resumed report differs from uninterrupted run", k)
+		}
+	}
+}
+
+// TestResumeRejectsForeignState: a journal pinned to different sweep
+// parameters (or a corrupted entry) must abort the run, not silently
+// merge stale results.
+func TestResumeRejectsForeignState(t *testing.T) {
+	grid := smallGrid()
+	dir := t.TempDir()
+	if _, err := Run(grid, Config{Workers: 1, StateDir: dir, MaxCells: 1}); !errors.Is(err, ErrInterrupted) {
+		t.Fatal(err)
+	}
+	if _, err := Run(grid, Config{Workers: 1, StateDir: dir, Epochs: 12}); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("foreign manifest accepted: %v", err)
+	}
+	// Corrupt the journaled cell: digest verification must catch it.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() == "manifest.json" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = bytes.Replace(raw, []byte(`"selected":`), []byte(`"selected":9`), 1)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Run(grid, Config{Workers: 1, StateDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("corrupted journal accepted: %v", err)
+	}
+}
+
+// TestCrossCellCacheSharing proves the process-wide feasibility cache
+// actually carries work across cells — and that sharing never reaches
+// the report bytes.
+//
+// The two-cell grid differs only in the chaos axis, which runs after
+// the auction and (under the reroute policy) never touches
+// provisioning: both cells ask the cache exactly the same feasibility
+// questions. So a shared sweep must pay the misses of ONE cell and
+// answer the second entirely from cache.
+func TestCrossCellCacheSharing(t *testing.T) {
+	one := GridSpec{
+		Topos:       []TopoSpec{{Name: "fig2"}},
+		Traffics:    []string{"gravity"},
+		Constraints: []provision.Constraint{provision.Constraint1},
+		Chaos:       []string{"none"},
+		Policies:    []string{"reroute"},
+	}
+	two := one
+	two.Chaos = []string{"none", "bp-outage"}
+
+	s1 := NewShared()
+	mustRun(t, one, Config{Shared: s1})
+	h1, m1 := s1.CacheStats()
+	if m1 == 0 {
+		t.Fatal("single-cell sweep recorded no cache misses")
+	}
+
+	// Workers=1 so the second cell starts after the first has stored
+	// its entries; concurrent cells can race to the same key and both
+	// miss (the counters are advisory — results never depend on them).
+	s2 := NewShared()
+	sharedRep := mustRun(t, two, Config{Shared: s2, Workers: 1})
+	h2, m2 := s2.CacheStats()
+	if m2 != m1 {
+		t.Fatalf("two-cell sweep paid %d misses, want the single-cell %d (second cell should replay from cache)", m2, m1)
+	}
+	if h2 <= h1 {
+		t.Fatalf("two-cell sweep hits %d not above single-cell %d", h2, h1)
+	}
+
+	// Sharing must be invisible in the output: a cold sweep (every
+	// cell provisions from scratch) yields bit-identical bytes.
+	coldRep := mustRun(t, two, Config{ColdCache: true, Workers: 2})
+	if !bytes.Equal(reportBytes(t, sharedRep), reportBytes(t, coldRep)) {
+		t.Fatal("shared-cache report differs from cold-cache report")
+	}
+}
+
+// TestSharedAcrossRuns: reusing one Shared across sweeps (pocbench's
+// warm trajectory) keeps results byte-identical while the cache keeps
+// its entries.
+func TestSharedAcrossRuns(t *testing.T) {
+	grid := smallGrid()
+	s := NewShared()
+	first := reportBytes(t, mustRun(t, grid, Config{Shared: s}))
+	_, coldMisses := s.CacheStats()
+	second := reportBytes(t, mustRun(t, grid, Config{Shared: s}))
+	_, warmMisses := s.CacheStats()
+	if !bytes.Equal(first, second) {
+		t.Fatal("warm rerun drifted from cold run")
+	}
+	if warmMisses != coldMisses {
+		t.Fatalf("warm rerun paid %d new misses", warmMisses-coldMisses)
+	}
+}

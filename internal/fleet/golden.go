@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// GoldenSchema identifies a pinned fleet fixture: the report hash plus
+// every cell's digest, so drift diagnostics can name the exact cell
+// that moved instead of just "hash changed".
+const GoldenSchema = "poc-fleet-golden/v1"
+
+// Golden is the committed fixture format (testdata/fleet_golden.json).
+type Golden struct {
+	Schema    string            `json:"schema"`
+	Grid      string            `json:"grid"`
+	Scale     string            `json:"scale"`
+	ReportSHA string            `json:"report_sha"`
+	Cells     map[string]string `json:"cells"` // cell key -> digest
+}
+
+// Golden pins this report as a fixture.
+func (r *Report) Golden(gridName string) (*Golden, error) {
+	h, err := r.Hash()
+	if err != nil {
+		return nil, err
+	}
+	g := &Golden{
+		Schema:    GoldenSchema,
+		Grid:      gridName,
+		Scale:     r.Scale,
+		ReportSHA: h,
+		Cells:     make(map[string]string, len(r.Results)),
+	}
+	for _, res := range r.Results {
+		g.Cells[res.Key] = res.Digest
+	}
+	return g, nil
+}
+
+// WriteFile persists the fixture canonically (sorted keys, trailing
+// newline).
+func (g *Golden) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadGolden reads and validates a committed fixture.
+func LoadGolden(path string) (*Golden, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Golden
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, fmt.Errorf("fleet: golden %s: %w", path, err)
+	}
+	if g.Schema != GoldenSchema {
+		return nil, fmt.Errorf("fleet: golden %s: schema %q, want %q", path, g.Schema, GoldenSchema)
+	}
+	return &g, nil
+}
+
+// Diff compares a fresh report against the fixture and returns one
+// human-readable line per divergence, naming the exact drifted cell.
+// Empty means bit-identical.
+func (g *Golden) Diff(r *Report) ([]string, error) {
+	var diffs []string
+	if r.Scale != g.Scale {
+		diffs = append(diffs, fmt.Sprintf("scale %s, fixture pinned %s", r.Scale, g.Scale))
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for _, res := range r.Results {
+		seen[res.Key] = true
+		want, ok := g.Cells[res.Key]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("cell %s: not in fixture (grid grew?)", res.Key))
+			continue
+		}
+		if res.Digest != want {
+			diffs = append(diffs, fmt.Sprintf("cell %s: digest %s, want %s", res.Key, res.Digest, want))
+		}
+	}
+	missing := make([]string, 0)
+	for key := range g.Cells {
+		if !seen[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		diffs = append(diffs, fmt.Sprintf("cell %s: in fixture but not in report (grid shrank?)", key))
+	}
+	h, err := r.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if h != g.ReportSHA {
+		diffs = append(diffs, fmt.Sprintf("report hash %s, want %s", h, g.ReportSHA))
+	}
+	return diffs, nil
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/public-option/poc/internal/provision"
+)
+
+// TopoSpec names one topology axis value: either a synthetic
+// TopologyZoo instance (Seed selects the generator seed, 0 = the
+// Figure-2 seed) or a directory of real GML files (Dir, which
+// overrides Seed).
+type TopoSpec struct {
+	Name string
+	Seed int64
+	Dir  string
+}
+
+// GridSpec is the cross product the fleet sweeps. Every axis must be
+// non-empty; Expand materializes the cells.
+type GridSpec struct {
+	Topos       []TopoSpec
+	Traffics    []string // "gravity", "hotspot", "offpeak"
+	Constraints []provision.Constraint
+	Chaos       []string // "none", "bp-outage", "flap", "random"
+	Policies    []string // "reroute", "recall", "reauction"
+}
+
+// Cell is one grid point: a full pipeline run (auction → provisioning
+// → fabric → chaos → billing) under one combination of axis values.
+type Cell struct {
+	Topo       string
+	Traffic    string
+	Constraint provision.Constraint
+	Chaos      string
+	Policy     string
+}
+
+// Key is the cell's canonical identity: merged reports sort by it, the
+// resume journal files are named after it, and golden fixtures pin
+// digests against it.
+func (c Cell) Key() string {
+	return fmt.Sprintf("topo=%s,tm=%s,c=C%d,chaos=%s,policy=%s",
+		c.Topo, c.Traffic, int(c.Constraint), c.Chaos, c.Policy)
+}
+
+// Expand materializes the cross product, sorted by Key. Chaos "none"
+// collapses the policy axis to "reroute": without faults the recovery
+// ladder never engages, so crossing policies would only duplicate
+// cells under different keys.
+func (g GridSpec) Expand() []Cell {
+	byKey := map[string]Cell{}
+	for _, ts := range g.Topos {
+		for _, tm := range g.Traffics {
+			for _, c := range g.Constraints {
+				for _, ch := range g.Chaos {
+					policies := g.Policies
+					if ch == "none" {
+						policies = []string{"reroute"}
+					}
+					for _, pol := range policies {
+						cell := Cell{Topo: ts.Name, Traffic: tm, Constraint: c, Chaos: ch, Policy: pol}
+						byKey[cell.Key()] = cell
+					}
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cells := make([]Cell, len(keys))
+	for i, k := range keys {
+		cells[i] = byKey[k]
+	}
+	return cells
+}
+
+// topoByName indexes the spec's topology axis for cell resolution.
+func (g GridSpec) topoByName() map[string]TopoSpec {
+	out := make(map[string]TopoSpec, len(g.Topos))
+	for _, ts := range g.Topos {
+		out[ts.Name] = ts
+	}
+	return out
+}
+
+// GoldenGrid is the pinned 12-cell grid the CI fleet-smoke job and the
+// golden fixture run: Figure-2 topology, two traffic models, all three
+// constraints, a quiet cell and a BP outage per combination.
+func GoldenGrid() GridSpec {
+	return GridSpec{
+		Topos:       []TopoSpec{{Name: "fig2"}},
+		Traffics:    []string{"gravity", "hotspot"},
+		Constraints: []provision.Constraint{provision.Constraint1, provision.Constraint2, provision.Constraint3},
+		Chaos:       []string{"none", "bp-outage"},
+		Policies:    []string{"recall"},
+	}
+}
+
+// DefaultGrid is the standing 24-cell sweep: two topologies (the
+// Figure-2 seed and an alternate zoo), two traffic models, all three
+// constraints, two chaos schedules under the recall policy.
+func DefaultGrid() GridSpec {
+	return GridSpec{
+		Topos:       []TopoSpec{{Name: "fig2"}, {Name: "zoo-17", Seed: 17}},
+		Traffics:    []string{"gravity", "hotspot"},
+		Constraints: []provision.Constraint{provision.Constraint1, provision.Constraint2, provision.Constraint3},
+		Chaos:       []string{"bp-outage", "random"},
+		Policies:    []string{"recall"},
+	}
+}

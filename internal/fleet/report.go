@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// ReportSchema identifies a merged fleet report document.
+const ReportSchema = "poc-fleet/v1"
+
+// CellResult is one row of the merged report. Every float is rendered
+// as a full-precision hex string (strconv 'x' format): the report is
+// compared byte-for-byte across worker counts and resumes, so no field
+// may depend on a formatter's rounding.
+type CellResult struct {
+	Key        string `json:"key"`
+	Topo       string `json:"topo"`
+	Traffic    string `json:"traffic"`
+	Constraint string `json:"constraint"`
+	Chaos      string `json:"chaos"`
+	Policy     string `json:"policy"`
+
+	Routers     int    `json:"routers"`
+	Links       int    `json:"links"`
+	Selected    int    `json:"selected"`
+	Checks      int    `json:"checks"`
+	TotalCost   string `json:"total_cost"`
+	VirtualCost string `json:"virtual_cost"`
+	Surplus     string `json:"surplus"`
+	AuctionSHA  string `json:"auction_sha"`
+
+	Epochs       int    `json:"epochs"`
+	MinDelivered string `json:"min_delivered"`
+	Reauctions   int    `json:"reauctions"`
+	ChaosSHA     string `json:"chaos_sha,omitempty"`
+
+	ObsSHA string `json:"obs_sha"`
+	// Digest covers every other field plus the cell's full obs ledger;
+	// the resume journal verifies it on load, so a corrupted or stale
+	// state file can never silently poison a merged report.
+	Digest string `json:"digest"`
+}
+
+// computeDigest hashes the result row (with Digest blanked) together
+// with the cell's exported obs document.
+func (r *CellResult) computeDigest(obsDoc []byte) (string, error) {
+	clone := *r
+	clone.Digest = ""
+	payload, err := json.Marshal(&clone)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(payload)
+	h.Write(obsDoc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Report is the canonical merged fleet report: results sorted by cell
+// key, plus the merged poc-obs/v1+cells ledger. Bytes() is the
+// byte-stability contract — identical for -workers 1 vs N, run to
+// run, and across interrupt/resume.
+type Report struct {
+	Schema           string          `json:"schema"`
+	Scale            string          `json:"scale"` // hex float
+	Epochs           int             `json:"epochs"`
+	FailureScenarios int             `json:"failure_scenarios"`
+	Cells            int             `json:"cells"`
+	Results          []*CellResult   `json:"results"`
+	Ledger           json.RawMessage `json:"ledger"`
+}
+
+// Bytes renders the canonical report document.
+func (r *Report) Bytes() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Hash returns the sha256 of the canonical report bytes.
+func (r *Report) Hash() (string, error) {
+	b, err := r.Bytes()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MergedSchema identifies a multi-registry merged export: a map of
+// cell keys to embedded poc-obs/v1 documents.
+const MergedSchema = "poc-obs/v1+cells"
+
+// mergedExport is the canonical merged-ledger document.
+type mergedExport struct {
+	Schema string                     `json:"schema"`
+	Count  int                        `json:"count"`
+	Cells  map[string]json.RawMessage `json:"cells"`
+}
+
+// MergeJSON combines per-cell poc-obs/v1 exports into one canonical
+// document. Each value must be a registry export (its schema field is
+// verified); each is embedded verbatim under its cell key.
+// encoding/json serializes map keys sorted, so the output is
+// byte-stable: the same cells yield the same bytes regardless of the
+// order — or the goroutine interleaving — in which they were produced.
+func MergeJSON(cells map[string][]byte) ([]byte, error) {
+	out := mergedExport{
+		Schema: MergedSchema,
+		Count:  len(cells),
+		Cells:  make(map[string]json.RawMessage, len(cells)),
+	}
+	for key, doc := range cells {
+		var head struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(doc, &head); err != nil {
+			return nil, fmt.Errorf("obs: cell %q: not a JSON document: %w", key, err)
+		}
+		if head.Schema != Schema {
+			return nil, fmt.Errorf("obs: cell %q: schema %q, want %q", key, head.Schema, Schema)
+		}
+		out.Cells[key] = json.RawMessage(doc)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMergeJSONCanonical(t *testing.T) {
+	a := New()
+	a.Add("x", 1)
+	b := New()
+	b.Add("y", 2)
+	ea, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := MergeJSON(map[string][]byte{"cell-b": eb, "cell-a": ea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeJSON(map[string][]byte{"cell-a": ea, "cell-b": eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatalf("merge is insertion-order dependent:\n%s\n---\n%s", m1, m2)
+	}
+	if !bytes.Contains(m1, []byte(`"schema":"`+MergedSchema+`"`)) {
+		t.Fatalf("merged doc missing schema:\n%s", m1)
+	}
+	// Sorted cell keys: cell-a must serialize before cell-b.
+	if ia, ib := bytes.Index(m1, []byte(`"cell-a"`)), bytes.Index(m1, []byte(`"cell-b"`)); ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("cell keys not sorted (a@%d, b@%d):\n%s", ia, ib, m1)
+	}
+}
+
+func TestMergeJSONRejectsForeignDocs(t *testing.T) {
+	if _, err := MergeJSON(map[string][]byte{"c": []byte(`{"schema":"other/v9"}`)}); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema doc accepted: %v", err)
+	}
+	if _, err := MergeJSON(map[string][]byte{"c": []byte(`not json`)}); err == nil {
+		t.Fatal("non-JSON doc accepted")
+	}
+}

@@ -53,6 +53,9 @@ type FeasibilityCache struct {
 
 	tmMu sync.Mutex
 	tmFP map[*traffic.Matrix]uint64
+
+	netMu sync.Mutex
+	netFP map[*topo.POCNetwork]uint64
 }
 
 // cacheEntry is one memoized check. core is non-nil only when the set
@@ -70,7 +73,8 @@ func NewFeasibilityCache() *FeasibilityCache {
 		m: make(map[string]cacheEntry, 256),
 		// A cache usually sees a handful of matrices (the auction's
 		// one, plus chaos reauction variants) — pre-size small.
-		tmFP: make(map[*traffic.Matrix]uint64, 4),
+		tmFP:  make(map[*traffic.Matrix]uint64, 4),
+		netFP: make(map[*topo.POCNetwork]uint64, 4),
 	}
 }
 
@@ -99,6 +103,9 @@ func (fc *FeasibilityCache) Reset() {
 	fc.tmMu.Lock()
 	fc.tmFP = make(map[*traffic.Matrix]uint64, 4)
 	fc.tmMu.Unlock()
+	fc.netMu.Lock()
+	fc.netFP = make(map[*topo.POCNetwork]uint64, 4)
+	fc.netMu.Unlock()
 }
 
 // Check is the memoized form of Check: same answer, same determinism,
@@ -181,6 +188,7 @@ func (fc *FeasibilityCache) key(p *topo.POCNetwork, include *linkset.Set, tm *tr
 	buf = binary.AppendUvarint(buf, uint64(opts.FailureScenarios))
 	buf = binary.AppendUvarint(buf, metric)
 	buf = binary.AppendUvarint(buf, fc.matrixFP(tm))
+	buf = binary.AppendUvarint(buf, fc.networkFP(p))
 	if include == nil {
 		// nil means "all links": key on the universe size.
 		buf = append(buf, 0)
@@ -192,6 +200,22 @@ func (fc *FeasibilityCache) key(p *topo.POCNetwork, include *linkset.Set, tm *tr
 	return string(buf)
 }
 
+// FNV-1a, the fingerprint hash for matrices and networks.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // matrixFP fingerprints a traffic matrix once per pointer (FNV-1a over
 // the demand bits).
 func (fc *FeasibilityCache) matrixFP(tm *traffic.Matrix) uint64 {
@@ -200,28 +224,42 @@ func (fc *FeasibilityCache) matrixFP(tm *traffic.Matrix) uint64 {
 	if fp, ok := fc.tmFP[tm]; ok {
 		return fp
 	}
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
+	h := uint64(fnvOffset64)
 	n := tm.Size()
-	mix(uint64(n))
+	h = fnvMix(h, uint64(n))
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if v := tm.At(i, j); v != 0 {
-				mix(uint64(i)<<32 | uint64(j))
-				mix(math.Float64bits(v))
+				h = fnvMix(h, uint64(i)<<32|uint64(j))
+				h = fnvMix(h, math.Float64bits(v))
 			}
 		}
 	}
 	fc.tmFP[tm] = h
+	return h
+}
+
+// networkFP fingerprints an offer graph once per pointer (FNV-1a over
+// router count and every link's identity, endpoints, owner, capacity
+// and distance). A cache shared across deployments — the fleet runner
+// runs many topologies through one process-wide cache — needs the
+// network in the key: the include-set words and options alone can
+// collide between two graphs of similar size. Like matrixFP, it
+// assumes cached networks are not mutated while cached.
+func (fc *FeasibilityCache) networkFP(p *topo.POCNetwork) uint64 {
+	fc.netMu.Lock()
+	defer fc.netMu.Unlock()
+	if fp, ok := fc.netFP[p]; ok {
+		return fp
+	}
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(len(p.Routers)))
+	h = fnvMix(h, uint64(len(p.Links)))
+	for _, l := range p.Links {
+		h = fnvMix(h, uint64(l.ID)<<32|uint64(l.BP&0xffff)<<16|uint64(l.A&0xff)<<8|uint64(l.B&0xff))
+		h = fnvMix(h, math.Float64bits(l.Capacity))
+		h = fnvMix(h, math.Float64bits(l.DistanceKm))
+	}
+	fc.netFP[p] = h
 	return h
 }

@@ -1,0 +1,79 @@
+package topo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadGMLCorpus reads every .gml file in dir — sorted by file name, so
+// the corpus order (and everything downstream: BP formation, router
+// numbering, auction outcomes) is independent of directory iteration
+// order — and returns one Network per file, registering new cities in
+// w. Missing link speeds default to defaultCapGbps.
+//
+// The loader is strict where ambiguity would poison determinism and
+// lenient where real TopologyZoo data is merely messy:
+//
+//   - a graph with no nodes is an error naming the file;
+//   - a graph whose usable link list is empty is an error too (it can
+//     never carry a bid);
+//   - duplicate node labels collapse onto one city (ParseGML keys
+//     cities by name), and any self-loop links that collapse produces
+//     are dropped;
+//   - parallel edges are kept — they model bundled capacity between
+//     the same two sites;
+//   - duplicate network names across files are disambiguated with a
+//     "#n" suffix in file order, so BP names stay unique.
+func LoadGMLCorpus(w *World, dir string, defaultCapGbps float64) ([]Network, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("topo: corpus: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".gml") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("topo: corpus: no .gml files in %s", dir)
+	}
+
+	seen := map[string]int{}
+	nets := make([]Network, 0, len(files))
+	for _, name := range files {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("topo: corpus: %w", err)
+		}
+		net, err := ParseGML(w, f, defaultCapGbps)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("topo: corpus %s: %w", name, err)
+		}
+		if len(net.Sites) == 0 {
+			return nil, fmt.Errorf("topo: corpus %s: empty graph (no nodes)", name)
+		}
+		kept := net.Links[:0]
+		for _, l := range net.Links {
+			if l.A != l.B {
+				kept = append(kept, l)
+			}
+		}
+		net.Links = kept
+		if len(net.Links) == 0 {
+			return nil, fmt.Errorf("topo: corpus %s: no usable links", name)
+		}
+		orig := net.Name
+		seen[orig]++
+		if seen[orig] > 1 {
+			net.Name = fmt.Sprintf("%s#%d", orig, seen[orig])
+		}
+		nets = append(nets, net)
+	}
+	return nets, nil
+}

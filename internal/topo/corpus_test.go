@@ -1,0 +1,193 @@
+package topo
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// zooGML renders an entire generated zoo as concatenated GML.
+func zooGML(t *testing.T, seed int64, networks int) []byte {
+	t.Helper()
+	w := DefaultWorld()
+	cfg := DefaultZooConfig()
+	cfg.Seed = seed
+	cfg.NumNetworks = networks
+	var buf bytes.Buffer
+	for _, net := range GenerateZoo(w, cfg) {
+		if err := WriteGML(w, net, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestZooGMLDeterminism pins the zoogen contract the fleet's topology
+// axis depends on: the same seed and parameters must emit byte-
+// identical GML (fresh world each time — nothing may leak between
+// generations), and a different seed must actually change the corpus.
+func TestZooGMLDeterminism(t *testing.T) {
+	base := zooGML(t, 17, 12)
+	if len(base) == 0 {
+		t.Fatal("zoo rendered to zero bytes")
+	}
+	if again := zooGML(t, 17, 12); !bytes.Equal(base, again) {
+		t.Fatal("same seed, different GML bytes")
+	}
+	if other := zooGML(t, 18, 12); bytes.Equal(base, other) {
+		t.Fatal("different seed produced identical GML")
+	}
+}
+
+// TestZooGMLRoundTrip: a generated zoo written to a corpus directory
+// must load back with the same per-network shape.
+func TestZooGMLRoundTrip(t *testing.T) {
+	w := DefaultWorld()
+	cfg := DefaultZooConfig()
+	cfg.Seed = 5
+	cfg.NumNetworks = 6
+	nets := GenerateZoo(w, cfg)
+	dir := t.TempDir()
+	for i, net := range nets {
+		f, err := os.Create(filepath.Join(dir, net.Name+".gml"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteGML(w, net, f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		_ = i
+	}
+	loaded, err := LoadGMLCorpus(DefaultWorld(), dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(nets) {
+		t.Fatalf("loaded %d networks, wrote %d", len(loaded), len(nets))
+	}
+	byName := map[string]Network{}
+	for _, n := range loaded {
+		byName[n.Name] = n
+	}
+	for _, want := range nets {
+		got, ok := byName[want.Name]
+		if !ok {
+			t.Fatalf("network %q missing after round trip", want.Name)
+		}
+		if len(got.Sites) != len(want.Sites) || len(got.Links) != len(want.Links) {
+			t.Fatalf("%q: %d sites/%d links after round trip, wrote %d/%d",
+				want.Name, len(got.Sites), len(got.Links), len(want.Sites), len(want.Links))
+		}
+	}
+}
+
+func TestLoadGMLCorpusEdgeCases(t *testing.T) {
+	const dupLabels = `graph [
+  label "dup"
+  node [ id 0 label "SameCity" ]
+  node [ id 1 label "SameCity" ]
+  node [ id 2 label "OtherCity" ]
+  edge [ source 0 target 1 LinkSpeed 10.0 ]
+  edge [ source 0 target 2 LinkSpeed 20.0 ]
+]`
+	const parallelEdges = `graph [
+  label "par"
+  node [ id 0 label "CityA" ]
+  node [ id 1 label "CityB" ]
+  edge [ source 0 target 1 LinkSpeed 10.0 ]
+  edge [ source 0 target 1 LinkSpeed 40.0 ]
+]`
+	cases := []struct {
+		name    string
+		files   map[string]string
+		wantErr string
+		check   func(t *testing.T, nets []Network)
+	}{
+		{
+			name:    "empty graph",
+			files:   map[string]string{"a.gml": `graph [ label "void" ]`},
+			wantErr: "empty graph",
+		},
+		{
+			name:    "nodes but no edges",
+			files:   map[string]string{"a.gml": `graph [ node [ id 0 label "Lonely" ] ]`},
+			wantErr: "no usable links",
+		},
+		{
+			name:    "no graph block",
+			files:   map[string]string{"a.gml": `Creator "nobody"`},
+			wantErr: "no graph block",
+		},
+		{
+			name:    "no gml files",
+			files:   map[string]string{"notes.txt": "hi"},
+			wantErr: "no .gml files",
+		},
+		{
+			name:  "duplicate node names collapse and drop self-loops",
+			files: map[string]string{"dup.gml": dupLabels},
+			check: func(t *testing.T, nets []Network) {
+				if len(nets) != 1 {
+					t.Fatalf("got %d networks", len(nets))
+				}
+				// Two labels → two sites; the 0–1 edge became a
+				// self-loop on the collapsed city and was dropped.
+				if len(nets[0].Sites) != 2 || len(nets[0].Links) != 1 {
+					t.Fatalf("sites=%d links=%d, want 2 sites, 1 link",
+						len(nets[0].Sites), len(nets[0].Links))
+				}
+				if l := nets[0].Links[0]; l.A == l.B {
+					t.Fatal("self-loop survived the loader")
+				}
+			},
+		},
+		{
+			name:  "parallel edges kept",
+			files: map[string]string{"par.gml": parallelEdges},
+			check: func(t *testing.T, nets []Network) {
+				if len(nets[0].Links) != 2 {
+					t.Fatalf("got %d links, parallel edge was dropped", len(nets[0].Links))
+				}
+				if nets[0].Links[0].Capacity == nets[0].Links[1].Capacity {
+					t.Fatal("parallel edges lost their distinct capacities")
+				}
+			},
+		},
+		{
+			name: "duplicate network names disambiguated in file order",
+			files: map[string]string{
+				"b.gml": `graph [ label "twin" node [ id 0 label "X1" ] node [ id 1 label "X2" ] edge [ source 0 target 1 ] ]`,
+				"a.gml": `graph [ label "twin" node [ id 0 label "Y1" ] node [ id 1 label "Y2" ] edge [ source 0 target 1 ] ]`,
+			},
+			check: func(t *testing.T, nets []Network) {
+				if nets[0].Name != "twin" || nets[1].Name != "twin#2" {
+					t.Fatalf("names %q, %q; want twin, twin#2", nets[0].Name, nets[1].Name)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for name, body := range tc.files {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			nets, err := LoadGMLCorpus(DefaultWorld(), dir, 10)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, nets)
+		})
+	}
+}
