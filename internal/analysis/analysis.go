@@ -38,7 +38,7 @@ import (
 // it so every archived JSON records which invariant suite the tree
 // passed when the artifact was produced. Bump when an analyzer is
 // added, removed, or materially re-scoped.
-const Version = "poclint/v1"
+const Version = "poclint/v2"
 
 // An Analyzer is one named invariant check.
 type Analyzer struct {
@@ -53,8 +53,12 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All is the poclint suite in reporting order.
-var All = []*Analyzer{MapOrdFloat, SeededRand, WallTime, ObsGuard, FloatSum}
+// All is the poclint suite in reporting order: the five v1 analyzers
+// followed by the four fact-consuming v2 analyzers.
+var All = []*Analyzer{
+	MapOrdFloat, SeededRand, WallTime, ObsGuard, FloatSum,
+	ArenaPair, JournalOrder, WriterEscape, DeepFold,
+}
 
 // A Pass carries one analyzer's view of one type-checked package.
 type Pass struct {
@@ -64,6 +68,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Path     string // canonical import path
+	// Facts is the fact universe: this package's summaries plus those
+	// of its analyzed imports (facts.go). Never nil inside Run when
+	// driven through RunAnalyzersWithFacts; the v1 RunAnalyzers entry
+	// point supplies an empty set.
+	Facts *FactSet
 
 	diags *[]Diagnostic
 }
@@ -117,24 +126,45 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // RunAnalyzers runs every applicable analyzer over one type-checked
 // package and returns the diagnostics with //lint:allow suppression
-// already applied, sorted by position.
+// already applied, sorted by position. Facts are computed for the
+// package itself but no imported facts are consulted — the
+// single-package v1 behavior. Drivers that thread dependency facts use
+// RunAnalyzersWithFacts.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 	pkg *types.Package, info *types.Info, path string) ([]Diagnostic, error) {
 
-	var diags []Diagnostic
+	diags, _, err := RunAnalyzersWithFacts(analyzers, fset, files, pkg, info, path, nil)
+	return diags, err
+}
+
+// RunAnalyzersWithFacts computes the package's facts (consulting
+// imported facts where provided), runs every applicable analyzer with
+// the full fact universe, and returns the suppressed/sorted
+// diagnostics together with the package's own facts for the driver to
+// persist. Malformed facts directives (//lint:acquire, //lint:release,
+// //lint:owner) are reported alongside analyzer diagnostics.
+func RunAnalyzersWithFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, path string,
+	imports map[string]*PackageFacts) ([]Diagnostic, *PackageFacts, error) {
+
+	facts, diags := ComputeFacts(fset, files, pkg, info, path, imports)
+	if imports == nil {
+		imports = map[string]*PackageFacts{}
+	}
+	fs := &FactSet{Cur: facts, Imports: imports}
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(path) {
 			continue
 		}
 		pass := &Pass{
 			Analyzer: a, Fset: fset, Files: files,
-			Pkg: pkg, Info: info, Path: path, diags: &diags,
+			Pkg: pkg, Info: info, Path: path, Facts: fs, diags: &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
-	return applyAllows(fset, files, diags), nil
+	return applyAllows(fset, files, diags), facts, nil
 }
 
 // hasSegment reports whether path contains seg as a whole '/'-separated
@@ -158,8 +188,8 @@ func isFloat(t types.Type) bool {
 	return ok && b.Info()&types.IsFloat != 0
 }
 
-// rootIdent returns the leftmost identifier of a selector/index/star
-// chain (res.Used[l] → res), or nil.
+// rootIdent returns the leftmost identifier of a selector/index/star/
+// address-of chain (&res.Used[l] → res), or nil.
 func rootIdent(e ast.Expr) *ast.Ident {
 	for {
 		switch x := e.(type) {
@@ -172,6 +202,11 @@ func rootIdent(e ast.Expr) *ast.Ident {
 		case *ast.StarExpr:
 			e = x.X
 		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
 			e = x.X
 		default:
 			return nil

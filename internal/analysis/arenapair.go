@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaPair checks that every pooled-resource acquire is released on
+// every path out of the acquiring function — including early error
+// returns, and panics via defer. Acquire/release points are declared
+// in source:
+//
+//	//lint:acquire arena
+//	func (ws *Workspace) acquire() *router { ... }
+//
+//	//lint:release arena
+//	func (ws *Workspace) release(rt *router) { ... }
+//
+// and flow through facts, so a package can leak an arena acquired
+// from another package and still be caught. The check is
+// flow-sensitive over the function's CFG: from each `x := acquire()`
+// binding it walks every path; a path is safe when it releases x,
+// hands ownership away (x is returned, stored into a field/variable,
+// passed to a non-release call, sent on a channel, or captured by a
+// composite literal — the new holder's function is then checked in
+// turn wherever it releases), or the function defers a statement
+// mentioning x (defer runs on panic too, which no path walk can see).
+// Reaching a return while still holding x is a leak, reported at the
+// acquire.
+//
+// Workspace arenas are the repo's hottest allocation-avoidance
+// machinery (PR 5); a leaked router pins an arena slot forever and
+// silently degrades every later Run on the pool.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "pooled-resource acquires must be released on all paths (or deferred); leaks pin arena slots",
+	Run:  runArenaPair,
+}
+
+func runArenaPair(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkArenaFunc(pass, decl)
+		}
+	}
+	return nil
+}
+
+// acquireBinding is one `x := acquire()` site inside a function.
+type acquireBinding struct {
+	stmt ast.Stmt     // the binding statement
+	obj  types.Object // the variable holding the resource
+	kind string       // resource kind from the acquire directive
+	fn   string       // acquiring callee name, for the message
+}
+
+func checkArenaFunc(pass *Pass, decl *ast.FuncDecl) {
+	g := buildCFG(decl.Body)
+	var acquires []acquireBinding
+	for _, blk := range g.all {
+		for _, st := range blk.stmts {
+			if ab, ok := acquireAt(pass, st); ok {
+				acquires = append(acquires, ab)
+			}
+		}
+	}
+	if len(acquires) == 0 {
+		return
+	}
+	deferred := deferredObjs(pass, decl.Body)
+	for _, ab := range acquires {
+		if deferred[ab.obj] {
+			continue // defer releases on every exit, panics included
+		}
+		checkAcquirePaths(pass, g, ab)
+	}
+}
+
+// acquireAt recognizes `x := f()` / `x = f()` where f carries an
+// acquire fact and x is a plain identifier. Bindings that immediately
+// hand the value elsewhere (composite literals, multi-assign, field
+// stores) transfer ownership at birth and are not tracked.
+func acquireAt(pass *Pass, st ast.Stmt) (acquireBinding, bool) {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return acquireBinding{}, false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return acquireBinding{}, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return acquireBinding{}, false
+	}
+	callee := calleeFunc(pass, call)
+	if callee == nil {
+		return acquireBinding{}, false
+	}
+	sum, ok := pass.Facts.SummaryOf(callee)
+	if !ok || sum.Acquires == "" {
+		return acquireBinding{}, false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return acquireBinding{}, false
+	}
+	return acquireBinding{stmt: st, obj: obj, kind: sum.Acquires, fn: callee.Name()}, true
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// deferredObjs collects every object mentioned inside a defer
+// statement (including defers wrapping function literals).
+func deferredObjs(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ds.Call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					objs[obj] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return objs
+}
+
+// useKind classifies how one statement touches the tracked object.
+type useKind int
+
+const (
+	useNone      useKind = iota
+	useNeutral           // method call / field access / comparison on x
+	useRelease           // x passed to (or receiver of) a releasing call
+	useEscape            // ownership handed away
+	useOverwrite         // x rebound while still held
+)
+
+// checkAcquirePaths walks every CFG path from the acquire; the first
+// path found that reaches an exit while still holding reports a leak.
+func checkAcquirePaths(pass *Pass, g *cfg, ab acquireBinding) {
+	// Locate the acquire inside its block.
+	var start *cfgBlock
+	startIdx := -1
+	for _, blk := range g.all {
+		for i, st := range blk.stmts {
+			if st == ab.stmt {
+				start, startIdx = blk, i
+				break
+			}
+		}
+		if start != nil {
+			break
+		}
+	}
+	if start == nil {
+		return
+	}
+	visited := map[*cfgBlock]bool{}
+	var walk func(blk *cfgBlock, from int) bool // true = leak found
+	walk = func(blk *cfgBlock, from int) bool {
+		for i := from; i < len(blk.stmts); i++ {
+			switch classifyUse(pass, blk.stmts[i], ab.obj) {
+			case useRelease, useEscape:
+				return false // this path is done with x
+			case useOverwrite:
+				pass.Reportf(ab.stmt.Pos(),
+					"%s acquired by %s is overwritten at line %d while still held; release it first",
+					ab.obj.Name(), ab.fn, pass.Fset.Position(blk.stmts[i].Pos()).Line)
+				return true
+			}
+		}
+		if blk.exits {
+			pos := "the end of the function"
+			if blk.ret != nil {
+				pos = "the return at line " + itoa(pass.Fset.Position(blk.ret.Pos()).Line)
+			}
+			pass.Reportf(ab.stmt.Pos(),
+				"%s acquired by %s (kind %q) is not released on the path reaching %s; release on every path or defer the release",
+				ab.obj.Name(), ab.fn, ab.kind, pos)
+			return true
+		}
+		for _, s := range blk.succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(start, startIdx+1)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// classifyUse inspects one statement for uses of obj.
+func classifyUse(pass *Pass, st ast.Stmt, obj types.Object) useKind {
+	// Rebinding the variable itself loses the held value.
+	if as, ok := st.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				return useOverwrite
+			}
+		}
+	}
+	kind := useNone
+	upgrade := func(k useKind) {
+		if k > kind {
+			kind = k
+		}
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(pass, x)
+			releasing := false
+			if callee != nil {
+				if sum, ok := pass.Facts.SummaryOf(callee); ok && sum.Releases != "" {
+					releasing = true
+				}
+			}
+			// Receiver position: x.Close() — neutral unless releasing.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					if releasing {
+						upgrade(useRelease)
+					} else {
+						upgrade(useNeutral)
+					}
+				}
+			}
+			for _, arg := range x.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					if releasing {
+						upgrade(useRelease)
+					} else {
+						upgrade(useEscape)
+					}
+				} else if mentionsObj(pass, arg, obj) {
+					// x.field / &x etc. as argument: treat like x.
+					if releasing {
+						upgrade(useRelease)
+					} else {
+						upgrade(useEscape)
+					}
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if mentionsObj(pass, r, obj) {
+					upgrade(useEscape)
+				}
+			}
+			return true
+		case *ast.SendStmt:
+			if mentionsObj(pass, x.Value, obj) {
+				upgrade(useEscape)
+			}
+			return true
+		case *ast.CompositeLit:
+			if mentionsObj(pass, x, obj) {
+				upgrade(useEscape)
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				// x on an assignment RHS stores the pointer somewhere;
+				// calls are classified above, so skip them here.
+				if _, isCall := rhs.(*ast.CallExpr); isCall {
+					continue
+				}
+				if mentionsObj(pass, rhs, obj) {
+					upgrade(useEscape)
+				}
+			}
+			return true
+		case *ast.GoStmt:
+			if mentionsObj(pass, x.Call, obj) {
+				upgrade(useEscape)
+			}
+			return false
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				upgrade(useNeutral) // x.field read / method base
+			}
+			return true
+		case *ast.BinaryExpr:
+			if id, ok := x.X.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				upgrade(useNeutral) // nil checks, comparisons
+			}
+			if id, ok := x.Y.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				upgrade(useNeutral)
+			}
+			return true
+		}
+		return true
+	})
+	return kind
+}
+
+// mentionsObj reports whether e references obj anywhere.
+func mentionsObj(pass *Pass, e ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DeepFold is the interprocedural upgrade of MapOrdFloat and FloatSum:
+// those two see a float fold only when it is spelled inline; a helper
+// call hides it completely. DeepFold follows calls through function
+// summaries (facts.go) — inside an unordered context (a map-range
+// body, a goroutine literal, a channel-range body) it flags any call
+// whose callee folds floats into state that outlives the context:
+//
+//   - the callee folds into package-level/captured state (FoldGlobal):
+//     always ordered by the context, always flagged;
+//   - the callee folds into its receiver (FoldRecv): flagged when the
+//     receiver is declared outside the context;
+//   - the callee folds into a pointer/slice/map parameter
+//     (FoldParams): flagged when the corresponding argument is rooted
+//     outside the context.
+//
+// The target precision is what keeps the repo's sanctioned parallel
+// pattern clean: provision's Constraint-2 sweep calls Route from
+// worker goroutines, and Route folds heavily — but into a router
+// arena it acquires per call, so Route carries no fold facts and the
+// sweep is not flagged. Summaries cross package boundaries via the
+// vet facts files, so a fleet cell calling a provision helper is
+// checked with full knowledge of what that helper folds.
+var DeepFold = &Analyzer{
+	Name: "deepfold",
+	Doc:  "calls in map ranges/goroutines to functions that fold floats into outside state break determinism",
+	Run:  runDeepFold,
+}
+
+func runDeepFold(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if _, isMap := typeAsMap(pass.TypeOf(x.X)); isMap {
+					checkFoldCalls(pass, x.Body, x.Pos(), x.End(), "inside range over map: iteration order perturbs the fold; range over sorted keys")
+				} else if isChanType(pass.TypeOf(x.X)) {
+					checkFoldCalls(pass, x.Body, x.Pos(), x.End(), "in channel-receive order: arrival order perturbs the fold; collect into index slots and reduce serially")
+				}
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					checkFoldCalls(pass, lit.Body, lit.Pos(), lit.End(), "from a goroutine: completion order perturbs the fold (even under a lock); fold into per-worker slots and reduce in index order")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFoldCalls flags calls in body whose callee summary folds floats
+// into state rooted outside [lo, hi].
+func checkFoldCalls(pass *Pass, body ast.Node, lo, hi token.Pos, context string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		sum, ok := pass.Facts.SummaryOf(callee)
+		if !ok || !sum.FoldsFloat() {
+			return true
+		}
+		name := funcKey(callee)
+		if sum.FoldGlobal {
+			pass.Reportf(call.Pos(),
+				"%s folds floats into package-level or captured state %s", name, context)
+			return true
+		}
+		if sum.FoldRecv {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				!pass.declaredWithin(sel.X, lo, hi) {
+				pass.Reportf(call.Pos(),
+					"%s folds floats into %s, declared outside, %s", name, exprString(sel.X), context)
+				return true
+			}
+		}
+		for _, j := range sum.FoldParams {
+			if j >= len(call.Args) {
+				continue
+			}
+			arg := call.Args[j]
+			if root := rootIdent(arg); root == nil {
+				continue // fresh value (literal, call result): context-local
+			}
+			if !pass.declaredWithin(arg, lo, hi) {
+				pass.Reportf(call.Pos(),
+					"%s folds floats into argument %s, declared outside, %s", name, exprString(arg), context)
+				return true
+			}
+		}
+		return true
+	})
+}

@@ -40,7 +40,11 @@ type testImporter struct {
 	t      *testing.T
 	root   string
 	loaded map[string]*loadedPkg
-	std    types.ImporterFrom
+	// facts accumulates per-package facts in dependency order — the
+	// in-process equivalent of the unitchecker's PackageVetx files, so
+	// analyzer tests exercise cross-package summary consumption.
+	facts map[string]*PackageFacts
+	std   types.ImporterFrom
 }
 
 func (ti *testImporter) Import(path string) (*types.Package, error) {
@@ -99,6 +103,10 @@ func (ti *testImporter) load(path string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{fset: fset, files: files, pkg: pkg, info: info}
 	ti.loaded[path] = lp
+	// Imports were loaded (and summarized) recursively above, so their
+	// facts are already in ti.facts — same bottom-up order as cmd/go.
+	pf, _ := ComputeFacts(fset, files, pkg, info, path, ti.facts)
+	ti.facts[path] = pf
 	return lp, nil
 }
 
@@ -111,6 +119,7 @@ func runAnalyzer(t *testing.T, a *Analyzer, path string) ([]Diagnostic, *loadedP
 		t:      t,
 		root:   "testdata",
 		loaded: map[string]*loadedPkg{},
+		facts:  map[string]*PackageFacts{},
 		std:    importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom),
 	}
 	lp, err := ti.load(path)
@@ -120,7 +129,7 @@ func runAnalyzer(t *testing.T, a *Analyzer, path string) ([]Diagnostic, *loadedP
 	if lp == nil {
 		t.Fatalf("testdata package %s not found", path)
 	}
-	diags, err := RunAnalyzers([]*Analyzer{a}, lp.fset, lp.files, lp.pkg, lp.info, path)
+	diags, _, err := RunAnalyzersWithFacts([]*Analyzer{a}, lp.fset, lp.files, lp.pkg, lp.info, path, ti.facts)
 	if err != nil {
 		t.Fatal(err)
 	}

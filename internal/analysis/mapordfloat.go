@@ -228,6 +228,8 @@ func exprString(e ast.Expr) string {
 		return exprString(x.Fun) + "(…)"
 	case *ast.ParenExpr:
 		return "(" + exprString(x.X) + ")"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
 	}
 	return "expression"
 }

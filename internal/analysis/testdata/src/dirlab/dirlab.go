@@ -1,0 +1,18 @@
+// Package dirlab exercises the facts-directive error paths: a
+// directive without exactly one operand is itself a diagnostic, same
+// contract as a reason-less //lint:allow. (The malformed //lint:owner
+// case is covered by TestOwnerDirectiveMalformed, which asserts on
+// ComputeFacts directly.)
+package dirlab
+
+type pool struct{ free []*int }
+
+//lint:acquire // want "malformed //lint:acquire: want exactly one resource kind"
+func (p *pool) get() *int {
+	return new(int)
+}
+
+//lint:release arena extra-word // want "malformed //lint:release: want exactly one resource kind"
+func (p *pool) put(x *int) {
+	p.free = append(p.free, x)
+}

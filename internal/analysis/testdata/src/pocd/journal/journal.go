@@ -1,0 +1,17 @@
+// Package journal is the testdata stand-in for pocd's write-ahead
+// journal: journalorder recognizes Append methods on types from a
+// package whose import path ends in "journal".
+package journal
+
+// Writer appends durable records.
+type Writer struct {
+	seq  int
+	recs [][]byte
+}
+
+// Append journals one record and returns its sequence number.
+func (w *Writer) Append(payload []byte) (int, error) {
+	w.seq++
+	w.recs = append(w.recs, payload)
+	return w.seq, nil
+}

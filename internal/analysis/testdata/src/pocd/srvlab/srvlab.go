@@ -1,0 +1,88 @@
+package srvlab
+
+import (
+	"errors"
+
+	"pocd/journal"
+)
+
+// state is the journaled daemon state; apply is the only mutation
+// entry point (WritesRecv travels through the summary).
+type state struct {
+	n     int
+	total float64
+}
+
+func (st *state) apply(op int) {
+	st.n += op
+	st.total += float64(op)
+}
+
+// Server funnels mutations through the journal.
+type Server struct {
+	st *state
+	jw *journal.Writer
+}
+
+// Negative: validate, journal, then apply — the sanctioned order.
+func (s *Server) handleGood(op int, payload []byte) error {
+	if op < 0 {
+		return errors.New("bad op")
+	}
+	if _, err := s.jw.Append(payload); err != nil {
+		return err
+	}
+	s.st.apply(op)
+	return nil
+}
+
+// Positive: mutation before the append — a crash between the two
+// diverges from replay.
+func (s *Server) handleBad(op int, payload []byte) error {
+	s.st.apply(op) // want "state mutation s\\.st\\.apply before the journal append"
+	_, err := s.jw.Append(payload)
+	return err
+}
+
+// Positive: the append does not dominate the mutation (one branch
+// skips it).
+func (s *Server) handleBranch(op int, payload []byte) error {
+	if op != 0 {
+		if _, err := s.jw.Append(payload); err != nil {
+			return err
+		}
+	}
+	s.st.apply(op) // want "state mutation s\\.st\\.apply before the journal append"
+	return nil
+}
+
+// Negative: the replay path applies without journaling by
+// construction — no append in the body, so the function is exempt.
+func (s *Server) replay(ops []int) {
+	for _, op := range ops {
+		s.st.apply(op)
+	}
+}
+
+// Negative: journaling through a same-package wrapper still counts as
+// the append (JournalAppend propagates through the summary fixpoint).
+func (s *Server) journalOne(payload []byte) error {
+	_, err := s.jw.Append(payload)
+	return err
+}
+
+func (s *Server) handleWrapped(op int, payload []byte) error {
+	if err := s.journalOne(payload); err != nil {
+		return err
+	}
+	s.st.apply(op)
+	return nil
+}
+
+// Sanctioned: a pre-journal mutation the author defends (e.g. a
+// side-table rebuilt on recovery).
+func (s *Server) handleAllowed(op int, payload []byte) error {
+	s.st.apply(op) //lint:allow journalorder side table is rebuilt from scratch on recovery
+	_, err := s.jw.Append(payload)
+	return err
+}

@@ -1,0 +1,17 @@
+// Package client writes to writerlab's annotated exported field from
+// another package: ownership must be enforced through the facts layer
+// (the //lint:owner comment is invisible here — only the summary
+// carries it).
+package client
+
+import "writerlab"
+
+// Positive: cross-package write to an owned field.
+func Clobber(s *writerlab.Shared) {
+	s.Cache = nil // want "write to Shared\\.Cache outside its owner \\(allowed: NewShared\\)"
+}
+
+// Negative: reading is fine.
+func Peek(s *writerlab.Shared, k string) int {
+	return s.Cache[k]
+}

@@ -1,0 +1,16 @@
+// Package helper exports fold-carrying functions consumed by
+// xfacts/use: the facts-layer cross-package test. The fold facts
+// below are only visible to the consumer through PackageFacts.
+package helper
+
+// Totals folds into its receiver.
+type Totals struct{ Sum float64 }
+
+// Add is FoldRecv.
+func (t *Totals) Add(v float64) { t.Sum += v }
+
+// AddTo is FoldParams [0].
+func AddTo(dst *float64, v float64) { *dst += v }
+
+// Scale only reads; no fold facts.
+func Scale(v, by float64) float64 { return v * by }

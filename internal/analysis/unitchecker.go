@@ -115,10 +115,10 @@ func Main(analyzers ...*Analyzer) {
 }
 
 // AnalyzeUnit loads the package described by the vet.cfg file at
-// cfgPath, runs the analyzers over it, and returns the surviving
-// diagnostics. It writes the VetxOutput facts file (always empty —
-// poclint's analyzers are local and factless) so cmd/go can cache the
-// dependency pass.
+// cfgPath, computes its facts (reading dependency facts from the
+// PackageVetx files cmd/go threads between units), writes them to
+// VetxOutput, and — unless this is a facts-only dependency pass —
+// runs the analyzers and returns the surviving diagnostics.
 func AnalyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -128,14 +128,25 @@ func AnalyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, err
+	writeFacts := func(pf *PackageFacts) error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		enc, err := EncodeFacts(pf)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, enc, 0o666)
 	}
-	if cfg.VetxOnly {
-		// Dependency pass: cmd/go only wants facts, and we have none.
-		return nil, nil
+	// A dependency (facts-only) pass must never fail the build over a
+	// package we cannot fully analyze (assembly-backed std internals,
+	// cgo): empty facts just mean the importer's analyzers see no
+	// summaries for it, the exact v1 behavior.
+	fail := func(err error) ([]Diagnostic, error) {
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			return nil, writeFacts(NewPackageFacts(cfg.ImportPath))
+		}
+		return nil, err
 	}
 
 	fset := token.NewFileSet()
@@ -143,10 +154,7 @@ func AnalyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
-			}
-			return nil, err
+			return fail(err)
 		}
 		files = append(files, f)
 	}
@@ -179,12 +187,42 @@ func AnalyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+		return fail(fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err))
 	}
-	return RunAnalyzers(analyzers, fset, files, pkg, info, cfg.ImportPath)
+
+	imports := loadDepFacts(cfg)
+	if cfg.VetxOnly {
+		pf, _ := ComputeFacts(fset, files, pkg, info, cfg.ImportPath, imports)
+		return nil, writeFacts(pf)
+	}
+	diags, pf, err := RunAnalyzersWithFacts(analyzers, fset, files, pkg, info, cfg.ImportPath, imports)
+	if err != nil {
+		return nil, err
+	}
+	return diags, writeFacts(pf)
+}
+
+// loadDepFacts reads the facts files of every dependency cmd/go ran a
+// facts pass for. Unreadable or stale files decode as empty — a
+// missing summary can only silence a fact-consuming analyzer, never
+// break the run.
+func loadDepFacts(cfg Config) map[string]*PackageFacts {
+	imports := make(map[string]*PackageFacts, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		pf, err := DecodeFacts(data)
+		if err != nil || pf == nil {
+			continue
+		}
+		if pf.Path == "" {
+			pf.Path = path
+		}
+		imports[path] = pf
+	}
+	return imports
 }
 
 // printFlagDefs answers `tool -flags`: cmd/go parses this JSON to

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WriterEscape enforces single-writer ownership of annotated fields.
+// The repo's concurrency discipline is not "lock everything" but
+// "one writer, everyone else reads snapshots": pocd funnels all
+// mutations through one epoch loop, fleet workers write only their own
+// index slots. A field whose writes are confined to its owner needs no
+// lock and stays deterministic; one stray write from a spawned
+// goroutine reintroduces scheduling order into state the reports hash.
+//
+// Ownership is declared on the field:
+//
+//	type Server struct {
+//		st *state //lint:owner New,loop
+//	}
+//
+// Owner names are bare function names or Type.Method. A write to the
+// field (assignment, compound assignment, ++/--) is flagged when it
+// happens (a) lexically outside every owner function, or (b) inside a
+// goroutine literal — even an owner may not hand the write to `go`.
+// Because ownership travels through facts, writes to an exported
+// annotated field from another package are caught too.
+var WriterEscape = &Analyzer{
+	Name: "writerescape",
+	Doc:  "fields owned by a single-writer loop (//lint:owner) must not be written elsewhere or from goroutines",
+	Run:  runWriterEscape,
+}
+
+func runWriterEscape(pass *Pass) error {
+	for _, f := range pass.SrcFiles() {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			name, typeName := declNames(pass, decl)
+			checkWriterBody(pass, decl.Body, name, typeName, false)
+		}
+	}
+	return nil
+}
+
+// declNames returns the function's bare name and, for methods, the
+// receiver type name.
+func declNames(pass *Pass, decl *ast.FuncDecl) (name, typeName string) {
+	name = decl.Name.Name
+	if fn, ok := pass.Info.Defs[decl.Name].(*types.Func); ok {
+		if key := funcKey(fn); key != "" {
+			if i := len(key) - len(name) - 1; i > 0 && key[i] == '.' {
+				typeName = key[:i]
+			}
+		}
+	}
+	return name, typeName
+}
+
+// checkWriterBody walks one body; inGo marks that we are inside a
+// goroutine launched from the enclosing function.
+func checkWriterBody(pass *Pass, body ast.Node, fnName, typeName string, inGo bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				checkWriterBody(pass, lit.Body, fnName, typeName, true)
+				// Arguments evaluate in the launching function.
+				for _, arg := range x.Call.Args {
+					checkWriterBody(pass, arg, fnName, typeName, inGo)
+				}
+				return false
+			}
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkOwnedWrite(pass, lhs, fnName, typeName, inGo)
+			}
+		case *ast.IncDecStmt:
+			checkOwnedWrite(pass, x.X, fnName, typeName, inGo)
+		}
+		return true
+	})
+}
+
+// checkOwnedWrite reports a write through a selector that resolves to
+// an owner-annotated field when the writer isn't an owner, or when the
+// write happens inside a goroutine.
+func checkOwnedWrite(pass *Pass, lhs ast.Expr, fnName, typeName string, inGo bool) {
+	// Unwrap stars/parens/indexes down to the selector being assigned.
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field, structName := fieldOf(pass, sel)
+	if field == nil {
+		return
+	}
+	owners, ok := pass.Facts.OwnersOf(field, structName)
+	if !ok {
+		return
+	}
+	qual := structName + "." + field.Name()
+	if inGo {
+		pass.Reportf(lhs.Pos(),
+			"write to %s from a spawned goroutine: the field is single-writer (owners: %s); route the mutation through the owner loop",
+			qual, ownerNames(owners))
+		return
+	}
+	for _, o := range owners {
+		if o == fnName || (typeName != "" && o == typeName+"."+fnName) {
+			return
+		}
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to %s outside its owner (allowed: %s); the field is single-writer by contract",
+		qual, ownerNames(owners))
+}
+
+// fieldOf resolves a selector to the struct field it names and the
+// named struct type it is selected from.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) (*types.Var, string) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	t := pass.TypeOf(sel.X)
+	for t != nil {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return field, named.Obj().Name()
+}

@@ -87,6 +87,9 @@ func (c Config) withDefaults() Config {
 // the process-wide feasibility cache and the per-topology bundles
 // (offer graph, bid book, traffic matrices, workspace arena pool).
 type Shared struct {
+	// Cache is rebound only at construction; everyone else reads it
+	// (the FeasibilityCache itself is internally synchronized).
+	//lint:owner NewShared
 	Cache *provision.FeasibilityCache
 
 	mu      sync.Mutex

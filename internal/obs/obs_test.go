@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+
+	"github.com/public-option/poc/internal/analysis"
 )
 
 // TestNilRegistryIsNoOp: every method must be callable on nil — that
@@ -195,5 +197,24 @@ func TestExportDeterminism(t *testing.T) {
 	}
 	if !bytes.Contains(a.Bytes(), []byte(Schema)) {
 		t.Fatal("export missing schema marker")
+	}
+}
+
+// TestMetaCarriesPoclintVersion: pocbench and pocsim stamp the linter
+// version into the export meta (reg.SetMeta("poclint", ...)); the tag
+// must be the current v2 one and round-trip verbatim into the export
+// so baselines record which analyzer generation vetted the run.
+func TestMetaCarriesPoclintVersion(t *testing.T) {
+	if analysis.Version != "poclint/v2" {
+		t.Fatalf("analysis.Version = %q, want poclint/v2", analysis.Version)
+	}
+	r := New()
+	r.SetMeta("poclint", analysis.Version)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"poclint"`)) || !bytes.Contains(buf.Bytes(), []byte(`"poclint/v2"`)) {
+		t.Fatalf("export meta missing the poclint version tag:\n%s", buf.String())
 	}
 }

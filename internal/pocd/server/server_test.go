@@ -317,6 +317,72 @@ func TestRecoveredJournalStaysAppendable(t *testing.T) {
 	}
 }
 
+// TestGateRewriteJournaledExactly: the journal must carry the op as
+// applied, not as submitted. applyGate runs before journaling and may
+// rewrite the op; the bytes appended to the journal must be marshaled
+// AFTER the gate, or replay rebuilds a different state than the live
+// daemon held (the op was journaled with the pre-rewrite fields but
+// applied with the post-rewrite ones).
+func TestGateRewriteJournaledExactly(t *testing.T) {
+	s, _, path := newTestServer(t, func(cfg *Config) {
+		cfg.applyGate = func(op *Op) {
+			if op.Op == "publish_qos" {
+				op.Weight *= 2
+			}
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	if code, body := post(t, ts, "/v1/qos", `{"name":"gold","weight":4,"price":2.5}`); code != 200 {
+		t.Fatalf("POST /v1/qos: %d: %s", code, body)
+	}
+	live := obsExport(t, ts)
+	ts.Close()
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal record must already carry the rewritten weight.
+	var journaled Op
+	if _, err := journal.Replay(path, func(_ uint64, payload []byte) error {
+		return json.Unmarshal(payload, &journaled)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if journaled.Weight != 8 {
+		t.Fatalf("journaled weight %v, want the post-gate 8: the journal recorded an op that was never applied", journaled.Weight)
+	}
+
+	// And replaying it reproduces the live daemon's export and the
+	// rewritten catalog entry.
+	_, replayed, err := ReplayFile(path, buildRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replayed, live) {
+		t.Fatal("replayed obs export diverges from the live export")
+	}
+	s2, err := New(Config{Build: buildRing, JournalPath: path, NoFsync: true, Now: (&fakeClock{}).now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	_, body := get(t, ts2, "/v1/qos")
+	var envelope struct {
+		Result []struct {
+			Class struct{ Weight float64 }
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("decode /v1/qos: %v: %s", err, body)
+	}
+	catalog := envelope.Result
+	if len(catalog) == 0 || catalog[len(catalog)-1].Class.Weight != 8 {
+		t.Fatalf("recovered catalog %s, want the post-gate weight 8", body)
+	}
+}
+
 // TestTimeoutDecidedBeforeJournal: a mutation that expires while
 // queued is rejected whole — no journal record, no state change.
 func TestTimeoutDecidedBeforeJournal(t *testing.T) {

@@ -81,7 +81,12 @@ func (o Options) resolve(p *topo.POCNetwork) Options {
 	return o
 }
 
-// acquire pops a free arena or builds one.
+// acquire pops a free arena or builds one. Every acquire must be
+// released on all paths (poclint arenapair enforces it): a leaked
+// arena pins its allocation until the workspace dies and silently
+// degrades pool reuse for every later call.
+//
+//lint:acquire arena
 func (ws *Workspace) acquire() *router {
 	ws.mu.Lock()
 	if n := len(ws.free); n > 0 {
@@ -96,6 +101,8 @@ func (ws *Workspace) acquire() *router {
 }
 
 // release returns an arena to the free list.
+//
+//lint:release arena
 func (ws *Workspace) release(rt *router) {
 	ws.mu.Lock()
 	ws.free = append(ws.free, rt)
