@@ -178,6 +178,12 @@ func checkAcquirePaths(pass *Pass, g *cfg, ab acquireBinding) {
 	if start == nil {
 		return
 	}
+	// The start block counts as visited from the outset: a loop
+	// backedge that reaches it again would otherwise re-walk the
+	// acquire statement itself and misreport it as an overwrite of the
+	// value it just bound. Treating the backedge as the end of the path
+	// leaves the leak (if any) to be reported where an exit is reached
+	// while still holding.
 	visited := map[*cfgBlock]bool{}
 	var walk func(blk *cfgBlock, from int) bool // true = leak found
 	walk = func(blk *cfgBlock, from int) bool {
@@ -213,6 +219,7 @@ func checkAcquirePaths(pass *Pass, g *cfg, ab acquireBinding) {
 		}
 		return false
 	}
+	visited[start] = true
 	walk(start, startIdx+1)
 }
 

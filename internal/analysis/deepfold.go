@@ -44,8 +44,16 @@ func runDeepFold(pass *Pass) error {
 					checkFoldCalls(pass, x.Body, x.Pos(), x.End(), "in channel-receive order: arrival order perturbs the fold; collect into index slots and reduce serially")
 				}
 			case *ast.GoStmt:
+				const goContext = "from a goroutine: completion order perturbs the fold (even under a lock); fold into per-worker slots and reduce in index order"
 				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
-					checkFoldCalls(pass, lit.Body, lit.Pos(), lit.End(), "from a goroutine: completion order perturbs the fold (even under a lock); fold into per-worker slots and reduce in index order")
+					checkFoldCalls(pass, lit.Body, lit.Pos(), lit.End(), goContext)
+				} else {
+					// Direct-call goroutine: `go shared.Add(v)`. There is
+					// no literal body to scope the context, and the
+					// receiver and arguments are evaluated in the spawning
+					// frame — any rooted state the callee folds into is
+					// outside the goroutine by construction.
+					checkFoldCall(pass, x.Call, func(ast.Expr) bool { return true }, goContext)
 				}
 			}
 			return true
@@ -57,47 +65,52 @@ func runDeepFold(pass *Pass) error {
 // checkFoldCalls flags calls in body whose callee summary folds floats
 // into state rooted outside [lo, hi].
 func checkFoldCalls(pass *Pass, body ast.Node, lo, hi token.Pos, context string) {
+	outside := func(e ast.Expr) bool { return !pass.declaredWithin(e, lo, hi) }
 	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		callee := calleeFunc(pass, call)
-		if callee == nil {
-			return true
-		}
-		sum, ok := pass.Facts.SummaryOf(callee)
-		if !ok || !sum.FoldsFloat() {
-			return true
-		}
-		name := funcKey(callee)
-		if sum.FoldGlobal {
-			pass.Reportf(call.Pos(),
-				"%s folds floats into package-level or captured state %s", name, context)
-			return true
-		}
-		if sum.FoldRecv {
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
-				!pass.declaredWithin(sel.X, lo, hi) {
-				pass.Reportf(call.Pos(),
-					"%s folds floats into %s, declared outside, %s", name, exprString(sel.X), context)
-				return true
-			}
-		}
-		for _, j := range sum.FoldParams {
-			if j >= len(call.Args) {
-				continue
-			}
-			arg := call.Args[j]
-			if root := rootIdent(arg); root == nil {
-				continue // fresh value (literal, call result): context-local
-			}
-			if !pass.declaredWithin(arg, lo, hi) {
-				pass.Reportf(call.Pos(),
-					"%s folds floats into argument %s, declared outside, %s", name, exprString(arg), context)
-				return true
-			}
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkFoldCall(pass, call, outside, context)
 		}
 		return true
 	})
+}
+
+// checkFoldCall classifies one call against its callee's fold summary;
+// outside decides whether an expression's root lives beyond the
+// unordered context.
+func checkFoldCall(pass *Pass, call *ast.CallExpr, outside func(ast.Expr) bool, context string) {
+	callee := calleeFunc(pass, call)
+	if callee == nil {
+		return
+	}
+	sum, ok := pass.Facts.SummaryOf(callee)
+	if !ok || !sum.FoldsFloat() {
+		return
+	}
+	name := funcKey(callee)
+	if sum.FoldGlobal {
+		pass.Reportf(call.Pos(),
+			"%s folds floats into package-level or captured state %s", name, context)
+		return
+	}
+	if sum.FoldRecv {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && outside(sel.X) {
+			pass.Reportf(call.Pos(),
+				"%s folds floats into %s, declared outside, %s", name, exprString(sel.X), context)
+			return
+		}
+	}
+	for _, j := range sum.FoldParams {
+		if j >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[j]
+		if root := rootIdent(arg); root == nil {
+			continue // fresh value (literal, call result): context-local
+		}
+		if outside(arg) {
+			pass.Reportf(call.Pos(),
+				"%s folds floats into argument %s, declared outside, %s", name, exprString(arg), context)
+			return
+		}
+	}
 }

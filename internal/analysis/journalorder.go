@@ -59,9 +59,13 @@ func appendsJournal(pass *Pass, call *ast.CallExpr) bool {
 }
 
 func checkJournalFunc(pass *Pass, decl *ast.FuncDecl) {
-	// Only functions that themselves journal are order-checked.
+	// Only functions that themselves journal are order-checked. An
+	// append inside a defer or a nested literal does not count: it runs
+	// at function exit (or wherever the literal is invoked), not at a
+	// program point the domination check can order, so a function whose
+	// only append is deferred stays exempt like the replay path.
 	journals := false
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
+	inspectAtPoint(decl.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok && appendsJournal(pass, call) {
 			journals = true
 		}
@@ -128,10 +132,27 @@ func checkJournalFunc(pass *Pass, decl *ast.FuncDecl) {
 	}
 }
 
-// stmtAppends reports whether the statement performs a journal append.
+// inspectAtPoint walks n's subtree skipping DeferStmt and FuncLit
+// subtrees: code under either does not execute at this program point
+// (defers run at function exit, literal bodies wherever the literal is
+// invoked), so it must neither satisfy nor violate an ordering check
+// anchored here.
+func inspectAtPoint(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		}
+		return f(m)
+	})
+}
+
+// stmtAppends reports whether the statement performs a journal append
+// at its own program point (deferred appends run at exit and order
+// nothing; see inspectAtPoint).
 func stmtAppends(pass *Pass, st ast.Stmt) bool {
 	found := false
-	ast.Inspect(st, func(n ast.Node) bool {
+	inspectAtPoint(st, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok && appendsJournal(pass, call) {
 			found = true
 		}
@@ -141,9 +162,11 @@ func stmtAppends(pass *Pass, st ast.Stmt) bool {
 }
 
 // reportMutations flags mutation calls in a statement not yet
-// dominated by the append.
+// dominated by the append. Mutations under a defer or nested literal
+// are skipped with the same reasoning as stmtAppends: a deferred
+// cleanup mutation runs after the append on every completing path.
 func reportMutations(pass *Pass, fi *funcInfo, st ast.Stmt) {
-	ast.Inspect(st, func(n ast.Node) bool {
+	inspectAtPoint(st, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

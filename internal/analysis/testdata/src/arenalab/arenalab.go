@@ -40,6 +40,34 @@ func leakSwitchArm(ws *pool.Workspace, mode int) {
 	}
 }
 
+// Positive: the continue path carries the held router across the loop
+// backedge and out of the loop; the diagnostic names the unreleased
+// exit path rather than misreading the next iteration's acquire as an
+// overwrite of the value it just bound.
+func leakLoopContinue(ws *pool.Workspace, n int) {
+	for i := 0; i < n; i++ {
+		rt := ws.Acquire() // want "rt acquired by Acquire .*not released on the path reaching the end of the function"
+		if i == 0 {
+			continue
+		}
+		ws.Release(rt)
+	}
+}
+
+// Negative: both the continue path and the fall-through release before
+// the backedge.
+func okLoopContinue(ws *pool.Workspace, vals []int) {
+	for _, v := range vals {
+		rt := ws.Acquire()
+		if v < 0 {
+			ws.Release(rt)
+			continue
+		}
+		rt.Resid[0] = float64(v)
+		ws.Release(rt)
+	}
+}
+
 // Negative: deferred release covers every exit, panics included.
 func okDefer(ws *pool.Workspace, fail bool) error {
 	rt := ws.Acquire()

@@ -72,6 +72,49 @@ func foldInChanRange(ch chan float64) float64 {
 	return total
 }
 
+// Positive: direct-call goroutine — no literal body scopes a context,
+// but the receiver lives in the spawning frame and is shared across
+// goroutine completions.
+func foldDirectGoRecv(vals []float64) float64 {
+	var a acc
+	for _, v := range vals {
+		go a.add(v) // want "acc\\.add folds floats into a, declared outside, from a goroutine"
+	}
+	return a.total
+}
+
+// Positive: direct-call goroutine into package state.
+func foldDirectGoGlobal(vals []float64) {
+	for _, v := range vals {
+		go bumpGrand(v) // want "bumpGrand folds floats into package-level or captured state from a goroutine"
+	}
+}
+
+// Positive: direct-call goroutine folding into a pointer argument
+// rooted in the spawning frame.
+func foldDirectGoParam(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		go addTo(&total, v) // want "addTo folds floats into argument &total, declared outside, from a goroutine"
+	}
+	return total
+}
+
+// Negative: direct-call goroutine of a fold-free callee.
+func directGoPure(vals []float64) {
+	for _, v := range vals {
+		go pure(v)
+	}
+}
+
+// Negative: the fold target is a fresh allocation with no root
+// identifier — nobody outside the call observes it.
+func directGoFresh(vals []float64) {
+	for _, v := range vals {
+		go addTo(new(float64), v)
+	}
+}
+
 // Negative: the Route pattern — the callee folds, but into a receiver
 // acquired inside the loop, so per-iteration state stays private.
 func foldLocalRecv(m map[string]float64) float64 {

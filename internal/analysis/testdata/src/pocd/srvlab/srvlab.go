@@ -79,6 +79,49 @@ func (s *Server) handleWrapped(op int, payload []byte) error {
 	return nil
 }
 
+// Positive: the deferred append runs at function exit and orders
+// nothing; only the inline append anchors the check, and the mutation
+// precedes it.
+func (s *Server) handleDeferMasked(op int, payload []byte) error {
+	defer func() { _, _ = s.jw.Append(nil) }()
+	s.st.apply(op) // want "state mutation s\\.st\\.apply before the journal append"
+	_, err := s.jw.Append(payload)
+	return err
+}
+
+// Positive: an append tucked inside a helper literal executes when the
+// literal is invoked, not where it is defined — defining it must not
+// make later mutations look append-dominated.
+func (s *Server) handleLitMasked(op int, payload []byte) error {
+	logTrailer := func(p []byte) { _, _ = s.jw.Append(p) }
+	s.st.apply(op) // want "state mutation s\\.st\\.apply before the journal append"
+	if _, err := s.jw.Append(payload); err != nil {
+		return err
+	}
+	logTrailer(payload)
+	return nil
+}
+
+// Negative: the only append is deferred — there is no inline append
+// for the domination check to anchor on, so the function is exempt
+// like the replay path.
+func (s *Server) deferOnlyAppend(op int, payload []byte) {
+	defer func() { _, _ = s.jw.Append(payload) }()
+	s.st.apply(op)
+}
+
+// Negative: a deferred cleanup mutation runs after the append on every
+// completing path; its textual position above the append is not a
+// violation.
+func (s *Server) deferredCleanup(op int, payload []byte) error {
+	defer s.st.apply(0)
+	if _, err := s.jw.Append(payload); err != nil {
+		return err
+	}
+	s.st.apply(op)
+	return nil
+}
+
 // Sanctioned: a pre-journal mutation the author defends (e.g. a
 // side-table rebuilt on recovery).
 func (s *Server) handleAllowed(op int, payload []byte) error {

@@ -212,7 +212,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.ready.Store(true)
-	go s.writer()
+	go s.writer() //lint:allow deepfold the one writer goroutine; its folds are ordered by the journaled queue, not completion order
 	return s, nil
 }
 
