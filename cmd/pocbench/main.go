@@ -64,6 +64,7 @@ func run() (err error) {
 	benchtime := flag.String("benchtime", "", "with -fabric: Nx runs a single smoke point at N×50k flows instead of the full 100k/1M trajectory")
 	fabricFlows := flag.Int("fabricflows", 0, "with -fabric: measure exactly this population size instead of the default trajectory")
 	fleetOut := flag.Bool("fleet", false, "benchmark the scenario-grid runner (golden grid, cold vs warm shared cache) and write BENCH_fleet.json")
+	wdOut := flag.Bool("wd", false, "benchmark continental winner determination (synthetic 200/600/1200-link instances: baseline, incremental memo, regional decomposition, warm persisted cache) and write BENCH_wd.json; -benchtime=Nx runs a single N×200-link smoke point")
 	metrics := flag.String("metrics", "", "with -json: also write the poc-obs/v1 metrics ledger to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -105,6 +106,12 @@ func run() (err error) {
 	if *fleetOut {
 		if err := benchFleet(*scale, *workers); err != nil {
 			return fmt.Errorf("fleet: %w", err)
+		}
+		return nil
+	}
+	if *wdOut {
+		if err := benchWD(*benchtime, *workers); err != nil {
+			return fmt.Errorf("wd: %w", err)
 		}
 		return nil
 	}

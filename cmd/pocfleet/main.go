@@ -9,6 +9,7 @@
 //	pocfleet -grid default -workers 8 # 24-cell standing sweep
 //	pocfleet -corpus zoo/             # real GML corpus as the topology
 //	pocfleet -state run1/             # journal cells; rerun to resume
+//	pocfleet -cachefile fc.pocfcache  # persist the feasibility cache across runs
 //	pocfleet -golden testdata/fleet_golden.json  # CI drift gate
 //
 // The merged report is byte-identical for any -workers value, across
@@ -42,6 +43,7 @@ func run() error {
 		workers  = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS); any value yields identical bytes")
 		state    = flag.String("state", "", "crash/resume journal directory (empty = no journal)")
 		cold     = flag.Bool("cold", false, "disable cross-cell cache/workspace sharing (bytes must not change)")
+		cacheFn  = flag.String("cachefile", "", "persist the shared feasibility cache here across runs (bytes must not change)")
 		out      = flag.String("out", "FLEET.json", "report path ('-' = stdout)")
 		hashOnly = flag.Bool("hash", false, "print only the report sha256")
 		golden   = flag.String("golden", "", "compare against a pinned fixture; exit nonzero naming each drifted cell")
@@ -69,6 +71,7 @@ func run() error {
 		Workers:          *workers,
 		StateDir:         *state,
 		ColdCache:        *cold,
+		CacheFile:        *cacheFn,
 	})
 	if err != nil {
 		return err

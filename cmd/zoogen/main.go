@@ -4,9 +4,14 @@
 // substitution for the real TopologyZoo dataset (DESIGN.md §2) can be
 // inspected — and swapped for real .gml files — offline.
 //
+// With -synth it instead emits a continental-scale synthetic instance
+// (topo.GenerateSynth): regional rings sized to an exact link count,
+// for benchmarking winner determination far beyond the corpus scale.
+//
 // Usage:
 //
 //	zoogen [-out DIR] [-seed N] [-networks N] [-summary]
+//	zoogen -synth [-seed N] [-links N] [-regions N] [-border N]
 package main
 
 import (
@@ -25,7 +30,31 @@ func main() {
 	seed := flag.Int64("seed", 0, "zoo seed (0 = default)")
 	networks := flag.Int("networks", 0, "number of networks before filtering (0 = default)")
 	summary := flag.Bool("summary", true, "print the POC pipeline summary")
+	synth := flag.Bool("synth", false, "generate a continental synthetic instance instead of the zoo")
+	links := flag.Int("links", 0, "synth: exact logical link count (0 = default)")
+	regions := flag.Int("regions", 0, "synth: regional ring count (0 = default)")
+	border := flag.Int("border", 0, "synth: inter-region link count (0 = border-separable)")
 	flag.Parse()
+
+	if *synth {
+		cfg := topo.DefaultSynthConfig()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *links > 0 {
+			cfg.Links = *links
+			cfg.Routers = *links / 4
+		}
+		if *regions > 0 {
+			cfg.Regions = *regions
+		}
+		cfg.Border = *border
+		s := topo.GenerateSynth(cfg)
+		fmt.Printf("synth: %s\n", s.P.Summary())
+		fmt.Printf("synth: %d regions, %d border links, %d demand pairs, fingerprint %016x\n",
+			cfg.Regions, len(s.Border), len(s.Demand), s.Fingerprint())
+		return
+	}
 
 	w := topo.DefaultWorld()
 	cfg := topo.DefaultZooConfig()

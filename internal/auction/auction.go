@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/public-option/poc/internal/fnv64"
 	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/obs"
 	"github.com/public-option/poc/internal/provision"
@@ -75,6 +76,15 @@ type Instance struct {
 	// an entry is cross-cell scheduling luck, and the obs export must
 	// stay byte-identical for any worker interleaving.
 	Cache *provision.FeasibilityCache
+	// Decompose enables regional decomposition inside the cached
+	// feasibility checks: probes whose enabled subgraph splits into
+	// components with only intra-component demand are evaluated per
+	// region and stitched exactly (provision.CheckDecomposed). Answers
+	// are identical to the global check on every instance — connected
+	// or cross-demand probes simply compute cold — so the flag is pure
+	// speed on border-separable continental instances. It requires a
+	// cache (ignored under NoCache).
+	Decompose bool
 	// Workspace, when non-nil, is an external arena pool for the main
 	// (raw-metric) winner determination, built by NewRawWorkspace on an
 	// instance with the same Network, Bids, Virtual and RouteOpts.
@@ -420,21 +430,6 @@ type cacheCtx struct {
 	external bool
 }
 
-// FNV-1a, used to fingerprint routing metrics for shared-cache tags.
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-func fnvMix(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime64
-		v >>= 8
-	}
-	return h
-}
-
 // priceFingerprint hashes a price metric by value, in ascending link
 // ID: two instances with equal bids produce equal fingerprints (and so
 // share cache entries), while a reauction's reduced bids — different
@@ -445,10 +440,10 @@ func priceFingerprint(price map[int]float64) uint64 {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	h := uint64(fnvOffset64)
+	h := uint64(fnv64.Offset)
 	for _, id := range ids {
-		h = fnvMix(h, uint64(id))
-		h = fnvMix(h, math.Float64bits(price[id]))
+		h = fnv64.Mix(h, uint64(id))
+		h = fnv64.Mix(h, math.Float64bits(price[id]))
 	}
 	return h
 }
@@ -550,7 +545,7 @@ func (in *Instance) priceOfLink() map[int]float64 {
 // bias, so runs sharing an external cache never cross metrics.
 func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision.Options, cc cacheCtx) (selection, error) {
 	cur := in.offered(excludeBP)
-	metric := fnvMix(fnvMix(fnvOffset64, cc.base), 1) // raw price metric
+	metric := fnv64.Mix(fnv64.Mix(fnv64.Offset, cc.base), 1) // raw price metric
 	if warm != nil {
 		// Scale down the routing metric of links in the warm set so
 		// the constructive seed follows the main solution's structure.
@@ -560,11 +555,11 @@ func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision
 		}
 		// Warm-biased metric, identical across counterfactuals: a pure
 		// function of (price metric, warm set, bias).
-		metric = fnvMix(fnvMix(fnvOffset64, cc.base), 2)
+		metric = fnv64.Mix(fnv64.Mix(fnv64.Offset, cc.base), 2)
 		for _, w := range warm.Words() {
-			metric = fnvMix(metric, w)
+			metric = fnv64.Mix(metric, w)
 		}
-		metric = fnvMix(metric, math.Float64bits(bias))
+		metric = fnv64.Mix(metric, math.Float64bits(bias))
 		base := opts.LinkCost
 		opts.LinkCost = func(l topo.LogicalLink) float64 {
 			c := base(l)
@@ -600,6 +595,10 @@ func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision
 				// scheduling luck; record nothing through a shared cache.
 				o.Obs = nil
 			}
+			if in.Decompose {
+				ok, _ := fc.CheckDecomposed(in.Network, set, in.TM, in.Constraint, o, metric)
+				return ok
+			}
 			ok, _ := fc.Check(in.Network, set, in.TM, in.Constraint, o, metric)
 			return ok
 		}
@@ -616,6 +615,9 @@ func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision
 		if fc != nil {
 			if cc.external {
 				o.Obs = nil
+			}
+			if in.Decompose {
+				return fc.CheckCoreDecomposed(in.Network, set, in.TM, in.Constraint, o, metric)
 			}
 			return fc.CheckCore(in.Network, set, in.TM, in.Constraint, o, metric)
 		}
@@ -674,12 +676,26 @@ func (in *Instance) selectLinks(excludeBP int, warm *linkset.Set, opts provision
 		}
 	}
 
-	// Pass 3: shave to incremental 1-minimality.
+	// Pass 3: shave to incremental 1-minimality. The shave routes
+	// internally without going through check(), so at continental
+	// scale it dominates a cache-warm determination — memoize its
+	// result in the cache under the same key material (the price
+	// metric fingerprint also fixes the shave's price order; see
+	// FeasibilityCache.Shaved). The Shaver records no obs, so a memo
+	// hit skipping it never perturbs metrics exports.
 	if in.MaxChecks >= 0 {
-		if sh, ok := provision.NewShaver(in.Network, cur, in.TM, in.Constraint, opts); ok {
-			sh.Shave(func(link int) float64 { return price[link] }, 0)
-			cur = sh.Include()
-			sh.Close()
+		runShave := func() *linkset.Set {
+			if sh, ok := provision.NewShaver(in.Network, cur, in.TM, in.Constraint, opts); ok {
+				sh.Shave(func(link int) float64 { return price[link] }, 0)
+				defer sh.Close()
+				return sh.Include()
+			}
+			return cur
+		}
+		if fc != nil {
+			cur = fc.Shaved(in.Network, cur, in.TM, in.Constraint, opts, metric, runShave)
+		} else {
+			cur = runShave()
 		}
 	}
 

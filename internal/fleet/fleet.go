@@ -65,6 +65,13 @@ type Config struct {
 	// own. Passing one Shared across Runs (as pocbench does) keeps the
 	// feasibility cache warm between sweeps.
 	Shared *Shared
+	// CacheFile, when non-empty, persists the shared feasibility cache
+	// across processes: Run loads it (if present) before the sweep and
+	// saves the cache back (atomically) after a complete sweep. Warm
+	// starts replay memoized checks byte-for-byte, so the merged report
+	// is identical with or without the file — only faster. Incompatible
+	// with ColdCache (there is no shared cache to persist).
+	CacheFile string
 }
 
 func (c Config) withDefaults() Config {
@@ -149,9 +156,18 @@ func Run(grid GridSpec, cfg Config) (*Report, error) {
 		}
 	}
 
+	if cfg.CacheFile != "" && cfg.ColdCache {
+		return nil, errors.New("fleet: CacheFile requires the shared cache (ColdCache set)")
+	}
+
 	shared := cfg.Shared
 	if shared == nil {
 		shared = NewShared()
+	}
+	if cfg.CacheFile != "" {
+		if _, err := shared.Cache.LoadFile(cfg.CacheFile); err != nil {
+			return nil, fmt.Errorf("fleet: cache file: %w", err)
+		}
 	}
 
 	results := make([]*CellResult, len(cells))
@@ -236,6 +252,11 @@ func Run(grid GridSpec, cfg Config) (*Report, error) {
 	ledger, err := obs.MergeJSON(ledgerCells)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.CacheFile != "" {
+		if err := shared.Cache.SaveFile(cfg.CacheFile); err != nil {
+			return nil, fmt.Errorf("fleet: cache file: %w", err)
+		}
 	}
 	return &Report{
 		Schema:           ReportSchema,

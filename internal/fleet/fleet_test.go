@@ -193,6 +193,59 @@ func TestCrossCellCacheSharing(t *testing.T) {
 	}
 }
 
+// TestCacheFilePersistence: a sweep with CacheFile saves the shared
+// cache after a complete sweep; a second process-fresh sweep loading
+// it answers from the file (no new misses) and merges byte-identical
+// reports — persistence is a pure speedup, never a result change.
+func TestCacheFilePersistence(t *testing.T) {
+	grid := smallGrid()
+	path := filepath.Join(t.TempDir(), "fleet.pocfcache")
+
+	s1 := NewShared()
+	cold := reportBytes(t, mustRun(t, grid, Config{Shared: s1, CacheFile: path}))
+	_, coldMisses := s1.CacheStats()
+	if coldMisses == 0 {
+		t.Fatal("cold sweep recorded no cache misses")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	// Fresh Shared = fresh process. Workers=1 so cells can't race to
+	// the same key and double-count a miss.
+	s2 := NewShared()
+	warm := reportBytes(t, mustRun(t, grid, Config{Shared: s2, CacheFile: path, Workers: 1}))
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm-from-file report differs from cold report")
+	}
+	if _, warmMisses := s2.CacheStats(); warmMisses != 0 {
+		t.Fatalf("warm-from-file sweep paid %d misses, want 0", warmMisses)
+	}
+
+	// An interrupted sweep must NOT overwrite the file: the save runs
+	// only after every cell completed.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(grid, Config{CacheFile: path, Workers: 1, MaxCells: 1, StateDir: t.TempDir()}); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("interrupted sweep rewrote the cache file")
+	}
+
+	// CacheFile needs a shared cache to persist.
+	if _, err := Run(grid, Config{CacheFile: path, ColdCache: true}); err == nil ||
+		!strings.Contains(err.Error(), "ColdCache") {
+		t.Fatalf("CacheFile+ColdCache accepted: %v", err)
+	}
+}
+
 // TestSharedAcrossRuns: reusing one Shared across sweeps (pocbench's
 // warm trajectory) keeps results byte-identical while the cache keeps
 // its entries.

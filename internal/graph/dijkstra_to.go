@@ -34,9 +34,16 @@ func NewPointRouter(g *Graph) *PointRouter {
 // PointRouter computes point-to-point shortest paths with early
 // termination and zero steady-state allocation. Not concurrency-safe.
 type PointRouter struct {
-	g *Graph
-	s dijkstraScratch
+	g     *Graph
+	s     dijkstraScratch
+	trace []uint64
 }
+
+// SetTrace installs (or, with nil, removes) a relaxation trace bitset
+// with the same contract as TreeRouter.SetTrace: every edge that wins
+// a relaxation in a Path/PathInto call — including first-touch wins —
+// gets its bit ORed in. Tracing never changes results.
+func (pr *PointRouter) SetTrace(trace []uint64) { pr.trace = trace }
 
 // Path returns the cheapest src→dst path, or a path with +Inf cost if
 // none exists. The returned path's Edges slice is freshly allocated
@@ -90,6 +97,9 @@ func (pr *PointRouter) PathInto(buf []EdgeID, src, dst NodeID, filter EdgeFilter
 			s.dist[to] = nd
 			s.parent[to] = eid
 			s.q.push(pqItem{node: to, dist: nd})
+			if pr.trace != nil {
+				pr.trace[eid>>6] |= 1 << (uint(eid) & 63)
+			}
 		}
 	}
 	if s.epoch[dst] != cur || math.IsInf(s.dist[dst], 1) {

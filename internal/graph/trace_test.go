@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func traceHas(trace []uint64, eid EdgeID) bool {
+	return trace[eid>>6]&(1<<(uint(eid)&63)) != 0
+}
+
+// TestTraceCertificateTree pins the influence-set soundness claim the
+// incremental recheck memo rests on: disabling any set of edges that
+// never won a relaxation (bit unset in the trace) leaves the entire
+// tree — every distance, every parent — byte-identical.
+func TestTraceCertificateTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		g := randomGraph(rng.Int63(), 24, 40)
+		words := (g.NumEdges() + 63) / 64
+		trace := make([]uint64, words)
+		tr := NewTreeRouter(g)
+		tr.SetTrace(trace)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		base := tr.Tree(src, nil)
+		baseDist := append([]float64(nil), base.Dist...)
+		baseParent := append([]EdgeID(nil), base.Parent...)
+
+		// Tracing itself must not perturb results.
+		tr2 := NewTreeRouter(g)
+		plain := tr2.Tree(src, nil)
+		for i := range baseDist {
+			if baseDist[i] != plain.Dist[i] || baseParent[i] != plain.Parent[i] {
+				t.Fatalf("iter %d: traced run differs from untraced at node %d", iter, i)
+			}
+		}
+
+		// Disable a random subset of untraced edges and re-run cold.
+		var disabled []EdgeID
+		for eid := 0; eid < g.NumEdges(); eid++ {
+			if !traceHas(trace, EdgeID(eid)) && rng.Intn(2) == 0 {
+				g.SetDisabled(EdgeID(eid), true)
+				disabled = append(disabled, EdgeID(eid))
+			}
+		}
+		got := NewTreeRouter(g).Tree(src, nil)
+		for i := range baseDist {
+			if baseDist[i] != got.Dist[i] || baseParent[i] != got.Parent[i] {
+				t.Fatalf("iter %d: disabling untraced edges changed tree at node %d: dist %v->%v parent %v->%v",
+					iter, i, baseDist[i], got.Dist[i], baseParent[i], got.Parent[i])
+			}
+		}
+		for _, eid := range disabled {
+			g.SetDisabled(eid, false)
+		}
+	}
+}
+
+// TestTraceCertificatePoint is the same claim for the point engine,
+// whose relaxation has the extra first-touch branch.
+func TestTraceCertificatePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		g := randomGraph(rng.Int63(), 24, 40)
+		words := (g.NumEdges() + 63) / 64
+		trace := make([]uint64, words)
+		pr := NewPointRouter(g)
+		pr.SetTrace(trace)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		basePath, baseCost := pr.PathInto(nil, src, dst, nil)
+
+		for eid := 0; eid < g.NumEdges(); eid++ {
+			if !traceHas(trace, EdgeID(eid)) && rng.Intn(2) == 0 {
+				g.SetDisabled(EdgeID(eid), true)
+			}
+		}
+		gotPath, gotCost := NewPointRouter(g).PathInto(nil, src, dst, nil)
+		if len(basePath) != len(gotPath) {
+			t.Fatalf("iter %d: path length changed %d->%d", iter, len(basePath), len(gotPath))
+		}
+		for i := range basePath {
+			if basePath[i] != gotPath[i] {
+				t.Fatalf("iter %d: path edge %d changed %v->%v", iter, i, basePath[i], gotPath[i])
+			}
+		}
+		if baseCost != gotCost && !(math.IsInf(baseCost, 1) && math.IsInf(gotCost, 1)) {
+			t.Fatalf("iter %d: cost changed %v->%v", iter, baseCost, gotCost)
+		}
+	}
+}

@@ -59,6 +59,20 @@ func FromMap(m map[int]bool, universe int) *Set {
 	return s
 }
 
+// FromWords builds a set sized for universe from raw bitset words
+// (little-endian word order, as returned by Words). Extra words beyond
+// the universe are preserved; missing words are zero. The words are
+// copied. The cache persistence layer uses this to reconstruct cores
+// byte-identically across processes.
+func FromWords(words []uint64, universe int) *Set {
+	s := New(universe)
+	if len(words) > len(s.words) {
+		s.words = make([]uint64, len(words))
+	}
+	copy(s.words, words)
+	return s
+}
+
 // FromIDs builds a set from explicit IDs.
 func FromIDs(ids []int, universe int) *Set {
 	s := New(universe)

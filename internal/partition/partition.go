@@ -1,0 +1,174 @@
+// Package partition computes the connected components of the POC
+// router graph induced by an enabled link set.
+//
+// The winner determination's regional decomposition (DESIGN.md §15)
+// rests on an exactness condition: when the enabled subgraph splits
+// into components and every demand pair is intra-component, routing
+// each component alone is byte-identical to routing them together —
+// Dijkstra never relaxes across a gap, utilization never aggregates
+// across components, and the ejection budget is per-Route. This
+// package supplies the certificate inputs: the component labeling,
+// the links that would bridge components (all necessarily disabled),
+// and a balanced-cut diagnostic for instances that refuse to split.
+//
+// Everything here is deterministic: labels are dense ranks of each
+// component's smallest router index, and all link iteration is in
+// ascending link-ID order, so equal inputs yield equal partitions on
+// every run and at every worker count.
+package partition
+
+import (
+	"github.com/public-option/poc/internal/fnv64"
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/topo"
+)
+
+// Partition is a component labeling of a POCNetwork's routers under
+// some enabled link set. Labels are dense in [0, NumComp) and ordered
+// by each component's smallest router index — component 0 contains
+// router 0, the next label belongs to the smallest router not in an
+// earlier component, and so on. Isolated routers form singleton
+// components (the decomposition skips them as demandless).
+type Partition struct {
+	// Comp maps router index -> component label.
+	Comp []int
+	// NumComp is the number of components.
+	NumComp int
+	// Size[k] is the number of routers in component k.
+	Size []int
+}
+
+// Components labels the connected components of the subgraph of p
+// induced by the enabled links (nil include = all links).
+func Components(p *topo.POCNetwork, include *linkset.Set) *Partition {
+	n := len(p.Routers)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, l := range p.Links {
+		if include != nil && !include.Contains(l.ID) {
+			continue
+		}
+		ra, rb := find(l.A), find(l.B)
+		if ra != rb {
+			// Union by smaller root index: keeps every root the smallest
+			// member of its set, which makes labeling order-free.
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	pt := &Partition{Comp: make([]int, n)}
+	label := make(map[int]int, 8)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		k, ok := label[r]
+		if !ok {
+			// Roots are the smallest member of their component, and we
+			// scan routers ascending, so labels come out dense and ordered
+			// by smallest member.
+			k = pt.NumComp
+			label[r] = k
+			pt.NumComp++
+			pt.Size = append(pt.Size, 0)
+		}
+		pt.Comp[i] = k
+		pt.Size[k]++
+	}
+	return pt
+}
+
+// Border returns, in ascending order, the IDs of every link of p whose
+// endpoints lie in different components. All such links are disabled
+// in the set the partition was computed from (an enabled link unions
+// its endpoints); they are exactly the links whose re-enablement could
+// merge regions.
+func (pt *Partition) Border(p *topo.POCNetwork) []int {
+	var out []int
+	for _, l := range p.Links {
+		if pt.Comp[l.A] != pt.Comp[l.B] {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// Signature fingerprints the labeling (FNV-1a over the dense labels).
+// Two partitions with equal signatures label every router identically,
+// up to fingerprint collision; the provisioner uses it to key cached
+// per-component traffic projections alongside the matrix pointer.
+func (pt *Partition) Signature() uint64 {
+	h := uint64(fnv64.Offset)
+	h = fnv64.Mix(h, uint64(pt.NumComp))
+	for _, c := range pt.Comp {
+		h = fnv64.Mix(h, uint64(c))
+	}
+	return h
+}
+
+// BalancedCut is a diagnostic for instances that refuse to decompose:
+// it grows a BFS region from the lowest-numbered router (restarting
+// from the smallest unvisited router if the enabled graph disconnects)
+// until half the routers are absorbed, and reports that side plus the
+// enabled links crossing the split. A narrow cut suggests the instance
+// is nearly separable — disabling (or pricing out) the cut links would
+// let the decomposition engage. Deterministic: adjacency is scanned in
+// ascending link-ID order and the frontier is FIFO.
+func BalancedCut(p *topo.POCNetwork, include *linkset.Set) (sideA []int, cut []int) {
+	n := len(p.Routers)
+	if n == 0 {
+		return nil, nil
+	}
+	adj := make([][]int, n) // neighbor router indices, ascending link ID
+	for _, l := range p.Links {
+		if include != nil && !include.Contains(l.ID) {
+			continue
+		}
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	want := (n + 1) / 2
+	inA := make([]bool, n)
+	visited := make([]bool, n)
+	queue := make([]int, 0, n)
+	taken := 0
+	for start := 0; start < n && taken < want; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 && taken < want {
+			u := queue[0]
+			queue = queue[1:]
+			inA[u] = true
+			sideA = append(sideA, u)
+			taken++
+			for _, v := range adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	for _, l := range p.Links {
+		if include != nil && !include.Contains(l.ID) {
+			continue
+		}
+		if inA[l.A] != inA[l.B] {
+			cut = append(cut, l.ID)
+		}
+	}
+	return sideA, cut
+}

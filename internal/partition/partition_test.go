@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/topo"
+)
+
+// net builds a bare POCNetwork with n routers and the given undirected
+// links (router index pairs). Capacities and distances are irrelevant
+// to partitioning.
+func net(n int, pairs ...[2]int) *topo.POCNetwork {
+	p := &topo.POCNetwork{Routers: make([]int, n)}
+	for i := range p.Routers {
+		p.Routers[i] = i
+	}
+	for i, pr := range pairs {
+		p.Links = append(p.Links, topo.LogicalLink{
+			ID: i, BP: 0, A: pr[0], B: pr[1], Capacity: 10, DistanceKm: 100,
+		})
+	}
+	return p
+}
+
+func TestComponentsLabels(t *testing.T) {
+	// Two triangles {0,1,2} and {3,4,5}, one isolated router 6.
+	p := net(7, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0},
+		[2]int{3, 4}, [2]int{4, 5}, [2]int{5, 3})
+	pt := Components(p, nil)
+	if pt.NumComp != 3 {
+		t.Fatalf("NumComp = %d, want 3", pt.NumComp)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2}
+	if !reflect.DeepEqual(pt.Comp, want) {
+		t.Fatalf("Comp = %v, want %v", pt.Comp, want)
+	}
+	if !reflect.DeepEqual(pt.Size, []int{3, 3, 1}) {
+		t.Fatalf("Size = %v", pt.Size)
+	}
+	if b := pt.Border(p); b != nil {
+		t.Fatalf("Border = %v, want none (no inter-component links exist)", b)
+	}
+}
+
+func TestComponentsRespectsInclude(t *testing.T) {
+	// A path 0-1-2-3; disabling the middle link splits it.
+	p := net(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	s := linkset.All(len(p.Links))
+	s.Remove(1)
+	pt := Components(p, s)
+	if pt.NumComp != 2 {
+		t.Fatalf("NumComp = %d, want 2", pt.NumComp)
+	}
+	if !reflect.DeepEqual(pt.Comp, []int{0, 0, 1, 1}) {
+		t.Fatalf("Comp = %v", pt.Comp)
+	}
+	// The disabled middle link is now exactly the border.
+	if b := pt.Border(p); !reflect.DeepEqual(b, []int{1}) {
+		t.Fatalf("Border = %v, want [1]", b)
+	}
+	// Signatures distinguish the split from the connected labeling.
+	if Components(p, nil).Signature() == pt.Signature() {
+		t.Fatal("signatures collide between connected and split labelings")
+	}
+	// And equal labelings share a signature.
+	if pt.Signature() != Components(p, s).Signature() {
+		t.Fatal("signature is not deterministic")
+	}
+}
+
+func TestComponentsLabelOrderIsBySmallestMember(t *testing.T) {
+	// Component containing router 0 must get label 0 even when its
+	// links appear last.
+	p := net(4, [2]int{2, 3}, [2]int{0, 1})
+	pt := Components(p, nil)
+	if !reflect.DeepEqual(pt.Comp, []int{0, 0, 1, 1}) {
+		t.Fatalf("Comp = %v, want [0 0 1 1]", pt.Comp)
+	}
+}
+
+func TestBalancedCut(t *testing.T) {
+	// A 6-path: BFS from router 0 absorbs {0,1,2}; the single crossing
+	// link is 2-3 (ID 2).
+	p := net(6, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 4}, [2]int{4, 5})
+	sideA, cut := BalancedCut(p, nil)
+	if !reflect.DeepEqual(sideA, []int{0, 1, 2}) {
+		t.Fatalf("sideA = %v", sideA)
+	}
+	if !reflect.DeepEqual(cut, []int{2}) {
+		t.Fatalf("cut = %v, want [2]", cut)
+	}
+	// Deterministic across calls.
+	a2, c2 := BalancedCut(p, nil)
+	if !reflect.DeepEqual(a2, sideA) || !reflect.DeepEqual(c2, cut) {
+		t.Fatal("BalancedCut is not deterministic")
+	}
+	// Disconnected graph: restarts from the smallest unvisited router.
+	s := linkset.All(len(p.Links))
+	s.Remove(1) // split {0,1} | {2,3,4,5}; want 3 on side A -> {0,1} then restart at 2
+	a3, c3 := BalancedCut(p, s)
+	if !reflect.DeepEqual(a3, []int{0, 1, 2}) {
+		t.Fatalf("disconnected sideA = %v", a3)
+	}
+	if !reflect.DeepEqual(c3, []int{2}) {
+		t.Fatalf("disconnected cut = %v", c3)
+	}
+}

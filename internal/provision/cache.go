@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/public-option/poc/internal/fnv64"
 	"github.com/public-option/poc/internal/linkset"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
@@ -23,6 +24,12 @@ type CacheSummary struct {
 	// Paths counts the path assignments of the routing the check kept
 	// (base routing, or the degraded routing for Constraint3).
 	Paths int
+	// Moves is the largest ejection-repair move count any single
+	// routing in the check consumed (out of the per-Route 512 budget).
+	// Regional decomposition sums it across regions to prove the
+	// budget never binds differently between the global and per-region
+	// runs; the metrics layer never exports it.
+	Moves int
 }
 
 // FeasibilityCache memoizes Check outcomes across the near-identical
@@ -48,8 +55,42 @@ type FeasibilityCache struct {
 	mu sync.RWMutex
 	m  map[string]cacheEntry
 
+	// Bounded mode (capacity > 0): order is an insertion-order ring of
+	// the currently resident keys — the slot the next insert overwrites
+	// always holds the oldest entry, so eviction is deterministic in
+	// insertion order, never map order. seen records every distinct key
+	// ever stored so the insert-win metrics rule survives an
+	// evict-then-reinsert: recordCheck still fires exactly once per
+	// distinct key, keeping obs exports byte-identical to an unbounded
+	// cache. seen holds only key strings; the cap bounds the dominant
+	// memory (summaries, cores, map buckets).
+	capacity  int
+	order     []string
+	orderPos  int
+	seen      map[string]struct{}
+	evictions int64
+
 	hits   atomic.Int64
 	misses atomic.Int64
+	// decompositions counts probes answered by stitching per-component
+	// sub-checks (decompose.go) rather than one global routing.
+	decompositions atomic.Int64
+
+	// Shave memo: the auction's shave-to-1-minimality step is a
+	// deterministic function of exactly the material the check key
+	// already encodes (network, start set, matrix, constraint, options,
+	// price metric), but it routes internally without going through
+	// Check — at continental scale it dominates a warm run's wall
+	// clock. Memoizing its result turns a persisted-cache replay into
+	// pure lookup. Keys share fc.key's encoding behind a prefix byte no
+	// check key can start with; values are the shaved set's raw words.
+	// Bounded mode evicts on a separate insertion-order ring of the
+	// same capacity.
+	shaved      map[string][]uint64
+	shavedOrder []string
+	shavedPos   int
+	shaveHits   atomic.Int64
+	shaveMisses atomic.Int64
 
 	tmMu sync.Mutex
 	tmFP map[*traffic.Matrix]uint64
@@ -70,11 +111,72 @@ type cacheEntry struct {
 // NewFeasibilityCache returns an empty concurrency-safe cache.
 func NewFeasibilityCache() *FeasibilityCache {
 	return &FeasibilityCache{
-		m: make(map[string]cacheEntry, 256),
+		m:      make(map[string]cacheEntry, 256),
+		shaved: make(map[string][]uint64, 64),
 		// A cache usually sees a handful of matrices (the auction's
 		// one, plus chaos reauction variants) — pre-size small.
 		tmFP:  make(map[*traffic.Matrix]uint64, 4),
 		netFP: make(map[*topo.POCNetwork]uint64, 4),
+	}
+}
+
+// SetCapacity bounds the cache to at most n resident entries, evicting
+// the oldest-inserted entry on overflow (deterministic insertion-order
+// ring, not map order). n <= 0 restores the unbounded default. Any
+// resident entries are dropped, so call it before first use (or treat
+// it as a Reset). Eviction never changes answers — a re-probed evicted
+// key recomputes the identical result — and never perturbs obs exports
+// (metrics record once per distinct key ever, eviction or not).
+func (fc *FeasibilityCache) SetCapacity(n int) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.m = make(map[string]cacheEntry, 256)
+	fc.shaved = make(map[string][]uint64, 64)
+	if n <= 0 {
+		fc.capacity, fc.order, fc.seen = 0, nil, nil
+		fc.orderPos = 0
+		fc.shavedOrder, fc.shavedPos = nil, 0
+		return
+	}
+	fc.capacity = n
+	fc.order = make([]string, n)
+	fc.orderPos = 0
+	fc.seen = make(map[string]struct{}, 256)
+	fc.shavedOrder = make([]string, n)
+	fc.shavedPos = 0
+}
+
+// CacheStats is a point-in-time snapshot of a cache's behaviour.
+type CacheStats struct {
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	Decompositions int64
+	ShaveHits      int64
+	ShaveMisses    int64
+	Entries        int
+	ShaveEntries   int
+	Capacity       int // 0 = unbounded
+}
+
+// Stats snapshots the counters. They live here rather than on
+// CacheSummary (where the issue sketch put them) deliberately:
+// summaries are memoized check results that hits replay byte-for-byte,
+// and a mutable counter inside them would make a replayed summary
+// differ from its cold computation.
+func (fc *FeasibilityCache) Stats() CacheStats {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return CacheStats{
+		Hits:           fc.hits.Load(),
+		Misses:         fc.misses.Load(),
+		Evictions:      fc.evictions,
+		Decompositions: fc.decompositions.Load(),
+		ShaveHits:      fc.shaveHits.Load(),
+		ShaveMisses:    fc.shaveMisses.Load(),
+		Entries:        len(fc.m),
+		ShaveEntries:   len(fc.shaved),
+		Capacity:       fc.capacity,
 	}
 }
 
@@ -99,6 +201,17 @@ func (fc *FeasibilityCache) Len() int {
 func (fc *FeasibilityCache) Reset() {
 	fc.mu.Lock()
 	fc.m = make(map[string]cacheEntry, 256)
+	fc.shaved = make(map[string][]uint64, 64)
+	if fc.capacity > 0 {
+		// A fresh generation: an unbounded cache re-records metrics for
+		// keys re-probed after Reset, so the bounded seen-set must
+		// forget them too to stay byte-identical.
+		fc.order = make([]string, fc.capacity)
+		fc.orderPos = 0
+		fc.seen = make(map[string]struct{}, 256)
+		fc.shavedOrder = make([]string, fc.capacity)
+		fc.shavedPos = 0
+	}
 	fc.mu.Unlock()
 	fc.tmMu.Lock()
 	fc.tmFP = make(map[*traffic.Matrix]uint64, 4)
@@ -114,27 +227,8 @@ func (fc *FeasibilityCache) Reset() {
 // Options.LinkCost functions, which cannot be encoded into the key.
 func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, CacheSummary) {
 	opts = opts.withDefaults()
-	key := fc.key(p, include, tm, c, opts, metric)
-	fc.mu.RLock()
-	e, ok := fc.m[key]
-	fc.mu.RUnlock()
-	if ok {
-		fc.hits.Add(1)
-		return e.sum.Feasible, e.sum
-	}
-	fc.misses.Add(1)
-	// Compute with Obs stripped: whether this goroutine or a racing
-	// one performs the routing is scheduling luck, so metrics are
-	// recorded per distinct memo entry (insert win) instead — the set
-	// of distinct keys probed is Workers-invariant.
-	stripped := opts
-	stripped.Obs = nil
-	feasible, r := Check(p, include, tm, c, stripped)
-	sum := summarize(p, feasible, r)
-	if fc.store(key, cacheEntry{sum: sum}) {
-		recordCheck(opts.Obs, c, sum)
-	}
-	return feasible, sum
+	sum, _ := fc.checked(p, include, tm, c, opts, metric, false)
+	return sum.Feasible, sum
 }
 
 // CheckCore is the memoized form of CheckCore. The returned core set
@@ -142,38 +236,173 @@ func (fc *FeasibilityCache) Check(p *topo.POCNetwork, include *linkset.Set, tm *
 // when the set is infeasible.
 func (fc *FeasibilityCache) CheckCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64) (bool, *linkset.Set) {
 	opts = opts.withDefaults()
+	sum, core := fc.checked(p, include, tm, c, opts, metric, true)
+	return sum.Feasible, core
+}
+
+// checked is the shared lookup-or-compute path behind Check, CheckCore
+// and the decomposed variants. opts must already have defaults. When
+// needCore is true, a feasible answer must carry the core link union
+// (a coreless feasible entry is treated as a miss and upgraded).
+func (fc *FeasibilityCache) checked(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64, needCore bool) (CacheSummary, *linkset.Set) {
 	key := fc.key(p, include, tm, c, opts, metric)
+	if e, ok := fc.peek(key, needCore); ok {
+		return e.sum, e.core
+	}
+	fc.misses.Add(1)
+	return fc.compute(key, p, include, tm, c, opts, metric, needCore)
+}
+
+// peek returns the entry for key if it can answer a probe of the given
+// shape, counting a hit. A plain Check entry for a feasible set has no
+// core, so it cannot answer a needCore probe — the caller falls
+// through and upgrades it.
+func (fc *FeasibilityCache) peek(key string, needCore bool) (cacheEntry, bool) {
 	fc.mu.RLock()
 	e, ok := fc.m[key]
 	fc.mu.RUnlock()
-	// A plain Check entry for a feasible set has no core: fall through
-	// and upgrade it.
-	if ok && (e.core != nil || !e.sum.Feasible) {
-		fc.hits.Add(1)
-		return e.sum.Feasible, e.core
+	if !ok || (needCore && e.core == nil && e.sum.Feasible) {
+		return cacheEntry{}, false
 	}
-	fc.misses.Add(1)
+	fc.hits.Add(1)
+	return e, true
+}
+
+// compute runs the miss path for key: consult the workspace's
+// incremental-recheck memo, fall back to a full routing, then store
+// and record. opts must already have defaults.
+func (fc *FeasibilityCache) compute(key string, p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64, needCore bool) (CacheSummary, *linkset.Set) {
+	// Compute with Obs stripped: whether this goroutine or a racing
+	// one performs the routing is scheduling luck, so metrics are
+	// recorded per distinct memo entry (insert win) instead — the set
+	// of distinct keys probed is Workers-invariant.
 	stripped := opts
 	stripped.Obs = nil
-	feasible, core, sum := checkCore(p, include, tm, c, stripped.resolve(p))
-	if fc.store(key, cacheEntry{sum: sum, core: core}) {
+	// Incremental recheck: a recent check on a superset whose removed
+	// links never influenced it replays byte-identically — serve it
+	// without routing. The fc entry stored is exactly what the compute
+	// path would store (coreless for a plain Check, core-carrying for a
+	// CheckCore), so cache state and obs stay byte-identical to a cold
+	// run. A needCore probe can only be served by a memo entry that
+	// carries a core (or is infeasible) — the same rule peek applies.
+	ws := opts.Workspace
+	memoOK := ws != nil && ws.p == p && ws.memoEnabled()
+	if memoOK {
+		if sum, core, ok := ws.memoLookup(include, tm, c, opts, metric, needCore); ok {
+			e := cacheEntry{sum: sum}
+			if needCore {
+				e.core = core
+			}
+			if fc.store(key, e) {
+				recordCheck(opts.Obs, c, sum)
+			}
+			return sum, e.core
+		}
+		stripped.influence = newInfluence(len(p.Links))
+	}
+	var sum CacheSummary
+	var core *linkset.Set
+	if needCore {
+		_, core, sum = checkCore(p, include, tm, c, stripped.resolve(p))
+	} else {
+		feasible, r := Check(p, include, tm, c, stripped)
+		sum = summarize(p, feasible, r)
+	}
+	if memoOK && !stripped.influence.isInvalid() {
+		ws.memoStore(include, tm, c, opts, metric, stripped.influence, sum, core)
+	}
+	e := cacheEntry{sum: sum, core: core}
+	if fc.store(key, e) {
 		recordCheck(opts.Obs, c, sum)
 	}
-	return feasible, core
+	return sum, core
 }
 
 // store writes an entry, never downgrading one that already has a
 // core (two goroutines may race to fill the same key). It reports
-// whether the key was new — the metrics layer records exactly once
-// per distinct entry, so racing double-computes never double-count.
+// whether the key is fresh for metrics purposes — exactly once per
+// distinct key ever, so racing double-computes never double-count and
+// (in bounded mode) an evict-then-reinsert never re-counts.
 func (fc *FeasibilityCache) store(key string, e cacheEntry) bool {
 	fc.mu.Lock()
+	defer fc.mu.Unlock()
 	old, existed := fc.m[key]
 	if !existed || old.core == nil {
 		fc.m[key] = e
 	}
-	fc.mu.Unlock()
-	return !existed
+	if existed {
+		return false
+	}
+	if fc.capacity <= 0 {
+		return true
+	}
+	fresh := false
+	if _, ok := fc.seen[key]; !ok {
+		fc.seen[key] = struct{}{}
+		fresh = true
+	}
+	if len(fc.m) > fc.capacity {
+		// The slot the ring is about to reuse holds the oldest resident
+		// key (the ring only ever holds resident keys, and the new key
+		// is not in it yet).
+		delete(fc.m, fc.order[fc.orderPos])
+		fc.evictions++
+	}
+	fc.order[fc.orderPos] = key
+	fc.orderPos = (fc.orderPos + 1) % fc.capacity
+	return fresh
+}
+
+// shaveKeyPrefix distinguishes shave-memo keys from check keys in the
+// same canonical encoding: a check key starts with uvarint(Constraint)
+// and constraints are small, so 0xff can never lead one.
+const shaveKeyPrefix = "\xff"
+
+// Shaved memoizes the shave-to-1-minimality step of a winner
+// determination. The shave is deterministic in exactly the material
+// the check key encodes — network, start set, matrix, constraint,
+// feasibility options and the price metric (which fixes both the
+// routing costs and the shave's price order) — so its result can be
+// replayed the same way check verdicts are, including from a persisted
+// cache file. On a miss, compute runs the caller's shave and its
+// result is stored; hits and misses both return a private copy the
+// caller may mutate freely.
+func (fc *FeasibilityCache) Shaved(p *topo.POCNetwork, start *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64, compute func() *linkset.Set) *linkset.Set {
+	opts = opts.withDefaults()
+	key := shaveKeyPrefix + fc.key(p, start, tm, c, opts, metric)
+	fc.mu.RLock()
+	words, ok := fc.shaved[key]
+	fc.mu.RUnlock()
+	if ok {
+		fc.shaveHits.Add(1)
+		return linkset.FromWords(words, len(p.Links))
+	}
+	fc.shaveMisses.Add(1)
+	res := compute()
+	fc.storeShaved(key, res.Words())
+	return res
+}
+
+// storeShaved inserts a shave result (insert-win, private copy of the
+// words), evicting the oldest shave entry when bounded.
+func (fc *FeasibilityCache) storeShaved(key string, words []uint64) {
+	cp := make([]uint64, len(words))
+	copy(cp, words)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if _, existed := fc.shaved[key]; existed {
+		return
+	}
+	fc.shaved[key] = cp
+	if fc.capacity <= 0 {
+		return
+	}
+	if len(fc.shaved) > fc.capacity {
+		delete(fc.shaved, fc.shavedOrder[fc.shavedPos])
+		fc.evictions++
+	}
+	fc.shavedOrder[fc.shavedPos] = key
+	fc.shavedPos = (fc.shavedPos + 1) % fc.capacity
 }
 
 // key builds the canonical, collision-free cache key. The include
@@ -200,22 +429,6 @@ func (fc *FeasibilityCache) key(p *topo.POCNetwork, include *linkset.Set, tm *tr
 	return string(buf)
 }
 
-// FNV-1a, the fingerprint hash for matrices and networks.
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-// fnvMix folds one 64-bit word into an FNV-1a state.
-func fnvMix(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime64
-		v >>= 8
-	}
-	return h
-}
-
 // matrixFP fingerprints a traffic matrix once per pointer (FNV-1a over
 // the demand bits).
 func (fc *FeasibilityCache) matrixFP(tm *traffic.Matrix) uint64 {
@@ -224,14 +437,14 @@ func (fc *FeasibilityCache) matrixFP(tm *traffic.Matrix) uint64 {
 	if fp, ok := fc.tmFP[tm]; ok {
 		return fp
 	}
-	h := uint64(fnvOffset64)
+	h := uint64(fnv64.Offset)
 	n := tm.Size()
-	h = fnvMix(h, uint64(n))
+	h = fnv64.Mix(h, uint64(n))
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if v := tm.At(i, j); v != 0 {
-				h = fnvMix(h, uint64(i)<<32|uint64(j))
-				h = fnvMix(h, math.Float64bits(v))
+				h = fnv64.Mix(h, uint64(i)<<32|uint64(j))
+				h = fnv64.Mix(h, math.Float64bits(v))
 			}
 		}
 	}
@@ -252,13 +465,13 @@ func (fc *FeasibilityCache) networkFP(p *topo.POCNetwork) uint64 {
 	if fp, ok := fc.netFP[p]; ok {
 		return fp
 	}
-	h := uint64(fnvOffset64)
-	h = fnvMix(h, uint64(len(p.Routers)))
-	h = fnvMix(h, uint64(len(p.Links)))
+	h := uint64(fnv64.Offset)
+	h = fnv64.Mix(h, uint64(len(p.Routers)))
+	h = fnv64.Mix(h, uint64(len(p.Links)))
 	for _, l := range p.Links {
-		h = fnvMix(h, uint64(l.ID)<<32|uint64(l.BP&0xffff)<<16|uint64(l.A&0xff)<<8|uint64(l.B&0xff))
-		h = fnvMix(h, math.Float64bits(l.Capacity))
-		h = fnvMix(h, math.Float64bits(l.DistanceKm))
+		h = fnv64.Mix(h, uint64(l.ID)<<32|uint64(l.BP&0xffff)<<16|uint64(l.A&0xff)<<8|uint64(l.B&0xff))
+		h = fnv64.Mix(h, math.Float64bits(l.Capacity))
+		h = fnv64.Mix(h, math.Float64bits(l.DistanceKm))
 	}
 	fc.netFP[p] = h
 	return h

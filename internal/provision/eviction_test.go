@@ -1,0 +1,100 @@
+package provision
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/obs"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+func TestCacheEvictionNeverChangesAnswers(t *testing.T) {
+	p := shaveNet(10, 10, 10, 10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+
+	// Distinct keys: every subset of links of size >= 1, probed twice
+	// (second lap re-probes evicted keys).
+	var probes []*linkset.Set
+	for i := 1; i < 1<<6; i++ {
+		s := linkset.New(len(p.Links))
+		for b := 0; b < 6; b++ {
+			if i&(1<<b) != 0 {
+				s.Add(b)
+			}
+		}
+		probes = append(probes, s)
+	}
+	probes = append(probes, probes[:20]...)
+
+	unbounded := NewFeasibilityCache()
+	obsU := obs.New()
+	bounded := NewFeasibilityCache()
+	bounded.SetCapacity(8)
+	obsB := obs.New()
+
+	for i, s := range probes {
+		optsU := Options{Obs: obsU}
+		optsB := Options{Obs: obsB}
+		okU, sumU := unbounded.Check(p, s, tm, Constraint1, optsU, 0)
+		okB, sumB := bounded.Check(p, s, tm, Constraint1, optsB, 0)
+		if okU != okB || sumU != sumB {
+			t.Fatalf("probe %d: bounded answer diverged: %v %+v vs %v %+v", i, okU, sumU, okB, sumB)
+		}
+		if st := bounded.Stats(); st.Entries > 8 {
+			t.Fatalf("probe %d: %d entries exceed capacity", i, st.Entries)
+		}
+	}
+
+	st := bounded.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions at capacity 8 over 83 probes — test is vacuous")
+	}
+	if st.Capacity != 8 {
+		t.Fatalf("capacity = %d, want 8", st.Capacity)
+	}
+
+	// Obs exports must be byte-identical: eviction + re-probe must not
+	// double-count any per-distinct-key metric.
+	ju, err := obsU.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := obsB.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ju, jb) {
+		t.Fatalf("obs exports diverged under eviction:\nunbounded: %s\nbounded:   %s", ju, jb)
+	}
+}
+
+// TestCacheEvictionIsInsertionOrder pins the eviction policy: at
+// capacity k, inserting k+1 distinct keys evicts exactly the first
+// inserted one — re-probing it misses while every later key still hits.
+func TestCacheEvictionIsInsertionOrder(t *testing.T) {
+	p := shaveNet(10, 10, 10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 4)
+
+	fc := NewFeasibilityCache()
+	fc.SetCapacity(3)
+	set := func(ids ...int) *linkset.Set { return linkset.FromIDs(ids, len(p.Links)) }
+	keys := []*linkset.Set{set(0), set(1), set(2), set(3)} // 4th insert evicts set(0)
+	for _, s := range keys {
+		fc.Check(p, s, tm, Constraint1, Options{}, 0)
+	}
+	if st := fc.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	misses := fc.Misses()
+	fc.Check(p, set(1), tm, Constraint1, Options{}, 0) // survivor: hit
+	if fc.Misses() != misses {
+		t.Fatal("second-inserted key was evicted; policy is not insertion order")
+	}
+	fc.Check(p, set(0), tm, Constraint1, Options{}, 0) // oldest: evicted, miss
+	if fc.Misses() != misses+1 {
+		t.Fatal("oldest key still resident; eviction did not happen in insertion order")
+	}
+}

@@ -1,0 +1,254 @@
+package provision
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// This file implements the incremental feasibility recheck memo: the
+// machinery that lets Check/CheckCore answer a probe without routing
+// when a recently-computed check certifies it.
+//
+// The certificate rests on one property of both Dijkstra engines: only
+// a *successful relaxation* mutates observable state (a dist/parent
+// write plus a heap push); an enabled edge that never wins a relaxation
+// contributes nothing — no writes, no pushes, no change to heap order,
+// tie-breaking or early termination. So if a check records the set I of
+// links that won any relaxation across ALL of its routings (base trees,
+// point repairs, ejection reroutes, primary-path trees, every failure
+// scenario), then a later probe S′ with
+//
+//	S′ ⊆ S   and   (S \ S′) ∩ I = ∅
+//
+// replays the stored check step for step: the removed links are skipped
+// by the Disabled flag instead of losing their relaxations, which is
+// observationally identical. The stored summary and core ARE what a
+// cold computation on S′ would produce, byte for byte.
+//
+// Link ADDITIONS can never be certified: an added edge may win interim
+// relaxations (perturbing heap contents and pop tie-breaks) even when
+// the final tree reverts, so any superset probe recomputes cold. See
+// DESIGN.md §15 for the full soundness argument, including why
+// Constraint-2 checks that fail at the scenario stage invalidate the
+// sink (the parallel sweep's early abort makes the set of routed
+// scenarios scheduling-dependent).
+
+// influence accumulates the link-level influence set of one check.
+// Route/PrimaryPathsOpts fold each arena's edge-level relaxation trace
+// into it under the mutex; parallel scenario sweeps make the OR
+// order-independent.
+type influence struct {
+	mu      sync.Mutex
+	words   []uint64
+	invalid bool
+}
+
+func newInfluence(links int) *influence {
+	return &influence{words: make([]uint64, (links+63)/64)}
+}
+
+// markInvalid flags the sink as unusable for memoization (nil-safe:
+// checks run without a sink pass nil through).
+func (inf *influence) markInvalid() {
+	if inf == nil {
+		return
+	}
+	inf.mu.Lock()
+	inf.invalid = true
+	inf.mu.Unlock()
+}
+
+func (inf *influence) isInvalid() bool {
+	inf.mu.Lock()
+	defer inf.mu.Unlock()
+	return inf.invalid
+}
+
+// startTrace arms the arena's Dijkstra engines with a zeroed edge-level
+// trace buffer.
+func (rt *router) startTrace() {
+	n := (rt.g.NumEdges() + 63) / 64
+	if cap(rt.traceBits) < n {
+		rt.traceBits = make([]uint64, n)
+	}
+	rt.traceBits = rt.traceBits[:n]
+	for i := range rt.traceBits {
+		rt.traceBits[i] = 0
+	}
+	rt.tr.SetTrace(rt.traceBits)
+	rt.pr.SetTrace(rt.traceBits)
+}
+
+// stopTrace disarms the engines and folds the edge-level trace down to
+// link level into the sink.
+func (rt *router) stopTrace(inf *influence) {
+	rt.tr.SetTrace(nil)
+	rt.pr.SetTrace(nil)
+	inf.mu.Lock()
+	for wi, w := range rt.traceBits {
+		for w != 0 {
+			bit := uint(bits.TrailingZeros64(w))
+			w &= w - 1
+			l := int(rt.linkFor[wi*64+int(bit)])
+			inf.words[l>>6] |= 1 << (uint(l) & 63)
+		}
+	}
+	inf.mu.Unlock()
+}
+
+// memoEntry is one certified check: the exact key fields of the check,
+// the enabled set it ran on, its influence set, and its results. set
+// and inf are full-length word slices over the network's links; core is
+// shared read-only (nil when the entry came from Check rather than
+// CheckCore, or when infeasible).
+type memoEntry struct {
+	tm       *traffic.Matrix
+	c        Constraint
+	maxPaths int
+	headroom uint64
+	fs       int
+	metric   uint64
+	set      []uint64
+	inf      []uint64
+	sum      CacheSummary
+	core     *linkset.Set
+}
+
+// defaultMemoCapacity bounds the workspace recheck memo. The auction's
+// probe stream is strongly local — bisection and budget batches perturb
+// the most recent few sets — so a small ring captures nearly all the
+// reuse while keeping lookups a handful of word scans.
+const defaultMemoCapacity = 32
+
+// SetMemoCapacity resizes the incremental-recheck memo ring (entries,
+// not bytes); 0 or negative disables it, restoring the pre-memo
+// compute-every-probe behaviour. Existing entries are dropped. The
+// capacity never enters cache keys and never changes results — hits
+// replay byte-identical checks — only speed.
+func (ws *Workspace) SetMemoCapacity(n int) {
+	ws.memoMu.Lock()
+	defer ws.memoMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	ws.memoCap = n
+	ws.memo = nil
+	ws.memoPos = 0
+}
+
+// MemoStats returns how many FeasibilityCache misses were answered by
+// the recheck memo (hits) versus routed cold (misses).
+func (ws *Workspace) MemoStats() (hits, misses int64) {
+	return ws.memoHits.Load(), ws.memoMisses.Load()
+}
+
+// memoEnabled reports whether the recheck memo is on.
+func (ws *Workspace) memoEnabled() bool {
+	ws.memoMu.Lock()
+	defer ws.memoMu.Unlock()
+	return ws.memoCap > 0
+}
+
+// probeWords returns the normalized enabled-set words for include (nil
+// means all links).
+func (ws *Workspace) probeWords(include *linkset.Set) []uint64 {
+	if include == nil {
+		return ws.all.Words()
+	}
+	return include.Words()
+}
+
+// certifies reports whether a stored check over `set` with influence
+// `inf` certifies the probe: probe ⊆ set and the removed links are all
+// outside the influence set. Missing trailing words are zero.
+func certifies(probe, set, inf []uint64) bool {
+	for wi := range set {
+		var pw uint64
+		if wi < len(probe) {
+			pw = probe[wi]
+		}
+		sw := set[wi]
+		if pw&^sw != 0 {
+			return false // probe adds a link: additions are never certified
+		}
+		if (sw&^pw)&inf[wi] != 0 {
+			return false // a removed link influenced the stored check
+		}
+	}
+	for wi := len(set); wi < len(probe); wi++ {
+		if probe[wi] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// memoLookup scans the ring newest-first for an entry whose key fields
+// match and whose certificate covers the probe. needCore mirrors the
+// FeasibilityCache rule: a CheckCore probe can only be served by an
+// entry that has a core or is infeasible.
+func (ws *Workspace) memoLookup(include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64, needCore bool) (CacheSummary, *linkset.Set, bool) {
+	probe := ws.probeWords(include)
+	hb := math.Float64bits(opts.Headroom)
+	ws.memoMu.Lock()
+	defer ws.memoMu.Unlock()
+	n := len(ws.memo)
+	for i := 1; i <= n; i++ {
+		e := &ws.memo[((ws.memoPos-i)%n+n)%n]
+		if e.tm != tm || e.c != c || e.maxPaths != opts.MaxPaths ||
+			e.headroom != hb || e.fs != opts.FailureScenarios || e.metric != metric {
+			continue
+		}
+		if needCore && e.core == nil && e.sum.Feasible {
+			continue
+		}
+		if !certifies(probe, e.set, e.inf) {
+			continue
+		}
+		ws.memoHits.Add(1)
+		return e.sum, e.core, true
+	}
+	ws.memoMisses.Add(1)
+	return CacheSummary{}, nil, false
+}
+
+// memoStore inserts a freshly computed check into the ring, cloning the
+// probe's enabled words (auction callers mutate their sets between
+// probes). The sink's words are owned by the entry from here on.
+func (ws *Workspace) memoStore(include *linkset.Set, tm *traffic.Matrix, c Constraint, opts Options, metric uint64, inf *influence, sum CacheSummary, core *linkset.Set) {
+	probe := ws.probeWords(include)
+	words := len(inf.words)
+	set := make([]uint64, words)
+	copy(set, probe)
+	e := memoEntry{
+		tm:       tm,
+		c:        c,
+		maxPaths: opts.MaxPaths,
+		headroom: math.Float64bits(opts.Headroom),
+		fs:       opts.FailureScenarios,
+		metric:   metric,
+		set:      set,
+		inf:      inf.words,
+		sum:      sum,
+		core:     core,
+	}
+	ws.memoMu.Lock()
+	defer ws.memoMu.Unlock()
+	if ws.memoCap <= 0 {
+		return
+	}
+	if len(ws.memo) < ws.memoCap {
+		ws.memo = append(ws.memo, e)
+		ws.memoPos = len(ws.memo)
+	} else {
+		if ws.memoPos >= ws.memoCap {
+			ws.memoPos = 0
+		}
+		ws.memo[ws.memoPos] = e
+		ws.memoPos++
+	}
+}

@@ -1,0 +1,159 @@
+package provision
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/topo"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+// memoNet builds a seeded random POC network: a ring over n routers
+// (so it stays connected under light pruning) plus extra chords, with
+// mixed capacities so pruning sequences cross the feasibility boundary.
+func memoNet(rng *rand.Rand, n, chords int) *topo.POCNetwork {
+	p := &topo.POCNetwork{
+		World:   &topo.World{Cities: make([]topo.City, n)},
+		Routers: make([]int, n),
+	}
+	for i := range p.Routers {
+		p.Routers[i] = i
+	}
+	caps := []float64{20, 40, 80}
+	add := func(a, b int) {
+		p.Links = append(p.Links, topo.LogicalLink{
+			ID: len(p.Links), BP: len(p.Links) % 5, A: a, B: b,
+			Capacity:   caps[rng.Intn(len(caps))],
+			DistanceKm: 50 + rng.Float64()*450,
+		})
+	}
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n)
+	}
+	for i := 0; i < chords; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			add(a, b)
+		}
+	}
+	p.BPs = make([]topo.BP, 5)
+	return p
+}
+
+func memoTM(rng *rand.Rand, n, pairs int, gbps float64) *traffic.Matrix {
+	tm := traffic.NewMatrix(n)
+	for i := 0; i < pairs; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			tm.Set(a, b, tm.At(a, b)+gbps*(0.5+rng.Float64()))
+		}
+	}
+	return tm
+}
+
+func sameCore(a, b *linkset.Set) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Equal(b)
+}
+
+// TestIncrementalRecheckMatchesCold is the diff-vs-cold property test
+// for the workspace recheck memo: a random enable/disable sequence
+// driven through one shared memo-enabled Workspace must produce
+// byte-identical Check AND CheckCore results to a cold recompute at
+// every step, for every constraint, at 1 and 4 workers (the parallel
+// scenario sweep runs under -race in CI). A fresh FeasibilityCache per
+// step forces every probe past the exact-key cache and into the memo.
+func TestIncrementalRecheckMatchesCold(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			p := memoNet(rng, 12, 14)
+			tm := memoTM(rng, 12, 8, 9)
+			opts := Options{FailureScenarios: 4, Workers: workers}
+			ws := NewWorkspace(p, opts)
+			wsOpts := opts
+			wsOpts.Workspace = ws
+
+			cur := linkset.All(len(p.Links))
+			var history []*linkset.Set
+			for step := 0; step < 20; step++ {
+				switch rng.Intn(4) {
+				case 0, 1: // remove a few enabled links
+					ids := cur.AppendIDs(nil)
+					for k := 0; k < 1+rng.Intn(3) && len(ids) > 4; k++ {
+						i := rng.Intn(len(ids))
+						cur.Remove(ids[i])
+						ids = append(ids[:i], ids[i+1:]...)
+					}
+				case 2: // add back a removed link (supersets recompute cold)
+					for id := 0; id < len(p.Links); id++ {
+						if !cur.Contains(id) && rng.Intn(3) == 0 {
+							cur.Add(id)
+							break
+						}
+					}
+				case 3: // jump back to an earlier set (maximal memo reuse)
+					if len(history) > 0 {
+						cur = history[rng.Intn(len(history))].Clone()
+					}
+				}
+				history = append(history, cur.Clone())
+
+				for _, c := range []Constraint{Constraint1, Constraint2, Constraint3} {
+					fc := NewFeasibilityCache()
+					gotOK, gotSum := fc.Check(p, cur, tm, c, wsOpts, 0)
+					coldOK, coldR := Check(p, cur, tm, c, opts)
+					coldSum := summarize(p, coldOK, coldR)
+					if gotOK != coldOK || gotSum != coldSum {
+						t.Fatalf("workers=%d seed=%d step=%d %v: memo (%v %+v) != cold (%v %+v)",
+							workers, seed, step, c, gotOK, gotSum, coldOK, coldSum)
+					}
+
+					fc2 := NewFeasibilityCache()
+					gotOK2, gotCore := fc2.CheckCore(p, cur, tm, c, wsOpts, 0)
+					coldOK2, coldCore := CheckCore(p, cur, tm, c, opts)
+					if gotOK2 != coldOK2 || !sameCore(gotCore, coldCore) {
+						t.Fatalf("workers=%d seed=%d step=%d %v: memo core mismatch (ok %v vs %v)",
+							workers, seed, step, c, gotOK2, coldOK2)
+					}
+				}
+			}
+			if hits, _ := ws.MemoStats(); hits == 0 {
+				t.Fatalf("workers=%d seed=%d: memo never hit — test is vacuous", workers, seed)
+			}
+		}
+	}
+}
+
+// TestMemoDisabledStillMatches pins the ablation knob: capacity 0 turns
+// the memo off (no hits ever) without changing any answer.
+func TestMemoDisabledStillMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := memoNet(rng, 10, 10)
+	tm := memoTM(rng, 10, 6, 8)
+	opts := Options{FailureScenarios: 4}
+	ws := NewWorkspace(p, opts)
+	ws.SetMemoCapacity(0)
+	wsOpts := opts
+	wsOpts.Workspace = ws
+
+	cur := linkset.All(len(p.Links))
+	for step := 0; step < 8; step++ {
+		ids := cur.AppendIDs(nil)
+		if len(ids) > 4 {
+			cur.Remove(ids[rng.Intn(len(ids))])
+		}
+		fc := NewFeasibilityCache()
+		gotOK, gotSum := fc.Check(p, cur, tm, Constraint2, wsOpts, 0)
+		coldOK, coldR := Check(p, cur, tm, Constraint2, opts)
+		if gotOK != coldOK || gotSum != summarize(p, coldOK, coldR) {
+			t.Fatalf("step %d: disabled-memo result diverged", step)
+		}
+	}
+	if hits, misses := ws.MemoStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled memo recorded traffic: hits=%d misses=%d", hits, misses)
+	}
+}

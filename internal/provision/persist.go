@@ -1,0 +1,299 @@
+package provision
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/public-option/poc/internal/linkset"
+)
+
+// Cache persistence: Save/Load serialize the FeasibilityCache's
+// canonical-key table to a CRC-framed file so sweep re-runs and warm CI
+// start hot. The format mirrors the pocd journal's framing discipline:
+//
+//	magic   "pocfcache/v1\n"
+//	frame   len(u32 LE) ∥ kind(u8) ∥ crc(u32 LE, IEEE over payload) ∥ payload
+//
+// kind 1 (check entry):
+//
+//	payload uvarint(len(key)) ∥ key
+//	        ∥ flags(u8: bit0 feasible, bit1 has-core)
+//	        ∥ Float64bits(Unplaced)(u64 LE) ∥ Float64bits(MaxUtilization)(u64 LE)
+//	        ∥ uvarint(Paths) ∥ uvarint(Moves)
+//	        ∥ [has-core: uvarint(words) ∥ words(u64 LE each)]
+//
+// kind 2 (shave-memo entry, see FeasibilityCache.Shaved):
+//
+//	payload uvarint(len(key)) ∥ key ∥ uvarint(words) ∥ words(u64 LE each)
+//
+// Save iterates keys in sorted order, so saving the same contents
+// always produces the same bytes. Load verifies the magic, then stops
+// quietly at the first torn or corrupt frame (a crash mid-save loses
+// the tail, never the run). Keys are content fingerprints (FNV-1a over
+// matrix/network contents plus the raw include words), so a key written
+// by one process hashes identically when another loads it.
+//
+// Entries loaded from a file replay exactly the checks that produced
+// them, so a warm-started cache answers with the same bytes a cold one
+// would compute. Callers that need obs exports unperturbed by warm
+// starts already strip Obs on shared/external caches (see
+// auction.Instance.Cache); private in-process caches are never
+// persisted.
+
+const cacheMagic = "pocfcache/v1\n"
+
+const (
+	cacheKindEntry = 1
+	cacheKindShave = 2
+)
+
+// Save writes every resident entry to w in sorted-key order: check
+// entries first, then shave-memo entries.
+func (fc *FeasibilityCache) Save(w io.Writer) error {
+	fc.mu.RLock()
+	keys := make([]string, 0, len(fc.m))
+	for k := range fc.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]cacheEntry, len(keys))
+	for i, k := range keys {
+		entries[i] = fc.m[k]
+	}
+	shaveKeys := make([]string, 0, len(fc.shaved))
+	for k := range fc.shaved {
+		shaveKeys = append(shaveKeys, k)
+	}
+	sort.Strings(shaveKeys)
+	shaveWords := make([][]uint64, len(shaveKeys))
+	for i, k := range shaveKeys {
+		shaveWords[i] = fc.shaved[k]
+	}
+	fc.mu.RUnlock()
+
+	if _, err := io.WriteString(w, cacheMagic); err != nil {
+		return err
+	}
+	var payload, frame []byte
+	writeFrame := func(kind byte) error {
+		frame = frame[:0]
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+		frame = append(frame, kind)
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+		frame = append(frame, payload...)
+		_, err := w.Write(frame)
+		return err
+	}
+	for i, k := range keys {
+		payload = appendCachePayload(payload[:0], k, entries[i])
+		if err := writeFrame(cacheKindEntry); err != nil {
+			return err
+		}
+	}
+	for i, k := range shaveKeys {
+		payload = appendShavePayload(payload[:0], k, shaveWords[i])
+		if err := writeFrame(cacheKindShave); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendShavePayload(dst []byte, key string, words []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(words)))
+	for _, w := range words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+func appendCachePayload(dst []byte, key string, e cacheEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	var flags byte
+	if e.sum.Feasible {
+		flags |= 1
+	}
+	if e.core != nil {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.sum.Unplaced))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.sum.MaxUtilization))
+	dst = binary.AppendUvarint(dst, uint64(e.sum.Paths))
+	dst = binary.AppendUvarint(dst, uint64(e.sum.Moves))
+	if e.core != nil {
+		words := e.core.Words()
+		dst = binary.AppendUvarint(dst, uint64(len(words)))
+		for _, w := range words {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+	}
+	return dst
+}
+
+// Load reads entries from r into the cache (insert-win, honoring any
+// capacity bound) and returns how many were loaded. A torn or corrupt
+// tail ends the load silently — everything before it is kept. A bad
+// magic is an error: the file is not a cache.
+func (fc *FeasibilityCache) Load(r io.Reader) (int, error) {
+	magic := make([]byte, len(cacheMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		if err == io.EOF {
+			return 0, fmt.Errorf("provision: cache file empty")
+		}
+		return 0, err
+	}
+	if string(magic) != cacheMagic {
+		return 0, fmt.Errorf("provision: bad cache magic %q", magic)
+	}
+	loaded := 0
+	header := make([]byte, 9)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			return loaded, nil // clean EOF or torn header: stop
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		kind := header[4]
+		crc := binary.LittleEndian.Uint32(header[5:9])
+		if (kind != cacheKindEntry && kind != cacheKindShave) || n > 1<<30 {
+			return loaded, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return loaded, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return loaded, nil // corrupt frame
+		}
+		if kind == cacheKindShave {
+			key, words, ok := parseShavePayload(payload)
+			if !ok {
+				return loaded, nil
+			}
+			fc.storeShaved(key, words)
+			loaded++
+			continue
+		}
+		key, e, ok := parseCachePayload(payload)
+		if !ok {
+			return loaded, nil
+		}
+		fc.store(key, e)
+		loaded++
+	}
+}
+
+func parseCachePayload(p []byte) (string, cacheEntry, bool) {
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < klen {
+		return "", cacheEntry{}, false
+	}
+	p = p[n:]
+	key := string(p[:klen])
+	p = p[klen:]
+	if len(p) < 1+8+8 {
+		return "", cacheEntry{}, false
+	}
+	flags := p[0]
+	var e cacheEntry
+	e.sum.Feasible = flags&1 != 0
+	e.sum.Unplaced = math.Float64frombits(binary.LittleEndian.Uint64(p[1:9]))
+	e.sum.MaxUtilization = math.Float64frombits(binary.LittleEndian.Uint64(p[9:17]))
+	p = p[17:]
+	paths, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", cacheEntry{}, false
+	}
+	p = p[n:]
+	moves, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", cacheEntry{}, false
+	}
+	p = p[n:]
+	e.sum.Paths = int(paths)
+	e.sum.Moves = int(moves)
+	if flags&2 != 0 {
+		wc, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < wc*8 {
+			return "", cacheEntry{}, false
+		}
+		p = p[n:]
+		words := make([]uint64, wc)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(p[i*8:])
+		}
+		e.core = linkset.FromWords(words, int(wc)*64)
+	}
+	return key, e, true
+}
+
+func parseShavePayload(p []byte) (string, []uint64, bool) {
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < klen {
+		return "", nil, false
+	}
+	p = p[n:]
+	key := string(p[:klen])
+	p = p[klen:]
+	wc, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < wc*8 {
+		return "", nil, false
+	}
+	p = p[n:]
+	words := make([]uint64, wc)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(p[i*8:])
+	}
+	return key, words, true
+}
+
+// SaveFile writes the cache to path atomically (temp file + rename),
+// so a crash mid-save leaves any previous file intact.
+func (fc *FeasibilityCache) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fc.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads path into the cache. A missing file is an empty warm
+// start: (0, nil).
+func (fc *FeasibilityCache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return fc.Load(f)
+}

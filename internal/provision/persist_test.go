@@ -1,0 +1,229 @@
+package provision
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/traffic"
+)
+
+func TestCachePersistRoundtrip(t *testing.T) {
+	p := shaveNet(10, 10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+	var probes []*linkset.Set
+	for i := 0; i < len(p.Links); i++ {
+		probes = append(probes, linkset.FromIDs([]int{i}, len(p.Links)))
+	}
+	probes = append(probes, nil, linkset.New(len(p.Links))) // feasible-all and empty-infeasible
+
+	src := NewFeasibilityCache()
+	want := make([]CacheSummary, len(probes))
+	wantCore := make([]*linkset.Set, len(probes))
+	for i, s := range probes {
+		_, want[i] = src.Check(p, s, tm, Constraint1, Options{}, 7)
+		_, wantCore[i] = src.CheckCore(p, s, tm, Constraint1, Options{}, 7)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-stable: saving the same contents again yields the same bytes.
+	var buf2 bytes.Buffer
+	if err := src.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two saves of identical contents differ")
+	}
+
+	dst := NewFeasibilityCache()
+	loaded, err := dst.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != src.Len() || dst.Len() != src.Len() {
+		t.Fatalf("loaded %d entries, want %d (dst len %d)", loaded, src.Len(), dst.Len())
+	}
+
+	// Every probe must now hit with the identical summary and core.
+	misses := dst.Misses()
+	for i, s := range probes {
+		_, sum := dst.Check(p, s, tm, Constraint1, Options{}, 7)
+		if sum != want[i] {
+			t.Fatalf("probe %d: warm summary %+v != cold %+v", i, sum, want[i])
+		}
+		_, core := dst.CheckCore(p, s, tm, Constraint1, Options{}, 7)
+		if !sameCore(core, wantCore[i]) {
+			t.Fatalf("probe %d: warm core mismatch", i)
+		}
+	}
+	if dst.Misses() != misses {
+		t.Fatalf("warm cache recomputed %d probes", dst.Misses()-misses)
+	}
+}
+
+// TestCachePersistShaveMemo pins the kind-2 frames: shave results
+// survive a save/load cycle, replay without recomputing, and return
+// private copies the caller may mutate.
+func TestCachePersistShaveMemo(t *testing.T) {
+	p := shaveNet(10, 10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+	start := linkset.All(len(p.Links))
+	shavedSet := linkset.FromIDs([]int{0, 2}, len(p.Links))
+
+	src := NewFeasibilityCache()
+	got := src.Shaved(p, start, tm, Constraint1, Options{}, 7, func() *linkset.Set { return shavedSet })
+	if !sameCore(got, shavedSet) {
+		t.Fatal("miss did not return the computed set")
+	}
+	if st := src.Stats(); st.ShaveMisses != 1 || st.ShaveEntries != 1 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := src.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two saves of identical contents differ")
+	}
+
+	dst := NewFeasibilityCache()
+	if loaded, err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil || loaded != 1 {
+		t.Fatalf("load: n=%d err=%v", loaded, err)
+	}
+	warm := dst.Shaved(p, start, tm, Constraint1, Options{}, 7, func() *linkset.Set {
+		t.Fatal("warm cache recomputed the shave")
+		return nil
+	})
+	if !sameCore(warm, shavedSet) {
+		t.Fatal("warm shave result diverged")
+	}
+	if st := dst.Stats(); st.ShaveHits != 1 || st.ShaveMisses != 0 {
+		t.Fatalf("stats after warm hit: %+v", st)
+	}
+
+	// The replayed set is a private copy: mutating it must not leak
+	// into later hits.
+	warm.Add(5)
+	again := dst.Shaved(p, start, tm, Constraint1, Options{}, 7, func() *linkset.Set {
+		t.Fatal("recomputed after mutation")
+		return nil
+	})
+	if !sameCore(again, shavedSet) {
+		t.Fatal("mutating a returned shave leaked into the cache")
+	}
+
+	// A different start set or metric is a distinct shave.
+	other := linkset.FromIDs([]int{1, 3}, len(p.Links))
+	dst.Shaved(p, other, tm, Constraint1, Options{}, 7, func() *linkset.Set { return other })
+	dst.Shaved(p, start, tm, Constraint1, Options{}, 8, func() *linkset.Set { return other })
+	if st := dst.Stats(); st.ShaveMisses != 2 || st.ShaveEntries != 3 {
+		t.Fatalf("distinct shaves not keyed apart: %+v", st)
+	}
+}
+
+// TestShaveMemoBounded pins the shave ring's deterministic eviction
+// under SetCapacity.
+func TestShaveMemoBounded(t *testing.T) {
+	p := shaveNet(10, 10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 8)
+	fc := NewFeasibilityCache()
+	fc.SetCapacity(2)
+	sets := []*linkset.Set{
+		linkset.FromIDs([]int{0}, len(p.Links)),
+		linkset.FromIDs([]int{1}, len(p.Links)),
+		linkset.FromIDs([]int{2}, len(p.Links)),
+	}
+	for _, s := range sets {
+		s := s
+		fc.Shaved(p, s, tm, Constraint1, Options{}, 0, func() *linkset.Set { return s })
+	}
+	st := fc.Stats()
+	if st.ShaveEntries != 2 || st.Evictions != 1 {
+		t.Fatalf("bounded shave memo: %+v", st)
+	}
+	// Oldest (sets[0]) was evicted: re-probing recomputes; newest hits.
+	recomputed := false
+	fc.Shaved(p, sets[0], tm, Constraint1, Options{}, 0, func() *linkset.Set { recomputed = true; return sets[0] })
+	if !recomputed {
+		t.Fatal("evicted entry still answered")
+	}
+	fc.Shaved(p, sets[2], tm, Constraint1, Options{}, 0, func() *linkset.Set {
+		t.Fatal("resident entry recomputed")
+		return nil
+	})
+}
+
+func TestCachePersistTornTail(t *testing.T) {
+	p := shaveNet(10, 10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 4)
+	src := NewFeasibilityCache()
+	for i := 0; i < 3; i++ {
+		src.Check(p, linkset.FromIDs([]int{i}, len(p.Links)), tm, Constraint1, Options{}, 0)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncating mid-frame keeps the intact prefix and reports no error.
+	torn := buf.Bytes()[:buf.Len()-5]
+	dst := NewFeasibilityCache()
+	loaded, err := dst.Load(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 || dst.Len() != 2 {
+		t.Fatalf("torn load kept %d entries, want 2", loaded)
+	}
+
+	// A corrupt byte inside a frame stops the load at that frame.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(cacheMagic)+12] ^= 0xff
+	dst2 := NewFeasibilityCache()
+	loaded2, err := dst2.Load(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded2 != 0 {
+		t.Fatalf("corrupt first frame loaded %d entries, want 0", loaded2)
+	}
+
+	// Wrong magic is a hard error.
+	if _, err := dst2.Load(bytes.NewReader([]byte("not a cache file at all"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCachePersistFileMissing(t *testing.T) {
+	fc := NewFeasibilityCache()
+	n, err := fc.LoadFile(t.TempDir() + "/nope.pocfcache")
+	if n != 0 || err != nil {
+		t.Fatalf("missing file: n=%d err=%v, want 0,nil", n, err)
+	}
+	// And the file round-trip works.
+	p := shaveNet(10, 10)
+	tm := traffic.NewMatrix(2)
+	tm.Set(0, 1, 4)
+	fc.Check(p, nil, tm, Constraint1, Options{}, 0)
+	path := t.TempDir() + "/c.pocfcache"
+	if err := fc.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewFeasibilityCache()
+	if n, err := warm.LoadFile(path); err != nil || n != 1 {
+		t.Fatalf("file roundtrip: n=%d err=%v", n, err)
+	}
+}

@@ -101,6 +101,12 @@ type Options struct {
 	// exported counts independent of cache hit/miss scheduling. Obs
 	// never enters cache keys.
 	Obs *obs.Registry
+	// NoMemo disables the incremental-recheck memo in every workspace
+	// built for this call (including the per-determination workspaces
+	// an auction creates internally). Ablation and benchmark-baseline
+	// knob: the memo never changes results, so NoMemo only slows the
+	// call down. Like Workspace, it never enters cache keys.
+	NoMemo bool
 	// Workspace, when non-nil, supplies the reusable routing arenas
 	// and demand caches for this call (and nested scenario routings).
 	// It must have been built for the same network and the same
@@ -108,6 +114,13 @@ type Options struct {
 	// transient workspace is created per call. Like Obs, Workspace
 	// never enters cache keys and never changes results, only speed.
 	Workspace *Workspace
+
+	// influence, when non-nil, collects the link-level influence set of
+	// every routing run under this call: each link that wins a Dijkstra
+	// relaxation anywhere in the check gets its bit ORed in. The
+	// FeasibilityCache sets it to build incremental-recheck certificates
+	// (see workspace memo, DESIGN.md §15). Never set by callers.
+	influence *influence
 }
 
 // workerCount resolves the effective parallelism for n independent
@@ -156,6 +169,13 @@ type Routing struct {
 	Ejected float64
 	// UnplacedPairs lists the (src,dst) pairs with unplaced demand.
 	UnplacedPairs [][2]int
+
+	// moves is the number of ejection-repair reroutes this routing
+	// consumed out of the per-Route 512-move budget. The check layer
+	// folds it into CacheSummary.Moves (max over the check's routings),
+	// which regional decomposition uses to prove the shared budget
+	// never binds differently between the global and per-region runs.
+	moves int
 }
 
 // Feasible reports whether the routing placed all demand.
@@ -196,6 +216,10 @@ type router struct {
 	// exported utilization metrics — stay byte-identical.
 	usedScratch []float64
 	touched     []int
+
+	// traceBits is the edge-level relaxation trace buffer, installed on
+	// both Dijkstra engines while an influence sink is active.
+	traceBits []uint64
 }
 
 // residFilter admits edges with at least want Gbps of residual
@@ -417,6 +441,10 @@ func Route(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, opts Op
 	ws := opts.Workspace
 	rt := ws.acquire()
 	defer ws.release(rt)
+	if opts.influence != nil {
+		rt.startTrace()
+		defer rt.stopTrace(opts.influence)
+	}
 	rt.apply(include, opts.Headroom, ws.all)
 	return rt.route(ws, tm, opts, avoidPrimary)
 }
@@ -532,6 +560,7 @@ func (rt *router) route(ws *Workspace, tm *traffic.Matrix, opts Options, avoidPr
 			res.UnplacedPairs = append(res.UnplacedPairs, pair)
 		}
 	}
+	res.moves = 512 - moves
 
 	// Strip the zero-Gbps tombstones the ejection phase leaves behind,
 	// then account usage.
@@ -591,6 +620,10 @@ func PrimaryPathsOpts(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matr
 	ws := opts.Workspace
 	rt := ws.acquire()
 	defer ws.release(rt)
+	if opts.influence != nil {
+		rt.startTrace()
+		defer rt.stopTrace(opts.influence)
+	}
 	rt.apply(include, 0, ws.all)
 
 	var unreachable [][2]int
@@ -651,6 +684,7 @@ func summarize(p *topo.POCNetwork, feasible bool, r *Routing) CacheSummary {
 		Unplaced:       r.Unplaced,
 		MaxUtilization: r.MaxUtilization(p),
 		Paths:          paths,
+		Moves:          r.moves,
 	}
 }
 
@@ -694,13 +728,23 @@ func checkRouting(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, 
 		// so the scenarios share no mutable state and fan across
 		// workers. The verdict (all feasible?) is order-independent,
 		// which keeps the parallel sweep bit-identical to the serial one.
+		//
+		// A scenario-stage failure aborts the sweep early, so WHICH
+		// scenarios were routed is scheduling luck — the influence sink
+		// would under-approximate. The uniform rule (serial path too, so
+		// worker count can never change memo contents' validity) is to
+		// invalidate the sink on any scenario-stage infeasibility. The
+		// per-routing move maxima are folded only on the all-feasible
+		// verdict, where every scenario completed and the max is
+		// order-independent.
 		if workers := opts.workerCount(len(scenarios)); workers > 1 {
 			var wg sync.WaitGroup
 			var next atomic.Int64
 			var infeasible atomic.Bool
+			workerMoves := make([]int, workers)
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
-				go func() {
+				go func(w int) {
 					defer wg.Done()
 					for {
 						i := int(next.Add(1)) - 1
@@ -708,20 +752,38 @@ func checkRouting(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, 
 							return // done, or early abort on first failure
 						}
 						sub := subtract(include, scenarios[i], len(p.Links))
-						if !Route(p, sub, tm, opts, nil).Feasible() {
+						r := Route(p, sub, tm, opts, nil)
+						if !r.Feasible() {
 							infeasible.Store(true)
 							return
 						}
+						if r.moves > workerMoves[w] {
+							workerMoves[w] = r.moves
+						}
 					}
-				}()
+				}(w)
 			}
 			wg.Wait()
-			return !infeasible.Load(), base
+			if infeasible.Load() {
+				opts.influence.markInvalid()
+				return false, base
+			}
+			for _, m := range workerMoves {
+				if m > base.moves {
+					base.moves = m
+				}
+			}
+			return true, base
 		}
 		for _, failed := range scenarios {
 			sub := subtract(include, failed, len(p.Links))
-			if !Route(p, sub, tm, opts, nil).Feasible() {
+			r := Route(p, sub, tm, opts, nil)
+			if !r.Feasible() {
+				opts.influence.markInvalid()
 				return false, base
+			}
+			if r.moves > base.moves {
+				base.moves = r.moves
 			}
 		}
 		return true, base
@@ -736,6 +798,9 @@ func checkRouting(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, 
 			return false, base
 		}
 		r := Route(p, include, tm, opts, primaries)
+		if base.moves > r.moves {
+			r.moves = base.moves
+		}
 		return r.Feasible(), r
 
 	default:
@@ -792,11 +857,16 @@ func checkCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c C
 				scenarios = append(scenarios, failed)
 			}
 		}
+		// Same invalidation and move-folding rules as checkRouting: the
+		// early-abort sweep makes the influence sink schedule-dependent
+		// on scenario-stage failures, and scenario move maxima are only
+		// well-defined on the all-feasible verdict.
 		if workers := opts.workerCount(len(scenarios)); workers > 1 {
 			var wg sync.WaitGroup
 			var mu sync.Mutex
 			var next atomic.Int64
 			var infeasible atomic.Bool
+			scenarioMoves := 0
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
 				go func() {
@@ -813,22 +883,33 @@ func checkCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c C
 						}
 						mu.Lock()
 						add(r)
+						if r.moves > scenarioMoves {
+							scenarioMoves = r.moves
+						}
 						mu.Unlock()
 					}
 				}()
 			}
 			wg.Wait()
 			if infeasible.Load() {
+				opts.influence.markInvalid()
 				return false, nil, summarize(p, false, base)
+			}
+			if scenarioMoves > base.moves {
+				base.moves = scenarioMoves
 			}
 			return true, core, summarize(p, true, base)
 		}
 		for _, failed := range scenarios {
 			r := Route(p, subtract(include, failed, len(p.Links)), tm, opts, nil)
 			if !r.Feasible() {
+				opts.influence.markInvalid()
 				return false, nil, summarize(p, false, base)
 			}
 			add(r)
+			if r.moves > base.moves {
+				base.moves = r.moves
+			}
 		}
 		return true, core, summarize(p, true, base)
 
@@ -838,6 +919,9 @@ func checkCore(p *topo.POCNetwork, include *linkset.Set, tm *traffic.Matrix, c C
 			return false, nil, summarize(p, false, base)
 		}
 		r := Route(p, include, tm, opts, primaries)
+		if base.moves > r.moves {
+			r.moves = base.moves
+		}
 		if !r.Feasible() {
 			return false, nil, summarize(p, false, r)
 		}

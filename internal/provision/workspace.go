@@ -4,9 +4,11 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/public-option/poc/internal/graph"
 	"github.com/public-option/poc/internal/linkset"
+	"github.com/public-option/poc/internal/partition"
 	"github.com/public-option/poc/internal/topo"
 	"github.com/public-option/poc/internal/traffic"
 )
@@ -61,13 +63,42 @@ type Workspace struct {
 	hpTM  *traffic.Matrix
 	hpN   int
 	hp    [][2]int
+	// Regional-decomposition projection cache: the per-component
+	// matrices for (matrix, partition labeling). Pointer-stable across
+	// probes that split the same way, so the demand-shape caches above
+	// and the FeasibilityCache's per-matrix fingerprints stay warm for
+	// every component sub-problem.
+	projTM  *traffic.Matrix
+	projSig uint64
+	proj    []*traffic.Matrix
+
+	// Incremental-recheck memo (see incremental.go): a small ring of
+	// recently computed checks with their influence sets, consulted by
+	// the FeasibilityCache on misses. Contents are scheduling-dependent
+	// under sharing, but hits replay byte-identical results, so only
+	// speed varies.
+	memoMu     sync.Mutex
+	memo       []memoEntry
+	memoPos    int
+	memoCap    int
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
 }
 
 // NewWorkspace returns a workspace for p bound to opts.LinkCost (nil
 // means physical distance). Arenas are built lazily on first use and
 // recycled across checks.
 func NewWorkspace(p *topo.POCNetwork, opts Options) *Workspace {
-	return &Workspace{p: p, linkCost: opts.LinkCost, all: linkset.All(len(p.Links))}
+	cap := defaultMemoCapacity
+	if opts.NoMemo {
+		cap = 0
+	}
+	return &Workspace{
+		p:        p,
+		linkCost: opts.LinkCost,
+		all:      linkset.All(len(p.Links)),
+		memoCap:  cap,
+	}
 }
 
 // resolve returns the workspace to use for a call on network p: the
@@ -221,6 +252,18 @@ func (ws *Workspace) primaryDemands(tm *traffic.Matrix) (map[int][]int, []int) {
 		ws.pTM, ws.pDsts, ws.pSrcs = tm, dsts, srcs
 	}
 	return ws.pDsts, ws.pSrcs
+}
+
+// projections returns projectMatrix(tm, pt), computed once per
+// (matrix, partition-signature) pair.
+func (ws *Workspace) projections(tm *traffic.Matrix, pt *partition.Partition) []*traffic.Matrix {
+	sig := pt.Signature()
+	ws.dmu.Lock()
+	defer ws.dmu.Unlock()
+	if ws.projTM != tm || ws.projSig != sig || len(ws.proj) != pt.NumComp {
+		ws.projTM, ws.projSig, ws.proj = tm, sig, projectMatrix(tm, pt)
+	}
+	return ws.proj
 }
 
 // heaviest returns heaviestPairs(tm, n), computed once per (matrix, n).

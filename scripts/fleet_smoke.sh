@@ -9,6 +9,9 @@
 #      fixture, with drift diagnostics naming the exact cell
 #   4. a journaled sweep rerun from its own state dir (pure resume,
 #      every cell replayed) must reproduce the same hash
+#   5. a -cachefile sweep persists the feasibility cache; a second
+#      sweep warm-started from that file must hash-identically
+#      (persistence is a speedup, never a result change)
 #
 # Artifacts (reports, hashes, the resume journal) are left in
 # $SMOKE_DIR for CI to upload on failure.
@@ -54,5 +57,14 @@ HASH_J=$(cat "$SMOKE_DIR/hash_journaled.txt")
 HASH_R=$("$BIN" -grid golden -workers 4 -state "$STATE" -hash)
 [ "$HASH_R" = "$HASH_W4" ] || fail "resumed sweep hash $HASH_R != $HASH_W4"
 log "resume reproduces $HASH_R from $(ls "$STATE" | grep -cv manifest) journaled cells"
+
+log "persisted feasibility cache (-cachefile): cold save, warm replay"
+CACHE="$SMOKE_DIR/fleet.pocfcache"
+HASH_COLD=$("$BIN" -grid golden -workers 4 -cachefile "$CACHE" -hash)
+[ "$HASH_COLD" = "$HASH_W4" ] || fail "cachefile cold sweep hash $HASH_COLD != $HASH_W4"
+[ -s "$CACHE" ] || fail "cachefile sweep left no cache file at $CACHE"
+HASH_WARM=$("$BIN" -grid golden -workers 4 -cachefile "$CACHE" -hash)
+[ "$HASH_WARM" = "$HASH_W4" ] || fail "cachefile warm sweep hash $HASH_WARM != $HASH_W4"
+log "warm start from $(wc -c < "$CACHE")-byte cache reproduces $HASH_WARM"
 
 log "PASS"
